@@ -1,0 +1,335 @@
+(* nocsynth: command-line front-end for the NoC communication architecture
+   synthesis flow.
+
+     nocsynth generate ...   make an ACG (TGFF-style task graph or random)
+     nocsynth decompose ...  run the branch-and-bound decomposition
+     nocsynth synth ...      decompose + glue + deadlock report (+ DOT)
+     nocsynth simulate ...   customized vs mesh under random traffic
+     nocsynth aes            the paper's Section 5.2 experiment *)
+
+open Cmdliner
+
+module Acg = Noc_core.Acg
+module Acg_io = Noc_core.Acg_io
+module Bb = Noc_core.Branch_bound
+module Decomp = Noc_core.Decomposition
+module Syn = Noc_core.Synthesis
+module L = Noc_primitives.Library
+module Fp = Noc_energy.Floorplan
+module Tech = Noc_energy.Technology
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                     *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed (deterministic runs).")
+
+let library_arg =
+  let lib_enum =
+    Arg.enum [ ("default", `Default); ("minimal", `Minimal); ("extended", `Extended) ]
+  in
+  Arg.(
+    value & opt lib_enum `Default
+    & info [ "library" ] ~docv:"LIB" ~doc:"Communication library: default, minimal or extended.")
+
+let resolve_library = function
+  | `Default -> L.default ()
+  | `Minimal -> L.minimal ()
+  | `Extended -> L.extended ()
+
+let acg_file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"ACG" ~doc:"ACG file (see Acg_io format).")
+
+let beam_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "beam" ] ~docv:"K"
+        ~doc:"Matches of each primitive expanded per search node (the paper uses 1).")
+
+let timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget for the search.")
+
+let cost_arg =
+  let cost_enum = Arg.enum [ ("edge", `Edge); ("energy", `Energy) ] in
+  Arg.(
+    value & opt cost_enum `Edge
+    & info [ "cost" ] ~docv:"COST"
+        ~doc:"Cost function: abstract link count (edge) or Eq. 5 energy against a grid \
+              floorplan (energy).")
+
+let tech_arg =
+  Arg.(
+    value & opt string "cmos-180nm"
+    & info [ "tech" ] ~docv:"NODE" ~doc:"Technology preset (cmos-180nm, cmos-130nm, cmos-100nm).")
+
+let grid_floorplan acg =
+  let n = Acg.num_cores acg in
+  Fp.grid (Fp.uniform_cores ~n ~size_mm:2.0)
+
+let resolve_tech name =
+  match Tech.find name with
+  | Some t -> t
+  | None -> failwith (Printf.sprintf "unknown technology %S" name)
+
+let make_options ~cost ~tech ~acg ~beam ~timeout =
+  let cost_fn =
+    match cost with
+    | `Edge -> Noc_core.Cost.Edge_count
+    | `Energy -> Noc_core.Cost.Energy { tech = resolve_tech tech; fp = grid_floorplan acg }
+  in
+  {
+    Bb.default_options with
+    cost = cost_fn;
+    max_matches_per_step = beam;
+    timeout_s = timeout;
+    role_aware = (match cost with `Energy -> true | `Edge -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                             *)
+
+let generate_cmd =
+  let kind =
+    let kind_enum = Arg.enum [ ("tgff", `Tgff); ("random", `Random) ] in
+    Arg.(value & opt kind_enum `Random & info [ "kind" ] ~docv:"KIND" ~doc:"tgff or random.")
+  in
+  let nodes = Arg.(value & opt int 12 & info [ "nodes" ] ~docv:"N" ~doc:"Vertex count.") in
+  let density =
+    Arg.(value & opt float 0.2 & info [ "density" ] ~docv:"P" ~doc:"Edge probability (random).")
+  in
+  let preset =
+    Arg.(
+      value & opt (some string) None
+      & info [ "preset" ] ~docv:"NAME"
+          ~doc:"TGFF preset: automotive, consumer, networking, office, telecom.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run kind nodes density preset seed out =
+    let rng = Noc_util.Prng.create ~seed in
+    let acg =
+      match kind with
+      | `Random ->
+          Acg.uniform ~volume:64 ~bandwidth:0.2
+            (Noc_graph.Generators.erdos_renyi ~rng ~n:nodes ~p:density)
+      | `Tgff ->
+          let params =
+            match preset with
+            | Some name -> (
+                match List.assoc_opt name Noc_tgff.Tgff.presets with
+                | Some p -> p
+                | None -> failwith (Printf.sprintf "unknown preset %S" name))
+            | None -> { Noc_tgff.Tgff.default_params with tasks = nodes }
+          in
+          Acg.of_tgff (Noc_tgff.Tgff.generate ~rng params)
+    in
+    match out with
+    | Some path ->
+        Acg_io.write_file ~path acg;
+        Printf.printf "wrote %s (%d cores, %d flows)\n" path (Acg.num_cores acg)
+          (Acg.num_flows acg)
+    | None -> print_string (Acg_io.to_string acg)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate an application characterization graph.")
+    Term.(const run $ kind $ nodes $ density $ preset $ seed_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* decompose                                                            *)
+
+let decompose_cmd =
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics.")
+  in
+  let run file lib cost tech beam timeout stats =
+    let acg = Acg_io.read_file file in
+    let library = resolve_library lib in
+    let options = make_options ~cost ~tech ~acg ~beam ~timeout in
+    let d, st = Bb.decompose ~options ~library acg in
+    Format.printf "%a" (Decomp.pp_with_cost options.Bb.cost acg) d;
+    if st.Bb.timed_out then Format.printf "(search budget exhausted; best incumbent shown)@.";
+    if stats then
+      Format.printf "nodes=%d matches=%d leaves=%d pruned=%d elapsed=%.3fs@." st.Bb.nodes
+        st.Bb.matches_tried st.Bb.leaves st.Bb.pruned st.Bb.elapsed_s
+  in
+  Cmd.v
+    (Cmd.info "decompose" ~doc:"Decompose an ACG into communication primitives.")
+    Term.(
+      const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
+      $ stats_flag)
+
+(* ------------------------------------------------------------------ *)
+(* synth                                                                *)
+
+let synth_cmd =
+  let dot_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE" ~doc:"Write the synthesized topology as Graphviz DOT.")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ] ~doc:"Check the technology's bandwidth and bisection constraints.")
+  in
+  let run file lib cost tech beam timeout dot check =
+    let acg = Acg_io.read_file file in
+    let library = resolve_library lib in
+    let options = make_options ~cost ~tech ~acg ~beam ~timeout in
+    let d, stats = Bb.decompose ~options ~library acg in
+    let tech' = resolve_tech tech in
+    let fp = grid_floorplan acg in
+    let constraints =
+      if check then Some (Noc_core.Constraints.of_technology tech') else None
+    in
+    let report =
+      Noc_core.Report.build ~tech:tech' ~fp ?constraints ~cost:options.Bb.cost ~acg
+        ~decomposition:d ~stats ()
+    in
+    Format.printf "%a@." Noc_core.Report.pp report;
+    match dot with
+    | Some path ->
+        let arch = Syn.custom acg d in
+        Noc_graph.Dot.write_file ~path
+          (Noc_graph.Dot.to_dot ~name:"topology" ~undirected:true arch.Syn.topology);
+        Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize the customized architecture for an ACG.")
+    Term.(
+      const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
+      $ dot_out $ check_flag)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                             *)
+
+let simulate_cmd =
+  let rows = Arg.(value & opt int 4 & info [ "rows" ] ~docv:"R" ~doc:"Mesh rows.") in
+  let cols = Arg.(value & opt int 4 & info [ "cols" ] ~docv:"C" ~doc:"Mesh columns.") in
+  let cycles =
+    Arg.(value & opt int 2000 & info [ "cycles" ] ~docv:"N" ~doc:"Injection cycles.")
+  in
+  let rate =
+    Arg.(value & opt float 0.05 & info [ "rate" ] ~docv:"P" ~doc:"Peak injection rate per flow.")
+  in
+  let policy_arg =
+    let policy_enum =
+      Arg.enum [ ("fixed", `Fixed); ("adaptive", `Adaptive); ("oblivious", `Oblivious) ]
+    in
+    Arg.(
+      value & opt policy_enum `Fixed
+      & info [ "policy" ] ~docv:"POLICY" ~doc:"Routing policy: fixed, adaptive or oblivious.")
+  in
+  let run file lib tech rows cols cycles rate policy seed =
+    let acg = Acg_io.read_file file in
+    let library = resolve_library lib in
+    let d, _ = Bb.decompose ~library acg in
+    let tech' = resolve_tech tech in
+    (* the floorplan must place every mesh tile: routes may pass through
+       tiles that host no core *)
+    let fp =
+      Fp.grid ~cols
+        (Fp.uniform_cores ~n:(max (Acg.num_cores acg) (rows * cols)) ~size_mm:2.0)
+    in
+    let mk_policy () =
+      match policy with
+      | `Fixed -> Noc_sim.Network.Fixed
+      | `Adaptive -> Noc_sim.Network.Adaptive
+      | `Oblivious -> Noc_sim.Network.Oblivious (Noc_util.Prng.create ~seed:(seed + 1))
+    in
+    Format.printf "%-12s %8s %10s %10s %12s %10s@." "arch" "packets" "avg lat" "thpt"
+      "energy (pJ)" "power(mW)";
+    List.iter
+      (fun (name, arch) ->
+        let net = Noc_sim.Network.create ~policy:(mk_policy ()) arch in
+        let rng = Noc_util.Prng.create ~seed in
+        let flows = Noc_sim.Traffic.flows_of_acg ~rate_scale:rate acg in
+        let ds = Noc_sim.Traffic.run ~rng ~net ~flows ~cycles () in
+        let s = Noc_sim.Stats.summarize ds in
+        Format.printf "%-12s %8d %10.2f %10.3f %12.1f %10.2f@." name s.Noc_sim.Stats.packets
+          s.Noc_sim.Stats.avg_latency s.Noc_sim.Stats.throughput
+          (Noc_sim.Stats.total_energy_pj ~tech:tech' ~fp net)
+          (Noc_sim.Stats.avg_power_mw ~tech:tech' ~fp net))
+      [ ("customized", Syn.custom acg d); ("mesh", Syn.mesh ~rows ~cols acg) ]
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate random ACG traffic on customized vs mesh.")
+    Term.(
+      const run $ acg_file_arg $ library_arg $ tech_arg $ rows $ cols $ cycles $ rate
+      $ policy_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* codesign                                                             *)
+
+let codesign_cmd =
+  let rounds =
+    Arg.(value & opt int 4 & info [ "rounds" ] ~docv:"N" ~doc:"Co-design rounds.")
+  in
+  let run file lib tech rounds seed =
+    let acg = Acg_io.read_file file in
+    let library = resolve_library lib in
+    let tech' = resolve_tech tech in
+    let fp = grid_floorplan acg in
+    let rng = Noc_util.Prng.create ~seed in
+    let r = Noc_core.Co_design.optimize ~rounds ~rng ~tech:tech' ~library ~fp acg in
+    List.iter
+      (fun it ->
+        Format.printf "round %d: energy=%.1f pJ wirelength=%.1f@."
+          it.Noc_core.Co_design.round it.Noc_core.Co_design.energy_pj
+          it.Noc_core.Co_design.wirelength)
+      r.Noc_core.Co_design.history;
+    Format.printf "best energy: %.1f pJ@." r.Noc_core.Co_design.energy_pj;
+    Format.printf "%a@."
+      (Noc_core.Decomposition.pp_with_cost Noc_core.Cost.Edge_count acg)
+      r.Noc_core.Co_design.decomposition
+  in
+  Cmd.v
+    (Cmd.info "codesign"
+       ~doc:"Jointly optimize the floorplan and the decomposition (Sec. 6 future work).")
+    Term.(const run $ acg_file_arg $ library_arg $ tech_arg $ rounds $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* aes                                                                  *)
+
+let aes_cmd =
+  let run tech =
+    let acg = Noc_aes.Distributed.acg () in
+    let library = L.default () in
+    let d, _ = Bb.decompose ~library acg in
+    Format.printf "%a@." (Decomp.pp_with_cost Noc_core.Cost.Edge_count acg) d;
+    let tech' = resolve_tech tech in
+    let fp = grid_floorplan acg in
+    let key = Noc_aes.Aes_core.of_hex "000102030405060708090a0b0c0d0e0f" in
+    let pt = Noc_aes.Aes_core.of_hex "00112233445566778899aabbccddeeff" in
+    let config = { Noc_sim.Network.default_config with router_delay = 3 } in
+    List.iter
+      (fun (name, arch) ->
+        let r = Noc_aes.Distributed.encrypt ~config ~arch ~key pt in
+        Format.printf
+          "%-12s cycles/block=%4d thpt=%6.1f Mbps lat=%6.2f power=%6.2f mW energy=%9.1f pJ@."
+          name r.Noc_aes.Distributed.cycles
+          (Noc_aes.Distributed.throughput_mbps
+             ~cycles_per_block:r.Noc_aes.Distributed.cycles ~clock_mhz:100.0)
+          r.Noc_aes.Distributed.summary.Noc_sim.Stats.avg_latency
+          (Noc_sim.Stats.avg_power_mw ~tech:tech' ~fp r.Noc_aes.Distributed.net)
+          (Noc_sim.Stats.total_energy_pj ~tech:tech' ~fp r.Noc_aes.Distributed.net))
+      [
+        ("mesh", Syn.mesh ~rows:4 ~cols:4 acg);
+        ("customized", Syn.custom acg d);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "aes" ~doc:"Run the distributed-AES prototype comparison (Section 5.2).")
+    Term.(const run $ tech_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "nocsynth" ~version:"1.0.0"
+       ~doc:"Energy- and performance-driven NoC communication architecture synthesis")
+    [ generate_cmd; decompose_cmd; synth_cmd; simulate_cmd; codesign_cmd; aes_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/aes_synthesis.ml: Bytes Format Noc_aes Noc_core Noc_energy Noc_primitives Noc_sim

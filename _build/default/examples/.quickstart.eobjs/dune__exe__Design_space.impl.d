@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Format List Noc_aes Noc_core Noc_energy Noc_graph Noc_primitives Noc_util Printf String

@@ -1,0 +1,1 @@
+examples/multimedia.ml: Format List Noc_apps Noc_core Noc_energy Noc_graph Noc_primitives

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Noc_core Noc_energy Noc_primitives String

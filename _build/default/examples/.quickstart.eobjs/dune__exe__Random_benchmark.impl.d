@@ -1,0 +1,1 @@
+examples/random_benchmark.ml: Array Format Noc_core Noc_graph Noc_primitives Noc_util Sys

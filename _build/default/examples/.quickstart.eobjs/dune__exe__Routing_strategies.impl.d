@@ -1,0 +1,1 @@
+examples/routing_strategies.ml: Bytes Format List Noc_aes Noc_core Noc_graph Noc_primitives Noc_sim Noc_util

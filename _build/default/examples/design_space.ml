@@ -1,0 +1,74 @@
+(* Design-space exploration: ablations over the two ingredients the paper
+   singles out for future work — the content of the communication library
+   (Section 3: "it is desirable to select the best set of graphs to be
+   included in the library") and the initial floorplan (Section 6:
+   "relax the initial floorplan information").
+
+   Run with: dune exec examples/design_space.exe *)
+
+module L = Noc_primitives.Library
+module Acg = Noc_core.Acg
+module Bb = Noc_core.Branch_bound
+module Decomp = Noc_core.Decomposition
+module Syn = Noc_core.Synthesis
+module Fp = Noc_energy.Floorplan
+module D = Noc_graph.Digraph
+
+let () =
+  let acg = Noc_aes.Distributed.acg () in
+
+  (* -------- ablation 1: library content -------- *)
+  Format.printf "=== Library ablation on the AES ACG ===@.";
+  Format.printf "%-10s %-28s %8s %8s %10s@." "library" "primitives used" "cost"
+    "remainder" "time (s)";
+  List.iter
+    (fun (name, lib) ->
+      let d, stats = Bb.decompose ~library:lib acg in
+      let used =
+        Decomp.primitive_histogram d
+        |> List.map (fun (n, k) -> Printf.sprintf "%dx%s" k n)
+        |> String.concat " "
+      in
+      Format.printf "%-10s %-28s %8.0f %8d %10.3f@." name
+        (if used = "" then "-" else used)
+        stats.Bb.best_cost
+        (D.num_edges d.Decomp.remainder)
+        stats.Bb.elapsed_s)
+    [
+      ("default", L.default ());
+      ("minimal", L.minimal ());
+      ("extended", L.extended ());
+    ];
+
+  (* -------- ablation 2: floorplan quality -------- *)
+  Format.printf "@.=== Floorplan ablation (Eq. 5 energy of the synthesized arch) ===@.";
+  let library = L.default () in
+  let d, _ = Bb.decompose ~library acg in
+  let arch = Syn.custom acg d in
+  let tech = Noc_energy.Technology.cmos_180nm in
+  let weights =
+    D.fold_edges
+      (fun u v acc ->
+        D.Edge_map.add (u, v) (float_of_int (Acg.volume acg u v)) acc)
+      (Acg.graph acg) D.Edge_map.empty
+  in
+  let grid = Fp.grid (Fp.uniform_cores ~n:16 ~size_mm:2.0) in
+  let rng = Noc_util.Prng.create ~seed:7 in
+  (* a deliberately scrambled placement, then annealed back *)
+  let scrambled =
+    let ids = Array.init 16 (fun i -> i + 1) in
+    Noc_util.Prng.shuffle rng ids;
+    Fp.grid (List.init 16 (fun i -> { Fp.id = ids.(i); width_mm = 2.0; height_mm = 2.0 }))
+  in
+  let annealed = Fp.anneal ~rng ~iterations:4000 ~weights scrambled in
+  List.iter
+    (fun (name, fp) ->
+      Format.printf "%-22s wirelength=%8.1f  energy=%10.1f pJ@." name
+        (Fp.wirelength fp ~weights)
+        (Syn.total_energy ~tech ~fp acg arch))
+    [
+      ("natural grid", grid); ("scrambled placement", scrambled);
+      ("scrambled + annealed", annealed);
+    ];
+  Format.printf
+    "@.(The decomposition is structural; the floorplan decides what Eq. 5 makes of it.)@."

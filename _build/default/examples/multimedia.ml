@@ -1,0 +1,55 @@
+(* Customized NoC synthesis for multimedia decoders — the application class
+   the paper's introduction motivates ("typical SoCs consist of a number of
+   heterogeneous devices ... that communicate using packet switching").
+
+   Synthesizes architectures for the classic VOPD and MPEG-4 decoder task
+   graphs and compares them against meshes.
+
+   Run with: dune exec examples/multimedia.exe *)
+
+module Mm = Noc_apps.Multimedia
+module Acg = Noc_core.Acg
+module Bb = Noc_core.Branch_bound
+module Syn = Noc_core.Synthesis
+module D = Noc_graph.Digraph
+
+let () =
+  let tech = Noc_energy.Technology.cmos_180nm in
+  let library = Noc_primitives.Library.default () in
+  List.iter
+    (fun (title, names, acg) ->
+      Format.printf "=== %s (%d cores, %d flows) ===@." title (Acg.num_cores acg)
+        (Acg.num_flows acg);
+      (* the heaviest flows, by name *)
+      let flows =
+        D.fold_edges
+          (fun u v acc -> ((u, v), Acg.bandwidth acg u v) :: acc)
+          (Acg.graph acg) []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+      in
+      List.iteri
+        (fun i ((u, v), bw) ->
+          if i < 3 then
+            Format.printf "  %-12s -> %-12s %6.2f Gbit/s@." (Mm.name_of names u)
+              (Mm.name_of names v) bw)
+        flows;
+      let d, stats = Bb.decompose ~library acg in
+      let fp =
+        Noc_energy.Floorplan.grid
+          (Noc_energy.Floorplan.uniform_cores ~n:(Acg.num_cores acg) ~size_mm:2.0)
+      in
+      let report =
+        Noc_core.Report.build ~tech ~fp
+          ~constraints:(Noc_core.Constraints.of_technology tech)
+          ~cost:Noc_core.Cost.Edge_count ~acg ~decomposition:d ~stats ()
+      in
+      Format.printf "%a@." Noc_core.Report.pp report;
+      let custom = Syn.custom acg d in
+      let mesh = Syn.mesh ~rows:3 ~cols:4 acg in
+      Format.printf "vs 3x4 mesh: %d links (mesh %d), %.2f avg hops (mesh %.2f)@.@."
+        (Syn.link_count custom) (Syn.link_count mesh) (Syn.avg_hops acg custom)
+        (Syn.avg_hops acg mesh))
+    [
+      ("VOPD video object plane decoder", Mm.vopd_names, Mm.vopd ());
+      ("MPEG-4 decoder", Mm.mpeg4_names, Mm.mpeg4 ());
+    ]

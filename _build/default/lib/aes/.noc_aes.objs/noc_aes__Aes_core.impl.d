@@ -1,0 +1,1 @@
+lib/aes/aes_core.ml: Array Bytes Char List Printf String

@@ -1,0 +1,1 @@
+lib/aes/distributed.ml: Aes_core Array Bytes Char List Noc_core Noc_graph Noc_sim

@@ -1,0 +1,1 @@
+lib/aes/distributed.mli: Bytes Noc_core Noc_sim

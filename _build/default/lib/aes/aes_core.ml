@@ -1,0 +1,197 @@
+(* GF(2^8) arithmetic via exp/log tables over the generator 3.  The S-box
+   is derived (multiplicative inverse + affine transform) rather than
+   transcribed, eliminating table-typo risk; FIPS-197 vectors in the test
+   suite pin the result. *)
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b land 0x80 <> 0 then (b2 lxor 0x1b) land 0xff else b2 land 0xff
+
+let exp_table, log_table =
+  let exp = Array.make 512 0 in
+  let log = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    (* multiply by the generator 3: x*3 = x*2 xor x *)
+    x := xtime !x lxor !x
+  done;
+  for i = 255 to 511 do
+    exp.(i) <- exp.(i - 255)
+  done;
+  (exp, log)
+
+let gf_mul a b =
+  if a < 0 || a > 255 || b < 0 || b > 255 then invalid_arg "Aes_core.gf_mul: byte range";
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let gf_inv a = if a = 0 then 0 else exp_table.(255 - log_table.(a))
+
+let rotl8 b n = ((b lsl n) lor (b lsr (8 - n))) land 0xff
+
+let sbox_table =
+  Array.init 256 (fun i ->
+      let b = gf_inv i in
+      b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63)
+
+let inv_sbox_table =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i v -> t.(v) <- i) sbox_table;
+  t
+
+let sbox i =
+  if i < 0 || i > 255 then invalid_arg "Aes_core.sbox: byte range";
+  sbox_table.(i)
+
+let inv_sbox i =
+  if i < 0 || i > 255 then invalid_arg "Aes_core.inv_sbox: byte range";
+  inv_sbox_table.(i)
+
+type block = Bytes.t
+type key = Bytes.t
+
+let mix_single_column a =
+  if Array.length a <> 4 then invalid_arg "Aes_core.mix_single_column: need 4 bytes";
+  Array.init 4 (fun r ->
+      gf_mul 2 a.(r) lxor gf_mul 3 a.((r + 1) mod 4) lxor a.((r + 2) mod 4)
+      lxor a.((r + 3) mod 4))
+
+let inv_mix_single_column a =
+  if Array.length a <> 4 then invalid_arg "Aes_core.inv_mix_single_column: need 4 bytes";
+  Array.init 4 (fun r ->
+      gf_mul 0x0e a.(r) lxor gf_mul 0x0b a.((r + 1) mod 4)
+      lxor gf_mul 0x0d a.((r + 2) mod 4)
+      lxor gf_mul 0x09 a.((r + 3) mod 4))
+
+(* State is a flat 16-int array: state.(r + 4*c) = FIPS state[r][c]; with
+   this layout the input/output copy is the identity on byte order. *)
+
+let sub_bytes st = Array.map (fun b -> sbox_table.(b)) st
+
+let inv_sub_bytes st = Array.map (fun b -> inv_sbox_table.(b)) st
+
+let shift_rows st =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      st.(r + (4 * ((c + r) mod 4))))
+
+let inv_shift_rows st =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      st.(r + (4 * ((c - r + 4) mod 4))))
+
+let mix_columns st =
+  let out = Array.make 16 0 in
+  for c = 0 to 3 do
+    let col = Array.init 4 (fun r -> st.(r + (4 * c))) in
+    let m = mix_single_column col in
+    for r = 0 to 3 do
+      out.(r + (4 * c)) <- m.(r)
+    done
+  done;
+  out
+
+let inv_mix_columns st =
+  let out = Array.make 16 0 in
+  for c = 0 to 3 do
+    let col = Array.init 4 (fun r -> st.(r + (4 * c))) in
+    let m = inv_mix_single_column col in
+    for r = 0 to 3 do
+      out.(r + (4 * c)) <- m.(r)
+    done
+  done;
+  out
+
+let add_round_key st rk = Array.mapi (fun i b -> b lxor Char.code (Bytes.get rk i)) st
+
+let expand_key key =
+  if Bytes.length key <> 16 then invalid_arg "Aes_core.expand_key: need a 16-byte key";
+  (* 44 words of 4 bytes *)
+  let w = Array.make 44 [| 0; 0; 0; 0 |] in
+  for i = 0 to 3 do
+    w.(i) <- Array.init 4 (fun j -> Char.code (Bytes.get key ((4 * i) + j)))
+  done;
+  let rcon = ref 1 in
+  for i = 4 to 43 do
+    let prev = w.(i - 1) in
+    let tmp =
+      if i mod 4 = 0 then begin
+        let rotated = [| prev.(1); prev.(2); prev.(3); prev.(0) |] in
+        let substituted = Array.map (fun b -> sbox_table.(b)) rotated in
+        let out = Array.copy substituted in
+        out.(0) <- out.(0) lxor !rcon;
+        out
+      end
+      else prev
+    in
+    if i mod 4 = 0 then rcon := xtime !rcon;
+    w.(i) <- Array.init 4 (fun j -> w.(i - 4).(j) lxor tmp.(j))
+  done;
+  Array.init 11 (fun round ->
+      let rk = Bytes.create 16 in
+      for c = 0 to 3 do
+        for j = 0 to 3 do
+          Bytes.set rk ((4 * c) + j) (Char.chr w.((4 * round) + c).(j))
+        done
+      done;
+      rk)
+
+let state_of_block b = Array.init 16 (fun i -> Char.code (Bytes.get b i))
+
+let block_of_state st =
+  let b = Bytes.create 16 in
+  Array.iteri (fun i v -> Bytes.set b i (Char.chr v)) st;
+  b
+
+let encrypt_block ~key block =
+  if Bytes.length key <> 16 then invalid_arg "Aes_core.encrypt_block: need a 16-byte key";
+  if Bytes.length block <> 16 then
+    invalid_arg "Aes_core.encrypt_block: need a 16-byte block";
+  let rks = expand_key key in
+  let st = ref (add_round_key (state_of_block block) rks.(0)) in
+  for round = 1 to 9 do
+    st := add_round_key (mix_columns (shift_rows (sub_bytes !st))) rks.(round)
+  done;
+  st := add_round_key (shift_rows (sub_bytes !st)) rks.(10);
+  block_of_state !st
+
+let decrypt_block ~key block =
+  if Bytes.length key <> 16 then invalid_arg "Aes_core.decrypt_block: need a 16-byte key";
+  if Bytes.length block <> 16 then
+    invalid_arg "Aes_core.decrypt_block: need a 16-byte block";
+  let rks = expand_key key in
+  let st = ref (add_round_key (state_of_block block) rks.(10)) in
+  st := inv_sub_bytes (inv_shift_rows !st);
+  for round = 9 downto 1 do
+    st := inv_sub_bytes (inv_shift_rows (inv_mix_columns (add_round_key !st rks.(round))))
+  done;
+  st := add_round_key !st rks.(0);
+  block_of_state !st
+
+let encrypt_ecb ~key data =
+  let n = Bytes.length data in
+  if n mod 16 <> 0 then invalid_arg "Aes_core.encrypt_ecb: length must be a multiple of 16";
+  let out = Bytes.create n in
+  for i = 0 to (n / 16) - 1 do
+    let block = Bytes.sub data (16 * i) 16 in
+    Bytes.blit (encrypt_block ~key block) 0 out (16 * i) 16
+  done;
+  out
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Aes_core.of_hex: odd length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Aes_core.of_hex: not a hex digit"
+  in
+  Bytes.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+let to_hex b =
+  String.concat ""
+    (List.init (Bytes.length b) (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get b i))))

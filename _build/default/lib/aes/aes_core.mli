@@ -1,0 +1,47 @@
+(** AES-128 block cipher (FIPS-197), implemented from scratch.
+
+    This is the reference implementation that the distributed 16-node NoC
+    version ({!Distributed}) is validated against: the simulated network
+    must produce bit-identical ciphertexts.  Encryption and decryption are
+    both provided; test vectors come from FIPS-197 Appendix B/C. *)
+
+type block = Bytes.t
+(** 16 bytes. *)
+
+type key = Bytes.t
+(** 16 bytes. *)
+
+val sbox : int -> int
+(** Forward S-box lookup of a byte value. @raise Invalid_argument outside
+    [0, 255]. *)
+
+val inv_sbox : int -> int
+
+val gf_mul : int -> int -> int
+(** Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1. *)
+
+val mix_single_column : int array -> int array
+(** The MixColumns transform of one 4-byte column (values 0–255).  Exposed
+    because the distributed implementation computes it per node.
+    @raise Invalid_argument unless the input has length 4. *)
+
+val inv_mix_single_column : int array -> int array
+
+val expand_key : key -> Bytes.t array
+(** The 11 round keys (16 bytes each) of the AES-128 key schedule.
+    @raise Invalid_argument unless the key has 16 bytes. *)
+
+val encrypt_block : key:key -> block -> block
+(** @raise Invalid_argument unless key and block have 16 bytes. *)
+
+val decrypt_block : key:key -> block -> block
+
+val encrypt_ecb : key:key -> Bytes.t -> Bytes.t
+(** Multi-block ECB encryption of a 16-byte-multiple buffer (enough for the
+    throughput experiments; no padding). *)
+
+val of_hex : string -> Bytes.t
+(** Parses a hex string (no separators). @raise Invalid_argument on odd
+    length or non-hex characters. *)
+
+val to_hex : Bytes.t -> string

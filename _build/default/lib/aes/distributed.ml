@@ -1,0 +1,176 @@
+module D = Noc_graph.Digraph
+module Net = Noc_sim.Network
+
+let node_of ~row ~col =
+  if row < 0 || row > 3 || col < 0 || col > 3 then
+    invalid_arg "Distributed.node_of: row/col in [0,3]";
+  (row * 4) + col + 1
+
+let pos_of v =
+  if v < 1 || v > 16 then invalid_arg "Distributed.pos_of: node in [1,16]";
+  ((v - 1) / 4, (v - 1) mod 4)
+
+(* ShiftRows: state[r][c] <- state[r][(c + r) mod 4], so the node at
+   (r, cs) sends its byte to (r, (cs - r) mod 4). *)
+let shift_target ~row ~col = node_of ~row ~col:((col - row + 4) mod 4)
+
+let acg () =
+  let g = ref D.empty in
+  for v = 1 to 16 do
+    g := D.add_vertex !g v
+  done;
+  let volume = ref D.Edge_map.empty in
+  let bandwidth = ref D.Edge_map.empty in
+  let add_edge u v vol =
+    g := D.add_edge !g u v;
+    volume := D.Edge_map.add (u, v) vol !volume;
+    bandwidth := D.Edge_map.add (u, v) 0.1 !bandwidth
+  in
+  (* MixColumns: all-to-all within each column, 9 rounds x 8 bits *)
+  for col = 0 to 3 do
+    for r1 = 0 to 3 do
+      for r2 = 0 to 3 do
+        if r1 <> r2 then add_edge (node_of ~row:r1 ~col) (node_of ~row:r2 ~col) 72
+      done
+    done
+  done;
+  (* ShiftRows: rows 1-3, 10 rounds x 8 bits *)
+  for row = 1 to 3 do
+    for col = 0 to 3 do
+      let dst = shift_target ~row ~col in
+      let src = node_of ~row ~col in
+      if dst <> src then add_edge src dst 80
+    done
+  done;
+  Noc_core.Acg.make ~graph:!g ~volume:!volume ~bandwidth:!bandwidth ()
+
+type timing = {
+  sub_bytes : int;
+  mix_compute : int;
+  add_key : int;
+  packet_flits : int;
+}
+
+let default_timing = { sub_bytes = 1; mix_compute = 2; add_key = 1; packet_flits = 2 }
+
+type result = {
+  ciphertext : Bytes.t;
+  cycles : int;
+  summary : Noc_sim.Stats.summary;
+  net : Net.t;
+}
+
+let encrypt ?config ?(timing = default_timing) ~arch ~key block =
+  if Bytes.length key <> 16 then invalid_arg "Distributed.encrypt: need a 16-byte key";
+  if Bytes.length block <> 16 then invalid_arg "Distributed.encrypt: need a 16-byte block";
+  let net = Net.create ?config arch in
+  let rks = Aes_core.expand_key key in
+  (* node v holds state[r][c]; FIPS flat index of (r, c) is r + 4c *)
+  let fips_index v =
+    let r, c = pos_of v in
+    r + (4 * c)
+  in
+  let byte = Array.make 17 0 in
+  for v = 1 to 16 do
+    byte.(v) <- Char.code (Bytes.get block (fips_index v))
+  done;
+  let local_compute cycles =
+    for _ = 1 to cycles do
+      Net.step net
+    done
+  in
+  let add_round_key round =
+    for v = 1 to 16 do
+      byte.(v) <- byte.(v) lxor Char.code (Bytes.get rks.(round) (fips_index v))
+    done;
+    local_compute timing.add_key
+  in
+  let sub_bytes () =
+    for v = 1 to 16 do
+      byte.(v) <- Aes_core.sbox byte.(v)
+    done;
+    local_compute timing.sub_bytes
+  in
+  let wait_all () =
+    match Net.run_until_idle ~max_cycles:1_000_000 net with
+    | `Idle -> ()
+    | `Limit -> invalid_arg "Distributed.encrypt: network failed to drain"
+  in
+  let shift_rows () =
+    for row = 1 to 3 do
+      for col = 0 to 3 do
+        let src = node_of ~row ~col in
+        let dst = shift_target ~row ~col in
+        if dst <> src then
+          ignore
+            (Net.inject ~tag:src ~size_flits:timing.packet_flits
+               ~payload:(Bytes.make 1 (Char.chr byte.(src)))
+               net ~src ~dst)
+      done
+    done;
+    wait_all ();
+    List.iter
+      (fun { Net.packet; _ } ->
+        byte.(packet.Noc_sim.Packet.dst) <-
+          Char.code (Bytes.get packet.Noc_sim.Packet.payload 0))
+      (Net.drain_deliveries net)
+  in
+  let mix_columns () =
+    (* every node multicasts its byte to its 3 column mates *)
+    for col = 0 to 3 do
+      for r1 = 0 to 3 do
+        for r2 = 0 to 3 do
+          if r1 <> r2 then begin
+            let src = node_of ~row:r1 ~col in
+            let dst = node_of ~row:r2 ~col in
+            ignore
+              (Net.inject ~tag:src ~size_flits:timing.packet_flits
+                 ~payload:(Bytes.make 1 (Char.chr byte.(src)))
+                 net ~src ~dst)
+          end
+        done
+      done
+    done;
+    wait_all ();
+    (* gather received column bytes at each node *)
+    let columns = Array.make 17 [||] in
+    for v = 1 to 16 do
+      let _, c = pos_of v in
+      let col = Array.make 4 (-1) in
+      let r, _ = pos_of v in
+      col.(r) <- byte.(v);
+      ignore c;
+      columns.(v) <- col
+    done;
+    List.iter
+      (fun { Net.packet; _ } ->
+        let src = packet.Noc_sim.Packet.tag and dst = packet.Noc_sim.Packet.dst in
+        let sr, _ = pos_of src in
+        columns.(dst).(sr) <- Char.code (Bytes.get packet.Noc_sim.Packet.payload 0))
+      (Net.drain_deliveries net);
+    for v = 1 to 16 do
+      let r, _ = pos_of v in
+      let mixed = Aes_core.mix_single_column columns.(v) in
+      byte.(v) <- mixed.(r)
+    done;
+    local_compute timing.mix_compute
+  in
+  add_round_key 0;
+  for round = 1 to 9 do
+    sub_bytes ();
+    shift_rows ();
+    mix_columns ();
+    add_round_key round
+  done;
+  sub_bytes ();
+  shift_rows ();
+  add_round_key 10;
+  let ciphertext = Bytes.create 16 in
+  for v = 1 to 16 do
+    Bytes.set ciphertext (fips_index v) (Char.chr byte.(v))
+  done;
+  let summary = Noc_sim.Stats.summarize (Net.deliveries net) in
+  { ciphertext; cycles = Net.now net; summary; net }
+
+let throughput_mbps ~cycles_per_block ~clock_mhz =
+  128.0 *. clock_mhz /. float_of_int cycles_per_block

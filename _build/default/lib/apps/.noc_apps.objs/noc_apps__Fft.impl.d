@@ -1,0 +1,1 @@
+lib/apps/fft.ml: Array Bytes Complex Int64 List Noc_core Noc_graph Noc_sim

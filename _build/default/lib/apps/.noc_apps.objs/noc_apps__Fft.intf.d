@@ -1,0 +1,1 @@
+lib/apps/fft.mli: Complex Noc_core Noc_sim

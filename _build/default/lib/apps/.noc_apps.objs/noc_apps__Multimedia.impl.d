@@ -1,0 +1,1 @@
+lib/apps/multimedia.ml: List Noc_core Printf

@@ -1,0 +1,1 @@
+lib/apps/multimedia.mli: Noc_core

@@ -1,0 +1,89 @@
+(* Bandwidths below are MB/s figures as commonly quoted for these
+   benchmarks; volume = bits communicated per decoded macroblock iteration,
+   scaled as bandwidth * 8 (so relative weights match the bandwidths). *)
+
+let make_acg edges =
+  let quads =
+    List.map (fun (u, v, mbps) -> (u, v, mbps * 8, float_of_int mbps *. 8.0 /. 1000.0)) edges
+  in
+  Noc_core.Acg.of_weighted_edges quads
+
+let vopd_names =
+  [
+    (1, "vld");
+    (2, "run_le_dec");
+    (3, "inv_scan");
+    (4, "acdc_pred");
+    (5, "stripe_mem");
+    (6, "iquant");
+    (7, "idct");
+    (8, "up_samp");
+    (9, "vop_rec");
+    (10, "pad");
+    (11, "vop_mem");
+    (12, "arm");
+  ]
+
+let vopd () =
+  make_acg
+    [
+      (1, 2, 70);
+      (2, 3, 362);
+      (3, 4, 362);
+      (4, 5, 49);
+      (5, 6, 27);
+      (4, 6, 313);
+      (6, 7, 357);
+      (7, 8, 353);
+      (8, 9, 300);
+      (9, 10, 313);
+      (10, 11, 313);
+      (11, 10, 94);
+      (12, 7, 16);
+      (10, 12, 16);
+    ]
+
+let mpeg4_names =
+  [
+    (1, "vu");
+    (2, "au");
+    (3, "med_cpu");
+    (4, "sdram");
+    (5, "sram1");
+    (6, "sram2");
+    (7, "idct");
+    (8, "up_samp");
+    (9, "bab");
+    (10, "risc");
+    (11, "rast");
+    (12, "adsp");
+  ]
+
+let mpeg4 () =
+  (* the published MPEG-4 graph is dominated by the SDRAM hub: most cores
+     read from and write to it *)
+  make_acg
+    [
+      (1, 4, 190);
+      (4, 1, 60);
+      (2, 4, 173);
+      (4, 2, 60);
+      (3, 4, 500);
+      (4, 3, 250);
+      (5, 4, 910);
+      (4, 5, 32);
+      (6, 4, 670);
+      (4, 6, 173);
+      (7, 4, 500);
+      (8, 4, 250);
+      (9, 4, 205);
+      (10, 4, 500);
+      (4, 10, 250);
+      (11, 4, 95);
+      (12, 4, 80);
+      (10, 11, 60);
+      (1, 2, 40);
+    ]
+
+let name_of names id =
+  match List.assoc_opt id names with Some n -> n | None -> Printf.sprintf "core%d" id

@@ -1,0 +1,32 @@
+(** Multimedia SoC benchmark ACGs.
+
+    The application class that motivated application-specific NoC synthesis
+    (the paper's introduction: "typical SoCs ... consist of a number of
+    heterogeneous devices such as CPU or DSP cores, embedded memory and
+    application specific components").  Two classic task graphs are
+    provided, adapted from the published Video Object Plane Decoder and
+    MPEG-4 decoder benchmarks used throughout the NoC-synthesis literature
+    (Bertozzi et al., Murali & De Micheli): core counts and the traffic
+    structure match the published graphs; bandwidths are the commonly
+    quoted MB/s figures, converted to Gbit/s, and per-iteration volumes are
+    scaled proportionally.
+
+    Both graphs are hub-and-pipeline shaped — long processing pipelines
+    plus memory hubs — the regime where customized topologies beat
+    meshes. *)
+
+val vopd_names : (int * string) list
+(** Core id -> name for the 12-core VOPD. *)
+
+val vopd : unit -> Noc_core.Acg.t
+(** The Video Object Plane Decoder ACG (12 cores, 14 flows). *)
+
+val mpeg4_names : (int * string) list
+(** Core id -> name for the 12-core MPEG-4 decoder. *)
+
+val mpeg4 : unit -> Noc_core.Acg.t
+(** The MPEG-4 decoder ACG: a strong SDRAM hub plus peripheral flows
+    (12 cores). *)
+
+val name_of : (int * string) list -> int -> string
+(** Lookup with a ["core<i>"] fallback. *)

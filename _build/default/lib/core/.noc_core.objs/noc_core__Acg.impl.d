@@ -1,0 +1,1 @@
+lib/core/acg.ml: Format List Noc_graph Noc_tgff Printf

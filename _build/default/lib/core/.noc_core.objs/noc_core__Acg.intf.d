@@ -1,0 +1,1 @@
+lib/core/acg.mli: Format Noc_graph Noc_tgff

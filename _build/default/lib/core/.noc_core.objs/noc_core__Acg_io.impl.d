@@ -1,0 +1,1 @@
+lib/core/acg_io.ml: Acg Buffer Fun List Noc_graph Printf String

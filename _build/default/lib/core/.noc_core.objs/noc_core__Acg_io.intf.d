@@ -1,0 +1,1 @@
+lib/core/acg_io.mli: Acg

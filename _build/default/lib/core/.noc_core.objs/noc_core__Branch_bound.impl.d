@@ -1,0 +1,1 @@
+lib/core/branch_bound.ml: Acg Constraints Cost Decomposition Hashtbl List Matching Noc_graph Noc_primitives Noc_util Option Synthesis Unix

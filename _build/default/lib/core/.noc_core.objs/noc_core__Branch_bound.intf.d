@@ -1,0 +1,1 @@
+lib/core/branch_bound.mli: Acg Constraints Cost Decomposition Noc_energy Noc_primitives Noc_util

@@ -1,0 +1,1 @@
+lib/core/co_design.ml: Acg Branch_bound Decomposition List Noc_energy Noc_graph Option Synthesis

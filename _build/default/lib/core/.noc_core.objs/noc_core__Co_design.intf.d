@@ -1,0 +1,1 @@
+lib/core/co_design.mli: Acg Decomposition Noc_energy Noc_graph Noc_primitives Noc_util Synthesis

@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Format List Noc_energy Noc_graph Synthesis

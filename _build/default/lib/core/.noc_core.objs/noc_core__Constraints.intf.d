@@ -1,0 +1,1 @@
+lib/core/constraints.mli: Acg Format Noc_energy Noc_util Synthesis

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Acg List Noc_energy Noc_graph Noc_primitives

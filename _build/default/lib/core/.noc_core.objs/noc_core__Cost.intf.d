@@ -1,0 +1,1 @@
+lib/core/cost.mli: Acg Noc_energy Noc_graph Noc_primitives

@@ -1,0 +1,1 @@
+lib/core/deadlock.ml: Hashtbl List Noc_graph Synthesis

@@ -1,0 +1,1 @@
+lib/core/decomposition.ml: Acg Cost Float Format Hashtbl List Matching Noc_graph Noc_primitives Option Printf String

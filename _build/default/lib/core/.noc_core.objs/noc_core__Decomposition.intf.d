@@ -1,0 +1,1 @@
+lib/core/decomposition.mli: Acg Cost Format Matching Noc_graph

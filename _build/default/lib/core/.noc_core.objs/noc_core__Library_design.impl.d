@@ -1,0 +1,1 @@
+lib/core/library_design.ml: Branch_bound Decomposition List Noc_graph Noc_primitives

@@ -1,0 +1,1 @@
+lib/core/library_design.mli: Acg Branch_bound Noc_primitives

@@ -1,0 +1,1 @@
+lib/core/mapping.ml: Acg Array List Noc_graph Noc_util Printf

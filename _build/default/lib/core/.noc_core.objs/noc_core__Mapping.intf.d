@@ -1,0 +1,1 @@
+lib/core/mapping.mli: Acg Noc_graph Noc_util

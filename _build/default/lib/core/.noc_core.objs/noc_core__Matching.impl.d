@@ -1,0 +1,1 @@
+lib/core/matching.ml: Cost Format List Noc_graph Noc_primitives Printf String

@@ -1,0 +1,1 @@
+lib/core/matching.mli: Acg Cost Format Noc_graph Noc_primitives

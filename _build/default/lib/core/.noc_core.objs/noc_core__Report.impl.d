@@ -1,0 +1,1 @@
+lib/core/report.ml: Acg Branch_bound Constraints Deadlock Decomposition Format List Noc_graph Noc_util Synthesis

@@ -1,0 +1,1 @@
+lib/core/report.mli: Acg Branch_bound Constraints Cost Decomposition Format Noc_energy Noc_util

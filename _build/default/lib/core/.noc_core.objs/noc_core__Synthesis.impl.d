@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Acg Decomposition Format List Matching Noc_energy Noc_graph Option Printf

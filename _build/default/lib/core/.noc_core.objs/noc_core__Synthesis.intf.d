@@ -1,0 +1,1 @@
+lib/core/synthesis.mli: Acg Decomposition Format Noc_energy Noc_graph Noc_util

@@ -1,0 +1,81 @@
+module D = Noc_graph.Digraph
+module Edge_map = D.Edge_map
+
+type t = {
+  graph : D.t;
+  volume : int Edge_map.t;
+  bandwidth : float Edge_map.t;
+}
+
+let check_keys graph m what =
+  Edge_map.iter
+    (fun (u, v) _ ->
+      if not (D.mem_edge graph u v) then
+        invalid_arg
+          (Printf.sprintf "Acg.make: %s attribute on non-edge %d->%d" what u v))
+    m
+
+let make ~graph ?(volume = Edge_map.empty) ?(bandwidth = Edge_map.empty) () =
+  check_keys graph volume "volume";
+  check_keys graph bandwidth "bandwidth";
+  { graph; volume; bandwidth }
+
+let of_weighted_edges quads =
+  let graph = D.of_edges (List.map (fun (u, v, _, _) -> (u, v)) quads) in
+  let volume =
+    List.fold_left (fun m (u, v, vol, _) -> Edge_map.add (u, v) vol m) Edge_map.empty quads
+  in
+  let bandwidth =
+    List.fold_left (fun m (u, v, _, bw) -> Edge_map.add (u, v) bw m) Edge_map.empty quads
+  in
+  make ~graph ~volume ~bandwidth ()
+
+let of_tgff (tg : Noc_tgff.Tgff.t) =
+  make ~graph:tg.Noc_tgff.Tgff.graph ~volume:tg.Noc_tgff.Tgff.volume
+    ~bandwidth:tg.Noc_tgff.Tgff.bandwidth ()
+
+let uniform ~volume ~bandwidth g =
+  let vol, bw =
+    D.fold_edges
+      (fun u v (vm, bm) ->
+        (Edge_map.add (u, v) volume vm, Edge_map.add (u, v) bandwidth bm))
+      g
+      (Edge_map.empty, Edge_map.empty)
+  in
+  make ~graph:g ~volume:vol ~bandwidth:bw ()
+
+let graph t = t.graph
+
+let volume t u v =
+  if not (D.mem_edge t.graph u v) then 0
+  else match Edge_map.find_opt (u, v) t.volume with Some x -> x | None -> 1
+
+let bandwidth t u v =
+  if not (D.mem_edge t.graph u v) then 0.
+  else match Edge_map.find_opt (u, v) t.bandwidth with Some x -> x | None -> 0.
+
+let num_cores t = D.num_vertices t.graph
+let num_flows t = D.num_edges t.graph
+
+let total_volume t = D.fold_edges (fun u v acc -> acc + volume t u v) t.graph 0
+
+let restrict t g =
+  D.iter_edges
+    (fun u v ->
+      if not (D.mem_edge t.graph u v) then
+        invalid_arg (Printf.sprintf "Acg.restrict: %d->%d not in the ACG" u v))
+    g;
+  {
+    graph = g;
+    volume = Edge_map.filter (fun (u, v) _ -> D.mem_edge g u v) t.volume;
+    bandwidth = Edge_map.filter (fun (u, v) _ -> D.mem_edge g u v) t.bandwidth;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>ACG: %d cores, %d flows, total volume %d bits@ " (num_cores t)
+    (num_flows t) (total_volume t);
+  D.iter_edges
+    (fun u v ->
+      Format.fprintf ppf "%d -> %d  (v=%d, b=%.3f)@ " u v (volume t u v) (bandwidth t u v))
+    t.graph;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,50 @@
+(** Application Characterization Graph (Section 4).
+
+    Vertices are cores (the application is assumed already mapped), a
+    directed edge [i -> j] means core [i] sends data to core [j], annotated
+    with the communication volume [v(e)] (bits) and the required bandwidth
+    [b(e)] (Gbit/s). *)
+
+type t = private {
+  graph : Noc_graph.Digraph.t;
+  volume : int Noc_graph.Digraph.Edge_map.t;
+  bandwidth : float Noc_graph.Digraph.Edge_map.t;
+}
+
+val make :
+  graph:Noc_graph.Digraph.t ->
+  ?volume:int Noc_graph.Digraph.Edge_map.t ->
+  ?bandwidth:float Noc_graph.Digraph.Edge_map.t ->
+  unit ->
+  t
+(** Attributes default to volume 1 and bandwidth 0 for edges missing from
+    the maps; entries for non-edges are rejected.
+    @raise Invalid_argument if an attribute key is not an edge of [graph]. *)
+
+val of_weighted_edges : (int * int * int * float) list -> t
+(** [(src, dst, volume, bandwidth)] quadruples. *)
+
+val of_tgff : Noc_tgff.Tgff.t -> t
+(** Adopts a generated task graph with its volumes and bandwidths. *)
+
+val uniform : volume:int -> bandwidth:float -> Noc_graph.Digraph.t -> t
+(** Same attributes on every edge. *)
+
+val graph : t -> Noc_graph.Digraph.t
+
+val volume : t -> int -> int -> int
+(** Volume of an edge; 0 if the edge does not exist. *)
+
+val bandwidth : t -> int -> int -> float
+
+val num_cores : t -> int
+val num_flows : t -> int
+
+val total_volume : t -> int
+
+val restrict : t -> Noc_graph.Digraph.t -> t
+(** [restrict acg g] keeps only the edges of [g] (which must be a subgraph
+    of the ACG's graph), preserving attributes: used to carry attributes
+    onto remaining graphs during decomposition. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+module D = Noc_graph.Digraph
+
+let to_string acg =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# src dst volume bandwidth\n";
+  D.fold_vertices
+    (fun v () ->
+      if D.degree (Acg.graph acg) v = 0 then
+        Buffer.add_string buf (Printf.sprintf "vertex %d\n" v))
+    (Acg.graph acg) ();
+  D.iter_edges
+    (fun u v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d %g\n" u v (Acg.volume acg u v) (Acg.bandwidth acg u v)))
+    (Acg.graph acg);
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let quads = ref [] in
+  let verts = ref [] in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ "vertex"; v ] -> (
+            match int_of_string_opt v with
+            | Some v -> verts := v :: !verts
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Acg_io.of_string: bad vertex id on line %d" (lineno + 1)))
+        | [ u; v; vol; bw ] -> (
+            match
+              (int_of_string_opt u, int_of_string_opt v, int_of_string_opt vol,
+               float_of_string_opt bw)
+            with
+            | Some u, Some v, Some vol, Some bw -> quads := (u, v, vol, bw) :: !quads
+            | _ ->
+                invalid_arg
+                  (Printf.sprintf "Acg_io.of_string: bad edge on line %d" (lineno + 1)))
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Acg_io.of_string: expected 'src dst volume bandwidth' on line %d"
+                 (lineno + 1)))
+    lines;
+  let acg = Acg.of_weighted_edges (List.rev !quads) in
+  let graph = List.fold_left D.add_vertex (Acg.graph acg) !verts in
+  Acg.make ~graph
+    ~volume:
+      (List.fold_left
+         (fun m (u, v, vol, _) -> D.Edge_map.add (u, v) vol m)
+         D.Edge_map.empty (List.rev !quads))
+    ~bandwidth:
+      (List.fold_left
+         (fun m (u, v, _, bw) -> D.Edge_map.add (u, v) bw m)
+         D.Edge_map.empty (List.rev !quads))
+    ()
+
+let write_file ~path acg =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string acg))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

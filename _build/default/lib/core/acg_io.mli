@@ -1,0 +1,17 @@
+(** Plain-text serialization of ACGs for the command-line tools.
+
+    Format: one directed edge per line, [src dst volume bandwidth]
+    (vertex ids and volume are integers, bandwidth a float); blank lines
+    and lines starting with [#] are ignored.  Isolated vertices can be
+    declared with [vertex <id>]. *)
+
+val to_string : Acg.t -> string
+
+val of_string : string -> Acg.t
+(** @raise Invalid_argument on malformed input, with a line number. *)
+
+val write_file : path:string -> Acg.t -> unit
+
+val read_file : string -> Acg.t
+(** @raise Sys_error if the file cannot be read, [Invalid_argument] on
+    malformed content. *)

@@ -1,0 +1,301 @@
+module D = Noc_graph.Digraph
+module L = Noc_primitives.Library
+module P = Noc_primitives.Primitive
+
+type neutral_strategy = Branch | Greedy
+
+type options = {
+  cost : Cost.t;
+  constraints : Constraints.t option;
+  max_matches_per_step : int;
+  timeout_s : float option;
+  max_nodes : int;
+  allow_early_remainder : bool;
+  role_aware : bool;
+  canonical_order : bool;
+  neutrals : neutral_strategy;
+  approx_missing : int;
+}
+
+let default_options =
+  {
+    cost = Cost.Edge_count;
+    constraints = None;
+    max_matches_per_step = 1;
+    timeout_s = None;
+    max_nodes = 200_000;
+    allow_early_remainder = true;
+    role_aware = false;
+    canonical_order = true;
+    neutrals = Greedy;
+    approx_missing = 0;
+  }
+
+let energy_options ~tech ~fp =
+  {
+    default_options with
+    cost = Cost.Energy { tech; fp };
+    constraints = Some (Constraints.of_technology tech);
+    role_aware = true;
+  }
+
+type stats = {
+  nodes : int;
+  matches_tried : int;
+  leaves : int;
+  pruned : int;
+  elapsed_s : float;
+  timed_out : bool;
+  best_cost : float;
+  constraints_met : bool;
+}
+
+(* Enumerate up to [max_matches_per_step] candidate matchings of [entry] in
+   [remaining].  Without role awareness, one representative per
+   covered-edge set (the remaining graph after subtraction only depends on
+   that set); with role awareness the cheapest representative per set is
+   kept, because under an energy cost the vertex roles decide which flows
+   ride multi-hop routes. *)
+let candidate_matchings ~opts ~deadline ~acg entry remaining =
+  let pattern = entry.L.prim.P.repr in
+  let cap = opts.max_matches_per_step in
+  if opts.approx_missing > 0 then begin
+    (* relaxed matching: dedup by realized edge set, keep discovery order *)
+    let seen = Hashtbl.create 16 in
+    let acc = ref [] in
+    let count = ref 0 in
+    let _ =
+      Noc_graph.Vf2.iter_approx ?deadline ~max_missing:opts.approx_missing ~pattern
+        ~target:remaining (fun a ->
+          let matching = Matching.of_approx entry ~target:remaining a in
+          let key = matching.Matching.covered in
+          if key = [] || Hashtbl.mem seen key then `Continue
+          else begin
+            Hashtbl.replace seen key true;
+            acc := (matching, Matching.cost opts.cost acg matching) :: !acc;
+            incr count;
+            if !count >= cap then `Stop else `Continue
+          end)
+    in
+    List.rev !acc
+  end
+  else if opts.role_aware then begin
+    let groups = Hashtbl.create 16 in
+    let order = ref [] in
+    let hard_cap = max 32 (cap * 16) in
+    let count = ref 0 in
+    let _ =
+      Noc_graph.Vf2.iter ?deadline ~pattern ~target:remaining (fun m ->
+          let matching = Matching.of_vf2 entry m in
+          let c = Matching.cost opts.cost acg matching in
+          let key = matching.Matching.covered in
+          (match Hashtbl.find_opt groups key with
+          | None ->
+              Hashtbl.replace groups key (matching, c);
+              order := key :: !order
+          | Some (_, best_c) -> if c < best_c then Hashtbl.replace groups key (matching, c));
+          incr count;
+          if !count >= hard_cap then `Stop else `Continue)
+    in
+    let keys = List.rev !order in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | k :: rest -> Hashtbl.find groups k :: take (n - 1) rest
+    in
+    take cap keys
+  end
+  else
+    Noc_graph.Vf2.find_distinct_images ?deadline ~max_matches:cap ~pattern
+      ~target:remaining ()
+    |> List.map (fun m ->
+           let matching = Matching.of_vf2 entry m in
+           (matching, Matching.cost opts.cost acg matching))
+
+(* A library entry is a "saver" when its implementation uses strictly fewer
+   physical links than the number of ACG edges it covers (gossip graphs);
+   every other primitive realizes its pattern at exactly dedicated-link
+   cost, so it can never make a decomposition cheaper - under [Greedy] such
+   neutral primitives are excluded from branching and recovered by a
+   deterministic greedy pass at each leaf, which reproduces the paper's
+   listings (loops, paths, broadcasts still appear in the output) while
+   keeping the search tree driven by the primitives that matter. *)
+let is_saver entry =
+  let p = entry.L.prim in
+  float_of_int (P.impl_link_count p) < float_of_int (P.repr_edge_count p) -. 1e-9
+
+(* Deterministic completion: repeatedly take the first matching, in library
+   order, whose cost does not exceed realizing its covered edges as
+   dedicated links, and subtract it.  [compiled] holds the Messmer-Bunke
+   style invariant screen (Section 5.1's decision-tree suggestion), so
+   impossible patterns are rejected without any VF2 search. *)
+let greedy_finish ~opts ~deadline ~acg ~library ~compiled remaining =
+  let rec go rem acc_rev acc_cost =
+    let alive = Noc_graph.Multi_pattern.survivors compiled rem in
+    let next =
+      List.find_map
+        (fun entry ->
+          if List.mem entry.L.id alive then
+            match
+              Noc_graph.Vf2.find_first ?deadline ~pattern:entry.L.prim.P.repr
+                ~target:rem ()
+            with
+            | Some m ->
+                let matching = Matching.of_vf2 entry m in
+                let c = Matching.cost opts.cost acg matching in
+                let direct =
+                  Cost.remainder_cost opts.cost acg
+                    (D.of_edges matching.Matching.covered)
+                in
+                if c <= direct +. 1e-9 then Some (matching, c) else None
+            | None -> None
+          else None)
+        library
+    in
+    match next with
+    | Some (matching, c) ->
+        go
+          (D.diff_edges rem matching.Matching.covered)
+          (matching :: acc_rev) (acc_cost +. c)
+    | None -> (acc_rev, rem, acc_cost)
+  in
+  go remaining [] 0.0
+
+let decompose ?(options = default_options) ?rng ~library acg =
+  let opts = options in
+  let rng =
+    match rng with Some r -> r | None -> Noc_util.Prng.create ~seed:0x5eed
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) opts.timeout_s in
+  let min_ratio = Cost.min_link_ratio_of_library library in
+  let best = ref None in
+  let best_cost = ref infinity in
+  let nodes = ref 0 in
+  let matches_tried = ref 0 in
+  let leaves = ref 0 in
+  let pruned = ref 0 in
+  let timed_out = ref false in
+  let budget_exhausted () =
+    if !nodes >= opts.max_nodes then begin
+      timed_out := true;
+      true
+    end
+    else
+      match deadline with
+      | Some d when Unix.gettimeofday () > d ->
+          timed_out := true;
+          true
+      | Some _ | None -> false
+  in
+  let accept matchings_rev remaining total =
+    let d =
+      { Decomposition.matchings = List.rev matchings_rev; remainder = remaining }
+    in
+    let ok =
+      match opts.constraints with
+      | None -> true
+      | Some c ->
+          Constraints.satisfied ~rng c acg (Synthesis.of_decomposition acg d)
+    in
+    if ok then begin
+      best := Some d;
+      best_cost := total
+    end
+  in
+  (* [min_id]: when canonical ordering is on, only primitives with id >=
+     min_id may be matched below this node.  Decompositions are multisets
+     of matchings, so exploring them in non-decreasing library order visits
+     each multiset once instead of once per permutation. *)
+  let branchable =
+    match opts.neutrals with
+    | Branch -> library
+    | Greedy -> List.filter is_saver library
+  in
+  let compiled =
+    Noc_graph.Multi_pattern.compile
+      (List.map (fun e -> (e.L.id, e.L.prim.P.repr)) library)
+  in
+  let rec go remaining matchings_rev cost_so_far min_id =
+    incr nodes;
+    if budget_exhausted () then ()
+    else begin
+      let alive =
+        Noc_graph.Multi_pattern.survivors ~slack:opts.approx_missing compiled remaining
+      in
+      let matched_any = ref false in
+      List.iter
+        (fun entry ->
+          if
+            ((not opts.canonical_order) || entry.L.id >= min_id)
+            && List.mem entry.L.id alive
+            && not (budget_exhausted ())
+          then begin
+            let cands = candidate_matchings ~opts ~deadline ~acg entry remaining in
+            List.iter
+              (fun (matching, c) ->
+                matched_any := true;
+                incr matches_tried;
+                if not (budget_exhausted ()) then begin
+                  let new_cost = cost_so_far +. c in
+                  let rem' = D.diff_edges remaining matching.Matching.covered in
+                  let lb = Cost.lower_bound opts.cost acg ~min_link_ratio:min_ratio rem' in
+                  if new_cost +. lb < !best_cost then
+                    go rem' (matching :: matchings_rev) new_cost entry.L.id
+                  else incr pruned
+                end)
+              cands
+          end)
+        branchable;
+      (* leaf: either nothing matched (the paper's rule) or early stop is
+         allowed; neutral primitives are re-attached greedily so loops,
+         paths and broadcasts still show up in the listing *)
+      if (not !matched_any) || opts.allow_early_remainder then begin
+        incr leaves;
+        let extra_rev, rest, extra_cost =
+          match opts.neutrals with
+          | Branch -> ([], remaining, 0.0)
+          | Greedy -> greedy_finish ~opts ~deadline ~acg ~library ~compiled remaining
+        in
+        let total =
+          cost_so_far +. extra_cost +. Cost.remainder_cost opts.cost acg rest
+        in
+        if total < !best_cost then accept (extra_rev @ matchings_rev) rest total
+      end
+    end
+  in
+  go (Acg.graph acg) [] 0.0 0;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let decomp, met =
+    match !best with
+    | Some d -> (d, true)
+    | None ->
+        (* no complete decomposition was accepted (constraints rejected
+           them all, or the budget ran out before the first leaf): fall
+           back to the all-remainder decomposition so the caller still gets
+           a valid covering, and report whether it satisfies the
+           constraints *)
+        let d = { Decomposition.matchings = []; remainder = Acg.graph acg } in
+        let met =
+          match opts.constraints with
+          | None -> true
+          | Some c ->
+              Constraints.satisfied ~rng c acg (Synthesis.of_decomposition acg d)
+        in
+        (d, met)
+  in
+  let stats =
+    {
+      nodes = !nodes;
+      matches_tried = !matches_tried;
+      leaves = !leaves;
+      pruned = !pruned;
+      elapsed_s = elapsed;
+      timed_out = !timed_out;
+      best_cost =
+        (if !best = None then Cost.remainder_cost opts.cost acg (Acg.graph acg)
+         else !best_cost);
+      constraints_met = met;
+    }
+  in
+  (decomp, stats)

@@ -1,0 +1,99 @@
+(** The depth-first branch-and-bound graph decomposition algorithm
+    (Section 4.4, Fig. 3 pseudo-code).
+
+    The search explores a tree in which each node is a partially-decomposed
+    remaining graph; a branch instantiates one subgraph isomorphism of one
+    library primitive (a {!Matching.t}) and subtracts its covered edges.  A
+    branch is cut when its accumulated cost plus an admissible lower bound
+    on the cost of the remaining graph ({!Cost.lower_bound}) cannot beat
+    the best complete decomposition found so far.  When no primitive
+    matches, the remaining graph becomes the remainder of a complete
+    decomposition (Eq. 2); the minimum-cost legal decomposition is
+    returned (Eq. 4).
+
+    Following Section 5.1's advice, both the isomorphism search and the
+    overall decomposition accept a wall-clock budget: on time-out the best
+    incumbent found so far is returned and flagged. *)
+
+type neutral_strategy =
+  | Branch
+      (** neutral primitives take part in branching like any other (the
+          literal reading of the paper's pseudo-code; exponentially larger
+          trees) *)
+  | Greedy
+      (** only "saver" primitives - those whose implementation uses fewer
+          links than the edges they cover, i.e. the gossip graphs - drive
+          the branching; loops, paths and broadcasts, whose matchings cost
+          exactly as much as dedicated links, are re-attached by a
+          deterministic greedy pass at each leaf.  Same optimal cost, same
+          style of listing, dramatically smaller search tree. *)
+
+type options = {
+  cost : Cost.t;
+  constraints : Constraints.t option;
+      (** checked (with {!constraint_rng}) before an incumbent is accepted *)
+  max_matches_per_step : int;
+      (** branching factor cap: how many distinct matches of each primitive
+          are expanded at one tree node.  The paper's Fig. 2 tree branches
+          on one isomorphism per library graph per node, which is the
+          default (1); larger values widen the search *)
+  timeout_s : float option;  (** wall-clock budget for the whole search *)
+  max_nodes : int;  (** search-tree node budget (backstop; default 200k) *)
+  allow_early_remainder : bool;
+      (** also consider stopping the decomposition at inner nodes (leaving
+          a matchable graph as remainder).  A strict generalization of the
+          paper's leaves-only rule — never worse, and lets the algorithm
+          reject energy-losing matchings; on cost ties the deeper (more
+          matched) decomposition found first is kept. *)
+  role_aware : bool;
+      (** under an energy cost the vertex-role assignment of a matching
+          changes its cost (which pairs ride multi-hop routes); when set,
+          matches with the same covered-edge set are represented by their
+          cheapest role assignment rather than the first one found *)
+  canonical_order : bool;
+      (** explore matchings in non-decreasing library-id order along any
+          root-to-leaf path: decompositions are multisets of matchings, so
+          this visits each multiset once instead of once per permutation
+          (default true) *)
+  neutrals : neutral_strategy;  (** default [Greedy] *)
+  approx_missing : int;
+      (** tolerance of the relaxed matching the paper suggests in
+          Section 5.1: a primitive may be matched even when up to this many
+          of its pattern edges have no counterpart in the remaining graph
+          (the implementation still provides the full wiring).  0 = exact
+          matching only (default). *)
+}
+
+val default_options : options
+(** [Edge_count] cost, no constraints, one match per primitive per step,
+    no timeout, 200k-node budget, [allow_early_remainder = true],
+    [role_aware = false], [canonical_order = true]. *)
+
+val energy_options :
+  tech:Noc_energy.Technology.t -> fp:Noc_energy.Floorplan.t -> options
+(** Energy cost with role-aware matching, constraints from the
+    technology. *)
+
+type stats = {
+  nodes : int;  (** search-tree nodes expanded *)
+  matches_tried : int;  (** matchings instantiated as branches *)
+  leaves : int;  (** complete decompositions evaluated *)
+  pruned : int;  (** branches cut by the lower bound *)
+  elapsed_s : float;
+  timed_out : bool;  (** wall-clock or node budget exhausted *)
+  best_cost : float;
+  constraints_met : bool;
+      (** false when every complete decomposition violated constraints and
+          the all-remainder fallback was returned *)
+}
+
+val decompose :
+  ?options:options ->
+  ?rng:Noc_util.Prng.t ->
+  library:Noc_primitives.Library.t ->
+  Acg.t ->
+  Decomposition.t * stats
+(** Runs the search.  [rng] seeds the constraint checker's bisection
+    heuristic (default: a fixed seed, making the whole search
+    deterministic).  The returned decomposition always satisfies
+    {!Decomposition.is_valid_for}. *)

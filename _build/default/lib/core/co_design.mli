@@ -1,0 +1,50 @@
+(** Floorplan / decomposition co-design.
+
+    The paper assumes core coordinates are fixed by an initial
+    area-optimized floorplan and lists relaxing that assumption as future
+    work (Section 6: "it is possible to relax the initial floorplan
+    information and solve the optimization problem for the general case").
+    This module implements the natural alternating scheme:
+
+    + decompose the ACG under the energy cost for the current placement;
+    + synthesize the customized architecture;
+    + re-place the cores by simulated annealing against the {e synthesized
+      links'} traffic (volume-weighted wirelength — the placement now knows
+      which wires will actually exist);
+    + repeat while the Eq. 5 energy keeps improving.
+
+    Deterministic for a given PRNG. *)
+
+type iteration = {
+  round : int;  (** 1-based *)
+  energy_pj : float;  (** Eq. 5 energy of the synthesized architecture *)
+  wirelength : float;  (** volume-weighted wirelength of its links *)
+}
+
+type result = {
+  fp : Noc_energy.Floorplan.t;  (** best placement found *)
+  decomposition : Decomposition.t;  (** decomposition under that placement *)
+  arch : Synthesis.t;
+  energy_pj : float;
+  history : iteration list;  (** all rounds, in order *)
+}
+
+val link_volume_weights :
+  Acg.t -> Synthesis.t -> float Noc_graph.Digraph.Edge_map.t
+(** Traffic volume carried by each directed physical link of an
+    architecture (flows' volumes summed along their routes): the annealing
+    objective weights. *)
+
+val optimize :
+  ?rounds:int ->
+  ?anneal_iterations:int ->
+  rng:Noc_util.Prng.t ->
+  tech:Noc_energy.Technology.t ->
+  library:Noc_primitives.Library.t ->
+  fp:Noc_energy.Floorplan.t ->
+  Acg.t ->
+  result
+(** Runs up to [rounds] (default 4) alternating rounds, annealing with
+    [anneal_iterations] (default 2000) swap attempts per round, and returns
+    the lowest-energy round's artifacts.  The returned history always
+    contains at least one entry (the initial placement's). *)

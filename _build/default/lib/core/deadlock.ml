@@ -1,0 +1,110 @@
+module D = Noc_graph.Digraph
+module Edge_map = D.Edge_map
+
+type report = {
+  cdg_cycle : (int * int) list option;
+  vcs_needed : int;
+}
+
+let consecutive_channel_pairs path =
+  let rec chans = function
+    | a :: (b :: _ as rest) -> (a, b) :: chans rest
+    | [ _ ] | [] -> []
+  in
+  let cs = chans path in
+  let rec pairs = function
+    | c1 :: (c2 :: _ as rest) -> (c1, c2) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  pairs cs
+
+let channel_dependency_graph (arch : Synthesis.t) =
+  let seen = Hashtbl.create 64 in
+  Edge_map.fold
+    (fun _ path acc ->
+      List.fold_left
+        (fun acc dep ->
+          if Hashtbl.mem seen dep then acc
+          else begin
+            Hashtbl.replace seen dep true;
+            dep :: acc
+          end)
+        acc
+        (consecutive_channel_pairs path))
+    arch.Synthesis.routes []
+  |> List.rev
+
+let route_channels path =
+  let rec chans = function
+    | a :: (b :: _ as rest) -> (a, b) :: chans rest
+    | [ _ ] | [] -> []
+  in
+  chans path
+
+let inversions path =
+  let rec count = function
+    | c1 :: (c2 :: _ as rest) ->
+        (if D.Edge.compare c2 c1 <= 0 then 1 else 0) + count rest
+    | [ _ ] | [] -> 0
+  in
+  count (route_channels path)
+
+let analyze (arch : Synthesis.t) =
+  (* build the CDG as a digraph over channel ids *)
+  let chan_id = Hashtbl.create 64 in
+  let id_chan = Hashtbl.create 64 in
+  let next = ref 1 in
+  let intern c =
+    match Hashtbl.find_opt chan_id c with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.replace chan_id c i;
+        Hashtbl.replace id_chan i c;
+        i
+  in
+  let deps = channel_dependency_graph arch in
+  let cdg =
+    List.fold_left
+      (fun g (c1, c2) -> D.add_edge g (intern c1) (intern c2))
+      D.empty deps
+  in
+  let cdg_cycle =
+    match Noc_graph.Traversal.find_cycle cdg with
+    | Some ids -> Some (List.map (Hashtbl.find id_chan) ids)
+    | None -> None
+  in
+  let vcs_needed =
+    1
+    + Edge_map.fold
+        (fun _ path acc -> max acc (inversions path))
+        arch.Synthesis.routes 0
+  in
+  (* without any CDG cycle a single channel class suffices regardless of
+     inversions *)
+  let vcs_needed = if cdg_cycle = None then 1 else vcs_needed in
+  { cdg_cycle; vcs_needed }
+
+let is_deadlock_free arch = (analyze arch).cdg_cycle = None
+
+let vc_of_hop (arch : Synthesis.t) ~src ~dst ~hop =
+  match Synthesis.route arch ~src ~dst with
+  | None -> None
+  | Some path ->
+      let chans = route_channels path in
+      if hop < 0 || hop >= List.length chans then None
+      else begin
+        let vc = ref 0 in
+        let prev = ref None in
+        let result = ref 0 in
+        List.iteri
+          (fun i c ->
+            (match !prev with
+            | Some p when D.Edge.compare c p <= 0 -> incr vc
+            | Some _ | None -> ());
+            prev := Some c;
+            if i = hop then result := !vc)
+          chans;
+        Some !result
+      end

@@ -1,0 +1,56 @@
+module D = Noc_graph.Digraph
+
+type t = { matchings : Matching.t list; remainder : D.t }
+
+let cost c acg t =
+  List.fold_left
+    (fun acc m -> acc +. Matching.cost c acg m)
+    (Cost.remainder_cost c acg t.remainder)
+    t.matchings
+
+let covered_edges t = List.concat_map (fun m -> m.Matching.covered) t.matchings
+
+let is_valid_for acg t =
+  let covered = covered_edges t in
+  let covered_set = D.Edge_set.of_list covered in
+  (* disjoint: no edge covered twice *)
+  List.length covered = D.Edge_set.cardinal covered_set
+  (* remainder and covered are disjoint *)
+  && D.Edge_set.is_empty (D.Edge_set.inter covered_set (D.edge_set t.remainder))
+  (* together they are exactly the ACG's edges *)
+  && D.Edge_set.equal
+       (D.Edge_set.union covered_set (D.edge_set t.remainder))
+       (D.edge_set (Acg.graph acg))
+
+let primitive_histogram t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let name = (Matching.primitive m).Noc_primitives.Primitive.name in
+      Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+    t.matchings;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp ppf t =
+  List.iteri
+    (fun i m ->
+      Format.fprintf ppf "%s%a@." (String.make (i * 2) ' ') Matching.pp m)
+    t.matchings;
+  let indent = String.make (List.length t.matchings * 2) ' ' in
+  if D.has_no_edges t.remainder then
+    Format.fprintf ppf "%s0: Remaining Graph: (empty)@." indent
+  else begin
+    let edges =
+      D.edges t.remainder
+      |> List.map (fun (u, v) -> Printf.sprintf "%d->%d" u v)
+      |> String.concat ", "
+    in
+    Format.fprintf ppf "%s0: Remaining Graph: %s@." indent edges
+  end
+
+let pp_with_cost c acg ppf t =
+  let total = cost c acg t in
+  (if Float.is_integer total then Format.fprintf ppf "COST: %.0f@." total
+   else Format.fprintf ppf "COST: %.2f@." total);
+  pp ppf t

@@ -1,0 +1,30 @@
+(** A decomposition of an ACG (Eq. 2): an ordered list of matchings plus
+    the remainder graph that matched nothing in the library. *)
+
+type t = { matchings : Matching.t list; remainder : Noc_graph.Digraph.t }
+
+val cost : Cost.t -> Acg.t -> t -> float
+(** Eq. 3: sum of matching costs plus the remainder cost. *)
+
+val covered_edges : t -> Noc_graph.Digraph.Edge.t list
+(** Union of all matchings' covered edges (with multiplicity — a valid
+    decomposition covers each edge once, see {!is_valid_for}). *)
+
+val is_valid_for : Acg.t -> t -> bool
+(** The matchings cover pairwise-disjoint edge sets and, together with the
+    remainder's edges, partition the ACG's edges exactly (Eq. 2). *)
+
+val primitive_histogram : t -> (string * int) list
+(** How many times each primitive name was used, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+(** The paper's run listing (Section 5): one matching per line with
+    increasing indentation, then the remainder:
+
+    {v 1: MGG4,   Mapping: (1 1), (2 5), (3 9), (4 13)
+  1: MGG4,   Mapping: (1 2), (2 6), (3 10), (4 14)
+    ...
+      0: Remaining Graph: 9->3, 10->4, ... v} *)
+
+val pp_with_cost : Cost.t -> Acg.t -> Format.formatter -> t -> unit
+(** ["COST: n"] header followed by {!pp}, matching the paper's AES output. *)

@@ -1,0 +1,52 @@
+module L = Noc_primitives.Library
+module D = Noc_graph.Digraph
+
+type objective = {
+  total_cost : float;
+  total_remainder : int;
+  elapsed_s : float;
+}
+
+let evaluate ?(options = Branch_bound.default_options) ~library corpus =
+  List.fold_left
+    (fun acc acg ->
+      let d, stats = Branch_bound.decompose ~options ~library acg in
+      {
+        total_cost = acc.total_cost +. stats.Branch_bound.best_cost;
+        total_remainder =
+          acc.total_remainder + D.num_edges d.Decomposition.remainder;
+        elapsed_s = acc.elapsed_s +. stats.Branch_bound.elapsed_s;
+      })
+    { total_cost = 0.; total_remainder = 0; elapsed_s = 0. }
+    corpus
+
+let better a b =
+  a.total_cost < b.total_cost -. 1e-9
+  || (abs_float (a.total_cost -. b.total_cost) <= 1e-9
+     && a.total_remainder < b.total_remainder)
+
+let greedy_select ?options ?(max_size = 8) ~pool ~corpus () =
+  let rec grow chosen current =
+    if List.length chosen >= max_size then (chosen, current)
+    else begin
+      let candidates =
+        List.filter (fun p -> not (List.memq p chosen)) pool
+      in
+      let best =
+        List.fold_left
+          (fun acc p ->
+            let library = L.make (chosen @ [ p ]) in
+            let o = evaluate ?options ~library corpus in
+            match acc with
+            | Some (_, best_o) when not (better o best_o) -> acc
+            | _ -> if better o current then Some (p, o) else acc)
+          None candidates
+      in
+      match best with
+      | Some (p, o) -> grow (chosen @ [ p ]) o
+      | None -> (chosen, current)
+    end
+  in
+  let empty_obj = evaluate ?options ~library:(L.make []) corpus in
+  let chosen, obj = grow [] empty_obj in
+  (L.make chosen, obj)

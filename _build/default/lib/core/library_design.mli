@@ -1,0 +1,44 @@
+(** Communication-library design space exploration.
+
+    Section 3 of the paper: "since the final decomposition and the run time
+    of the algorithm itself depend on the primitives in the library, it is
+    desirable to select the best set of graphs to be included in the
+    library.  While further research is needed in this area, we construct
+    our current library using ..." — this module is that further research:
+    given a pool of candidate primitives and a corpus of applications, it
+    selects a library greedily by marginal benefit.
+
+    The objective is lexicographic: first the summed decomposition cost
+    over the corpus, then the summed remainder edge count (so structurally
+    useful but cost-neutral primitives — loops, paths, broadcasts — are
+    still selected once no primitive lowers the cost further). *)
+
+type objective = {
+  total_cost : float;  (** Σ over the corpus of the decomposition cost *)
+  total_remainder : int;  (** Σ of remainder edge counts *)
+  elapsed_s : float;  (** Σ of search times (reported, not optimized) *)
+}
+
+val evaluate :
+  ?options:Branch_bound.options ->
+  library:Noc_primitives.Library.t ->
+  Acg.t list ->
+  objective
+(** Decomposes every corpus ACG with the library. *)
+
+val better : objective -> objective -> bool
+(** [better a b] iff [a] improves on [b] lexicographically
+    (cost, then remainder). *)
+
+val greedy_select :
+  ?options:Branch_bound.options ->
+  ?max_size:int ->
+  pool:Noc_primitives.Primitive.t list ->
+  corpus:Acg.t list ->
+  unit ->
+  Noc_primitives.Library.t * objective
+(** Starts from the empty library (everything is remainder) and repeatedly
+    adds the pool primitive with the best marginal improvement, stopping
+    when no primitive strictly improves the objective or [max_size]
+    (default 8) primitives have been chosen.  The resulting library is
+    renumbered 1..k in selection order. *)

@@ -1,0 +1,96 @@
+module D = Noc_graph.Digraph
+module Vmap = D.Vmap
+
+type t = int Vmap.t
+
+let identity acg =
+  D.fold_vertices (fun v acc -> Vmap.add v v acc) (Acg.graph acg) Vmap.empty
+
+let apply m acg =
+  let f v =
+    match Vmap.find_opt v m with
+    | Some t -> t
+    | None -> invalid_arg (Printf.sprintf "Mapping.apply: core %d not mapped" v)
+  in
+  let graph = D.map_vertices f (Acg.graph acg) in
+  let remap_edges attrs =
+    D.Edge_map.fold
+      (fun (u, v) x acc -> D.Edge_map.add (f u, f v) x acc)
+      attrs D.Edge_map.empty
+  in
+  Acg.make ~graph ~volume:(remap_edges acg.Acg.volume)
+    ~bandwidth:(remap_edges acg.Acg.bandwidth) ()
+
+let tile_distance cols a b =
+  let ra = (a - 1) / cols and ca = (a - 1) mod cols in
+  let rb = (b - 1) / cols and cb = (b - 1) mod cols in
+  abs (ra - rb) + abs (ca - cb)
+
+let mesh_hop_cost ~rows ~cols acg m =
+  ignore rows;
+  D.fold_edges
+    (fun u v acc ->
+      let tu = Vmap.find u m and tv = Vmap.find v m in
+      acc
+      +. (float_of_int (Acg.volume acg u v) *. float_of_int (tile_distance cols tu tv)))
+    (Acg.graph acg) 0.0
+
+let optimize_mesh ~rng ?(iterations = 4000) ~rows ~cols acg =
+  let cores = D.vertex_list (Acg.graph acg) in
+  let n_tiles = rows * cols in
+  if List.length cores > n_tiles then
+    invalid_arg "Mapping.optimize_mesh: more cores than tiles";
+  (* initial assignment: cores in order onto tiles 1..n *)
+  let current = ref (List.fold_left
+      (fun (i, acc) v -> (i + 1, Vmap.add v i acc))
+      (1, Vmap.empty) cores |> snd)
+  in
+  let cost m = mesh_hop_cost ~rows ~cols acg m in
+  let cur_cost = ref (cost !current) in
+  let best = ref !current and best_cost = ref !cur_cost in
+  let cores_arr = Array.of_list cores in
+  let n = Array.length cores_arr in
+  if n >= 2 then begin
+    let t0 = max 1.0 (!cur_cost /. 10.0) in
+    let temp = ref t0 in
+    let cooling = (0.01 /. t0) ** (1.0 /. float_of_int (max 1 iterations)) in
+    for _ = 1 to iterations do
+      (* swap two cores' tiles, or move a core to a free tile *)
+      let a = cores_arr.(Noc_util.Prng.int rng n) in
+      let candidate =
+        if Noc_util.Prng.bool rng || n = n_tiles then begin
+          let b = cores_arr.(Noc_util.Prng.int rng n) in
+          if a = b then !current
+          else
+            let ta = Vmap.find a !current and tb = Vmap.find b !current in
+            Vmap.add a tb (Vmap.add b ta !current)
+        end
+        else begin
+          (* move to an unoccupied tile *)
+          let occupied =
+            Vmap.fold (fun _ t acc -> t :: acc) !current [] |> List.sort_uniq compare
+          in
+          let free =
+            List.filter
+              (fun t -> not (List.mem t occupied))
+              (List.init n_tiles (fun i -> i + 1))
+          in
+          match free with
+          | [] -> !current
+          | _ -> Vmap.add a (Noc_util.Prng.choose rng free) !current
+        end
+      in
+      let c = cost candidate in
+      let delta = c -. !cur_cost in
+      if delta < 0.0 || Noc_util.Prng.float rng 1.0 < exp (-.delta /. !temp) then begin
+        current := candidate;
+        cur_cost := c;
+        if c < !best_cost then begin
+          best := candidate;
+          best_cost := c
+        end
+      end;
+      temp := !temp *. cooling
+    done
+  end;
+  !best

@@ -1,0 +1,42 @@
+(** Application mapping — the third dimension of the paper's design space.
+
+    The paper's introduction frames NoC design as three axes: communication
+    infrastructure (what this library synthesizes), routing strategy, and
+    "application mapping to the network nodes ... which consists of placing
+    the message source/sink pairs to network nodes with the objective of
+    satisfying some design constraints (e.g. energy, performance)".  The
+    synthesis flow assumes the mapping is given; this module supplies it,
+    implementing the energy-aware mapping of Hu & Marculescu (DATE'03,
+    the paper's reference [4]) for regular architectures: find the
+    core-to-tile permutation that minimizes the volume-weighted hop energy
+    on a mesh.
+
+    Optimizing the mesh baseline's mapping makes the paper's
+    customized-vs-mesh comparison conservative: the customized architecture
+    is measured against the mesh at its best. *)
+
+type t = int Noc_graph.Digraph.Vmap.t
+(** Core id -> tile id (a bijection on the cores). *)
+
+val identity : Acg.t -> t
+
+val apply : t -> Acg.t -> Acg.t
+(** Relabels the ACG's vertices by the mapping (volumes and bandwidths
+    follow). @raise Invalid_argument if the mapping is not injective on the
+    ACG's cores. *)
+
+val mesh_hop_cost : rows:int -> cols:int -> Acg.t -> t -> float
+(** Σ over flows of volume × Manhattan tile distance under the mapping: the
+    mapping objective for a mesh with dimension-ordered routing. *)
+
+val optimize_mesh :
+  rng:Noc_util.Prng.t ->
+  ?iterations:int ->
+  rows:int ->
+  cols:int ->
+  Acg.t ->
+  t
+(** Simulated-annealing search over tile permutations minimizing
+    {!mesh_hop_cost} (default 4000 swap attempts); deterministic for a
+    given PRNG.  Cores must number at most [rows * cols].
+    @raise Invalid_argument otherwise. *)

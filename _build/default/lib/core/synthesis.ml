@@ -1,0 +1,181 @@
+module D = Noc_graph.Digraph
+module Edge_map = D.Edge_map
+
+type t = {
+  topology : D.t;
+  routes : int list Edge_map.t;
+  uniform_router_ports : int option;
+}
+
+let routes_valid_internal topology routes =
+  Edge_map.for_all
+    (fun (src, dst) path ->
+      match path with
+      | [] -> false
+      | first :: _ ->
+          first = src
+          && List.nth path (List.length path - 1) = dst
+          && (let rec ok = function
+                | a :: (b :: _ as rest) -> D.mem_edge topology a b && ok rest
+                | [ _ ] | [] -> true
+              in
+              ok path))
+    routes
+
+let make ~topology ~routes ?uniform_router_ports () =
+  let topology = D.undirected_closure topology in
+  if not (routes_valid_internal topology routes) then
+    invalid_arg "Synthesis.make: a route does not follow the topology";
+  { topology; routes; uniform_router_ports }
+
+let of_decomposition acg decomp =
+  let base =
+    D.fold_vertices (fun v g -> D.add_vertex g v) (Acg.graph acg) D.empty
+  in
+  let topology =
+    List.fold_left
+      (fun g m -> D.union g (Matching.impl_in_acg m))
+      base decomp.Decomposition.matchings
+  in
+  let topology =
+    D.fold_edges (fun u v g -> D.add_edge_pair g u v) decomp.Decomposition.remainder topology
+  in
+  let routes =
+    List.fold_left
+      (fun acc m ->
+        List.fold_left
+          (fun acc ((u, v), path) -> Edge_map.add (u, v) path acc)
+          acc (Matching.routes m))
+      Edge_map.empty decomp.Decomposition.matchings
+  in
+  (* every covered edge must have received a route *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (u, v) ->
+          if not (Edge_map.mem (u, v) routes) then
+            invalid_arg
+              (Printf.sprintf "Synthesis.of_decomposition: no route for %d->%d" u v))
+        m.Matching.covered)
+    decomp.Decomposition.matchings;
+  let routes =
+    D.fold_edges
+      (fun u v acc -> Edge_map.add (u, v) [ u; v ] acc)
+      decomp.Decomposition.remainder routes
+  in
+  { topology; routes; uniform_router_ports = None }
+
+let custom = of_decomposition
+
+let mesh ~rows ~cols acg =
+  let n = rows * cols in
+  D.fold_vertices
+    (fun v () ->
+      if v < 1 || v > n then
+        invalid_arg (Printf.sprintf "Synthesis.mesh: core %d outside %dx%d grid" v rows cols))
+    (Acg.graph acg) ();
+  let topology = Noc_graph.Generators.mesh ~rows ~cols in
+  let coord v = ((v - 1) / cols, (v - 1) mod cols) in
+  let id r c = (r * cols) + c + 1 in
+  let xy_path src dst =
+    (* dimension-ordered: fix column first (X), then row (Y) *)
+    let r0, c0 = coord src and r1, c1 = coord dst in
+    let rec go_x r c acc =
+      if c = c1 then go_y r c acc
+      else
+        let c' = if c < c1 then c + 1 else c - 1 in
+        go_x r c' (id r c' :: acc)
+    and go_y r c acc =
+      if r = r1 then List.rev acc
+      else
+        let r' = if r < r1 then r + 1 else r - 1 in
+        go_y r' c (id r' c :: acc)
+    in
+    go_x r0 c0 [ src ]
+  in
+  let routes =
+    D.fold_edges
+      (fun u v acc -> Edge_map.add (u, v) (xy_path u v) acc)
+      (Acg.graph acg) Edge_map.empty
+  in
+  (* mesh prototypes instantiate one identical full-radix router per tile:
+     4 directions + local port *)
+  { topology; routes; uniform_router_ports = Some 5 }
+
+let link_count t = D.undirected_edge_count t.topology
+
+let route t ~src ~dst = Edge_map.find_opt (src, dst) t.routes
+
+let next_hop t ~node ~src ~dst =
+  match route t ~src ~dst with
+  | None -> None
+  | Some path ->
+      let rec find = function
+        | a :: b :: _ when a = node -> Some b
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find path
+
+let hops path = List.length path - 1
+
+let avg_hops acg t =
+  let total_w, total_h =
+    Edge_map.fold
+      (fun (u, v) path (w, h) ->
+        let vol = float_of_int (Acg.volume acg u v) in
+        (w +. vol, h +. (vol *. float_of_int (hops path))))
+      t.routes (0., 0.)
+  in
+  if total_w = 0. then 0. else total_h /. total_w
+
+let max_hops t = Edge_map.fold (fun _ path acc -> max acc (hops path)) t.routes 0
+
+let link_load acg t =
+  Edge_map.fold
+    (fun (u, v) path acc ->
+      let bw = Acg.bandwidth acg u v in
+      let rec walk acc = function
+        | a :: (b :: _ as rest) ->
+            let cur = Option.value ~default:0.0 (Edge_map.find_opt (a, b) acc) in
+            walk (Edge_map.add (a, b) (cur +. bw) acc) rest
+        | [ _ ] | [] -> acc
+      in
+      walk acc path)
+    t.routes Edge_map.empty
+
+let total_energy ~tech ~fp acg t =
+  Edge_map.fold
+    (fun (u, v) path acc ->
+      acc
+      +. Noc_energy.Energy_model.edge_energy ~tech ~fp
+           ~volume_bits:(Acg.volume acg u v) path)
+    t.routes 0.0
+
+let bisection_links ~rng t =
+  let _, cut = Noc_graph.Traversal.min_bisection_cut ~rng t.topology in
+  cut
+
+let routes_valid t =
+  Edge_map.for_all
+    (fun (src, dst) path ->
+      match path with
+      | [] -> false
+      | first :: _ ->
+          first = src
+          && List.nth path (List.length path - 1) = dst
+          && (let rec ok = function
+                | a :: (b :: _ as rest) -> D.mem_edge t.topology a b && ok rest
+                | [ _ ] | [] -> true
+              in
+              ok path))
+    t.routes
+
+let router_ports t v =
+  match t.uniform_router_ports with
+  | Some p -> p
+  | None -> D.Vset.cardinal (D.succ t.topology v) + 1
+
+let pp ppf t =
+  Format.fprintf ppf "architecture: %d cores, %d links, %d routes, max %d hops"
+    (D.num_vertices t.topology) (link_count t) (Edge_map.cardinal t.routes) (max_hops t)

@@ -1,0 +1,90 @@
+(** Architecture synthesis: gluing the implementation graphs of a
+    decomposition's matchings into the customized topology (Section 3,
+    "after the decomposition step is completed, the communication primitives
+    are replaced by their optimal implementations, and finally glued
+    together"), plus the standard-mesh baseline used in Section 5.2.
+
+    An architecture pairs a physical topology (a symmetric digraph over the
+    ACG's cores: links are bidirectional) with one route per ACG flow. *)
+
+type t = private {
+  topology : Noc_graph.Digraph.t;
+  routes : int list Noc_graph.Digraph.Edge_map.t;
+      (** ACG edge (src, dst) -> vertex path [src; ...; dst] *)
+  uniform_router_ports : int option;
+      (** [Some p] when the architecture is built from identical [p]-port
+          routers regardless of how many links each tile actually uses (the
+          way regular-mesh prototypes are instantiated); [None] when every
+          router has exactly the ports its links need (customized
+          architectures) *)
+}
+
+val make :
+  topology:Noc_graph.Digraph.t ->
+  routes:int list Noc_graph.Digraph.Edge_map.t ->
+  ?uniform_router_ports:int ->
+  unit ->
+  t
+(** An architecture from explicit parts (for hand-built experiments and
+    simulator tests).  Topology is symmetrized; every route must connect
+    its flow's endpoints over topology links.
+    @raise Invalid_argument on an invalid route. *)
+
+val of_decomposition : Acg.t -> Decomposition.t -> t
+(** Topology = union of each matching's implementation graph (transferred
+    into ACG vertex names) plus one dedicated bidirectional link per
+    remainder edge; routes come from the primitives' schedule-derived
+    tables (remainder edges route directly).
+    @raise Invalid_argument if some covered edge has no route — cannot
+    happen for library primitives. *)
+
+val mesh : rows:int -> cols:int -> Acg.t -> t
+(** Standard mesh baseline with dimension-ordered XY routing.  Cores must
+    be numbered row-major [1 .. rows*cols]; core [v] sits at row
+    [(v-1)/cols], column [(v-1) mod cols].
+    @raise Invalid_argument if the ACG mentions a vertex outside the
+    grid. *)
+
+val custom : Acg.t -> Decomposition.t -> t
+(** Alias of {!of_decomposition}. *)
+
+val link_count : t -> int
+(** Physical (bidirectional) links. *)
+
+val route : t -> src:int -> dst:int -> int list option
+
+val next_hop : t -> node:int -> src:int -> dst:int -> int option
+(** Routing-table view: where node [node] forwards a packet of flow
+    [src -> dst].  [None] if the flow does not pass through [node] or
+    terminates there. *)
+
+val avg_hops : Acg.t -> t -> float
+(** Volume-weighted average hop count over all flows. *)
+
+val max_hops : t -> int
+(** Longest route, in hops; 0 when there are no routes. *)
+
+val link_load : Acg.t -> t -> float Noc_graph.Digraph.Edge_map.t
+(** Aggregate bandwidth demand per directed physical link (Section 4.2's
+    constraint: each link must carry the sum of the bandwidths of the flows
+    routed over it). *)
+
+val total_energy :
+  tech:Noc_energy.Technology.t -> fp:Noc_energy.Floorplan.t -> Acg.t -> t -> float
+(** Total communication energy (pJ): Eq. 1 applied to every flow's route,
+    weighted by volume.  Works uniformly for customized and mesh
+    architectures, enabling the Section 5.2 comparison. *)
+
+val bisection_links : rng:Noc_util.Prng.t -> t -> int
+(** Heuristic minimum number of physical links crossing a balanced
+    bipartition of the topology. *)
+
+val router_ports : t -> int -> int
+(** Ports of one router: the uniform radix if fixed, otherwise topology
+    degree + 1 local port. *)
+
+val routes_valid : t -> bool
+(** Every route follows existing physical links and connects its flow's
+    endpoints. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/energy/floorplan.ml: Array Format List Noc_graph Noc_util

@@ -1,0 +1,1 @@
+lib/energy/floorplan.mli: Format Noc_graph Noc_util

@@ -1,0 +1,23 @@
+let hop_count path =
+  let n = List.length path in
+  if n < 2 then invalid_arg "Energy_model.hop_count: path too short";
+  n - 1
+
+let path_bit_energy ~tech ~fp path =
+  let k = hop_count path in
+  let links = Floorplan.path_length_mm fp path in
+  let link_e =
+    List.fold_left
+      (fun acc len -> acc +. Technology.link_energy_per_bit tech ~length_mm:len)
+      0.0 links
+  in
+  (float_of_int (k + 1) *. tech.Technology.es_bit) +. link_e
+
+let edge_energy ~tech ~fp ~volume_bits path =
+  float_of_int volume_bits *. path_bit_energy ~tech ~fp path
+
+let uniform_bit_energy ~tech ~nhops ~link_length_mm =
+  if nhops < 1 then invalid_arg "Energy_model.uniform_bit_energy: nhops < 1";
+  (float_of_int nhops *. tech.Technology.es_bit)
+  +. float_of_int (nhops - 1)
+     *. Technology.link_energy_per_bit tech ~length_mm:link_length_mm

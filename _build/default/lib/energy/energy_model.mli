@@ -1,0 +1,31 @@
+(** The bit-energy model of Eq. 1:
+
+    {v Ebit(i,j) = nhops * ES_bit + (nhops - 1) * EL_bit v}
+
+    where ES_bit is the energy of one switch traversal and EL_bit the energy
+    of one link traversal (a function of the physical link length, obtained
+    from the floorplan).  We take [nhops] to be the number of {e routers}
+    visited along a path — every core on the path, endpoints included, has a
+    router — so a path over vertices [v0; ...; vk] visits [k + 1] routers
+    and crosses exactly [nhops - 1 = k] physical links, which is the
+    convention under which Eq. 1 is exact with per-link lengths. *)
+
+val hop_count : int list -> int
+(** Link hops of a vertex path ([length - 1]).
+    @raise Invalid_argument on paths with fewer than 2 vertices. *)
+
+val path_bit_energy : tech:Technology.t -> fp:Floorplan.t -> int list -> float
+(** [path_bit_energy ~tech ~fp path] is the energy (pJ) to move one bit
+    along [path]: [(k + 1) * es_bit + Σ_i EL_bit(l_i)] for the [k] physical
+    links of the path, with lengths taken from the floorplan.
+    @raise Invalid_argument on paths with fewer than 2 vertices. *)
+
+val edge_energy :
+  tech:Technology.t -> fp:Floorplan.t -> volume_bits:int -> int list -> float
+(** Energy (pJ) to transport [volume_bits] bits along a path:
+    [volume * path_bit_energy]. *)
+
+val uniform_bit_energy : tech:Technology.t -> nhops:int -> link_length_mm:float -> float
+(** Eq. 1 with a uniform link length (regular grids): [nhops * es_bit +
+    (nhops - 1) * EL_bit(link_length)], where [nhops] counts routers.
+    @raise Invalid_argument if [nhops < 1]. *)

@@ -1,0 +1,1 @@
+lib/graph/multi_pattern.ml: Array Digraph Hashtbl Int List Printf Vf2

@@ -1,0 +1,1 @@
+lib/graph/multi_pattern.mli: Digraph Vf2

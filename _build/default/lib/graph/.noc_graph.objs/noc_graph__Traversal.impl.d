@@ -1,0 +1,1 @@
+lib/graph/traversal.ml: Array Digraph Hashtbl Int List Noc_util Queue Stack

@@ -1,0 +1,1 @@
+lib/graph/vf2.ml: Array Digraph Hashtbl Int List Unix

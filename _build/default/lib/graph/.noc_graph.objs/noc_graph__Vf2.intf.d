@@ -1,0 +1,1 @@
+lib/graph/vf2.mli: Digraph

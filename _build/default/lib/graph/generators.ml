@@ -1,0 +1,177 @@
+module Prng = Noc_util.Prng
+
+let erdos_renyi ~rng ~n ~p =
+  let g = ref Digraph.empty in
+  for v = 1 to n do
+    g := Digraph.add_vertex !g v
+  done;
+  for u = 1 to n do
+    for v = 1 to n do
+      if u <> v && Prng.bernoulli rng p then g := Digraph.add_edge !g u v
+    done
+  done;
+  !g
+
+let gnm ~rng ~n ~m =
+  let all = ref [] in
+  for u = 1 to n do
+    for v = 1 to n do
+      if u <> v then all := (u, v) :: !all
+    done
+  done;
+  let arr = Array.of_list !all in
+  Prng.shuffle rng arr;
+  let m = min m (Array.length arr) in
+  let g = ref Digraph.empty in
+  for v = 1 to n do
+    g := Digraph.add_vertex !g v
+  done;
+  for i = 0 to m - 1 do
+    let u, v = arr.(i) in
+    g := Digraph.add_edge !g u v
+  done;
+  !g
+
+let random_dag ~rng ~n ~p =
+  let g = ref Digraph.empty in
+  for v = 1 to n do
+    g := Digraph.add_vertex !g v
+  done;
+  for u = 1 to n do
+    for v = u + 1 to n do
+      if Prng.bernoulli rng p then g := Digraph.add_edge !g u v
+    done
+  done;
+  !g
+
+let planted ~rng ~n ~parts =
+  let g = ref Digraph.empty in
+  for v = 1 to n do
+    g := Digraph.add_vertex !g v
+  done;
+  List.iter
+    (fun part ->
+      let part_verts = Digraph.vertex_list part in
+      let k = List.length part_verts in
+      if k > n then invalid_arg "Generators.planted: part larger than n";
+      let hosts = Array.init n (fun i -> i + 1) in
+      Prng.shuffle rng hosts;
+      let assign = Hashtbl.create k in
+      List.iteri (fun i v -> Hashtbl.replace assign v hosts.(i)) part_verts;
+      Digraph.iter_edges
+        (fun u v ->
+          g := Digraph.add_edge !g (Hashtbl.find assign u) (Hashtbl.find assign v))
+        part)
+    parts;
+  !g
+
+let path n =
+  let g = ref Digraph.empty in
+  for v = 1 to n do
+    g := Digraph.add_vertex !g v
+  done;
+  for v = 1 to n - 1 do
+    g := Digraph.add_edge !g v (v + 1)
+  done;
+  !g
+
+let loop n =
+  if n < 2 then invalid_arg "Generators.loop: need n >= 2";
+  let g = ref (path n) in
+  g := Digraph.add_edge !g n 1;
+  !g
+
+let star n =
+  let g = ref (Digraph.add_vertex Digraph.empty 1) in
+  for v = 2 to n do
+    g := Digraph.add_edge !g 1 v
+  done;
+  !g
+
+let complete n =
+  let g = ref Digraph.empty in
+  for v = 1 to n do
+    g := Digraph.add_vertex !g v
+  done;
+  for u = 1 to n do
+    for v = 1 to n do
+      if u <> v then g := Digraph.add_edge !g u v
+    done
+  done;
+  !g
+
+let bidirectional_ring n =
+  if n < 2 then invalid_arg "Generators.bidirectional_ring: need n >= 2";
+  let g = ref Digraph.empty in
+  for v = 1 to n do
+    g := Digraph.add_vertex !g v
+  done;
+  for v = 1 to n do
+    let w = (v mod n) + 1 in
+    if v <> w then g := Digraph.add_edge_pair !g v w
+  done;
+  !g
+
+let mesh ~rows ~cols =
+  let id r c = (r * cols) + c + 1 in
+  let g = ref Digraph.empty in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      g := Digraph.add_vertex !g (id r c);
+      if c + 1 < cols then g := Digraph.add_edge_pair !g (id r c) (id r (c + 1));
+      if r + 1 < rows then g := Digraph.add_edge_pair !g (id r c) (id (r + 1) c)
+    done
+  done;
+  !g
+
+let torus ~rows ~cols =
+  let id r c = (r * cols) + c + 1 in
+  let g = ref (mesh ~rows ~cols) in
+  if cols > 2 then
+    for r = 0 to rows - 1 do
+      g := Digraph.add_edge_pair !g (id r (cols - 1)) (id r 0)
+    done;
+  if rows > 2 then
+    for c = 0 to cols - 1 do
+      g := Digraph.add_edge_pair !g (id (rows - 1) c) (id 0 c)
+    done;
+  !g
+
+let hypercube d =
+  if d < 0 then invalid_arg "Generators.hypercube: negative dimension";
+  let n = 1 lsl d in
+  let g = ref Digraph.empty in
+  for v = 0 to n - 1 do
+    g := Digraph.add_vertex !g (v + 1)
+  done;
+  for v = 0 to n - 1 do
+    for k = 0 to d - 1 do
+      let w = v lxor (1 lsl k) in
+      if v < w then g := Digraph.add_edge_pair !g (v + 1) (w + 1)
+    done
+  done;
+  !g
+
+let knodel n =
+  if n <= 0 || n mod 2 <> 0 then invalid_arg "Generators.knodel: need positive even n";
+  let half = n / 2 in
+  let delta =
+    let rec lg acc k = if k >= n then acc else lg (acc + 1) (k * 2) in
+    lg 0 1
+  in
+  let delta = if 1 lsl delta > n then delta - 1 else delta in
+  (* vertex numbering: (1, j) -> j + 1, (2, j) -> half + j + 1 *)
+  let top j = j + 1 in
+  let bottom j = half + j + 1 in
+  let g = ref Digraph.empty in
+  for j = 0 to half - 1 do
+    g := Digraph.add_vertex (Digraph.add_vertex !g (top j)) (bottom j)
+  done;
+  for j = 0 to half - 1 do
+    for k = 0 to max 0 (delta - 1) do
+      let j' = (j + (1 lsl k) - 1) mod half in
+      g := Digraph.add_edge_pair !g (top j) (bottom j')
+    done
+  done;
+  (if n = 2 then g := Digraph.add_edge_pair !g 1 2);
+  !g

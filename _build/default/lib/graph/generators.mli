@@ -1,0 +1,57 @@
+(** Graph generators.
+
+    [erdos_renyi] and [gnm] substitute for the Pajek random networks used in
+    Section 5.1 (Fig. 4b); the structured constructions (mesh, ring, star,
+    complete, hypercube, Knödel) are used both as library-primitive building
+    blocks and as baseline topologies.  Vertices are numbered from 1, like
+    the paper's figures. *)
+
+val erdos_renyi : rng:Noc_util.Prng.t -> n:int -> p:float -> Digraph.t
+(** Directed G(n, p): each ordered pair (no self-loops) independently gets an
+    edge with probability [p]. *)
+
+val gnm : rng:Noc_util.Prng.t -> n:int -> m:int -> Digraph.t
+(** Directed G(n, m): exactly [min m (n(n-1))] distinct directed edges chosen
+    uniformly. *)
+
+val random_dag : rng:Noc_util.Prng.t -> n:int -> p:float -> Digraph.t
+(** Acyclic: edge [i -> j] only for [i < j], present with probability [p]. *)
+
+val planted :
+  rng:Noc_util.Prng.t ->
+  n:int ->
+  parts:Digraph.t list ->
+  Digraph.t
+(** [planted ~rng ~n ~parts] embeds each graph of [parts] onto vertices drawn
+    at random from [1..n] (injectively, per part) and returns the union: a
+    graph that is decomposable into the given parts by construction.  Used to
+    build benchmark inputs with known ground truth (Fig. 5 style). *)
+
+val path : int -> Digraph.t
+(** Directed path [1 -> 2 -> ... -> n]. *)
+
+val loop : int -> Digraph.t
+(** Directed cycle on [n >= 2] vertices ([n = 2] gives the 2-cycle). *)
+
+val star : int -> Digraph.t
+(** Out-star: edges [1 -> 2 .. 1 -> n]. *)
+
+val complete : int -> Digraph.t
+(** Complete symmetric digraph K_n (every ordered pair). *)
+
+val bidirectional_ring : int -> Digraph.t
+
+val mesh : rows:int -> cols:int -> Digraph.t
+(** 2-D mesh with bidirectional links; vertex at (r, c) is numbered
+    [r * cols + c + 1], row-major. *)
+
+val torus : rows:int -> cols:int -> Digraph.t
+
+val hypercube : int -> Digraph.t
+(** [hypercube d] is the d-dimensional cube on [2^d] vertices (numbered from
+    1) with bidirectional links. *)
+
+val knodel : int -> Digraph.t
+(** [knodel n] is the Knödel graph W(⌊log2 n⌋, n) for even [n >= 2], with
+    bidirectional links: the classic minimum-gossip-graph family.
+    @raise Invalid_argument for odd or non-positive [n]. *)

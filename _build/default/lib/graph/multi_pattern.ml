@@ -1,0 +1,88 @@
+module Vset = Digraph.Vset
+
+type profile = {
+  n_vertices : int;
+  n_edges : int;
+  out_desc : int array;  (* out-degrees, descending *)
+  in_desc : int array;  (* in-degrees, descending *)
+}
+
+type entry = { id : int; graph : Digraph.t; prof : profile }
+
+type t = entry list
+
+let profile_of g =
+  let degs f =
+    let a =
+      Digraph.fold_vertices (fun v acc -> f v :: acc) g [] |> Array.of_list
+    in
+    Array.sort (fun a b -> Int.compare b a) a;
+    a
+  in
+  {
+    n_vertices = Digraph.num_vertices g;
+    n_edges = Digraph.num_edges g;
+    out_desc = degs (Digraph.out_degree g);
+    in_desc = degs (Digraph.in_degree g);
+  }
+
+let compile patterns =
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun (id, graph) ->
+      if Hashtbl.mem seen id then
+        invalid_arg (Printf.sprintf "Multi_pattern.compile: duplicate id %d" id);
+      Hashtbl.replace seen id true;
+      { id; graph; prof = profile_of graph })
+    patterns
+
+let pattern t id =
+  List.find_map (fun e -> if e.id = id then Some e.graph else None) t
+
+(* sorted-dominance: for every k, the k-th largest pattern degree must not
+   exceed the k-th largest target degree *)
+(* sorted-dominance with slack: up to [slack] missing pattern edges can
+   absorb a per-vertex degree deficit of at most [slack] *)
+let dominated_slack slack pat tgt =
+  let np = Array.length pat in
+  np <= Array.length tgt
+  &&
+  let ok = ref true in
+  for i = 0 to np - 1 do
+    if pat.(i) - slack > tgt.(i) then ok := false
+  done;
+  !ok
+
+let passes ?(slack = 0) prof tprof =
+  prof.n_vertices <= tprof.n_vertices
+  && prof.n_edges - slack <= tprof.n_edges
+  && dominated_slack slack prof.out_desc tprof.out_desc
+  && dominated_slack slack prof.in_desc tprof.in_desc
+
+let survivors ?slack t target =
+  let tprof = profile_of target in
+  List.filter_map (fun e -> if passes ?slack e.prof tprof then Some e.id else None) t
+
+let screened_out ?slack t target =
+  let tprof = profile_of target in
+  List.filter_map (fun e -> if passes ?slack e.prof tprof then None else Some e.id) t
+
+let find_first ?deadline t ~id target =
+  match List.find_opt (fun e -> e.id = id) t with
+  | None -> invalid_arg (Printf.sprintf "Multi_pattern.find_first: unknown id %d" id)
+  | Some e ->
+      let tprof = profile_of target in
+      if passes e.prof tprof then
+        Vf2.find_first ?deadline ~pattern:e.graph ~target ()
+      else None
+
+let matching_patterns ?deadline t target =
+  let tprof = profile_of target in
+  List.filter_map
+    (fun e ->
+      if passes e.prof tprof then
+        match Vf2.find_first ?deadline ~pattern:e.graph ~target () with
+        | Some m -> Some (e.id, m)
+        | None -> None
+      else None)
+    t

@@ -1,0 +1,50 @@
+(** Multi-pattern matching with invariant pre-screening.
+
+    Section 5.1 of the paper points at Messmer & Bunke's decision-tree
+    approach for matching a {e collection} of model graphs (the
+    communication library) against an input faster than running the
+    isomorphism test once per model.  This module implements the practical
+    core of that idea: the pattern set is compiled once into a table of
+    cheap structural invariants (vertex/edge counts, degree bounds, sorted
+    degree sequences), the target's invariants are computed once per query,
+    and full VF2 search runs only for the patterns that survive the screen.
+
+    The screen is sound for subgraph {e monomorphism}: a pattern can only
+    embed if its vertex count, edge count and sorted degree sequences are
+    dominated by the target's (the k-th largest pattern out-degree can not
+    exceed the k-th largest target out-degree, since an embedding maps each
+    pattern vertex onto a target vertex of at least its degree). *)
+
+type t
+(** A compiled pattern set. *)
+
+val compile : (int * Digraph.t) list -> t
+(** [compile [(id, pattern); ...]] precomputes the invariants.  Ids must be
+    distinct. @raise Invalid_argument on duplicate ids. *)
+
+val pattern : t -> int -> Digraph.t option
+(** Retrieve a compiled pattern by id. *)
+
+val survivors : ?slack:int -> t -> Digraph.t -> int list
+(** Ids of the patterns that pass the invariant screen against the target,
+    in compile order.  Every pattern with at least one monomorphism into
+    the target is guaranteed to be included (no false negatives); some
+    survivors may still fail the full search.  [slack] (default 0) relaxes
+    the screen for approximate matching: a pattern missing up to [slack]
+    edges in the target must also survive, so the edge-count and
+    degree-dominance tests are loosened by that amount. *)
+
+val screened_out : ?slack:int -> t -> Digraph.t -> int list
+(** Complement of {!survivors}: patterns rejected without any search. *)
+
+val find_first :
+  ?deadline:float -> t -> id:int -> Digraph.t -> Vf2.mapping option
+(** Full VF2 search for one pattern — but only after the screen; returns
+    [None] immediately when the screen rejects.
+    @raise Invalid_argument on unknown ids. *)
+
+val matching_patterns :
+  ?deadline:float -> t -> Digraph.t -> (int * Vf2.mapping) list
+(** First monomorphism for every pattern that has one, in compile order —
+    the "which library graphs appear in this input" query the
+    decomposition's branch step performs. *)

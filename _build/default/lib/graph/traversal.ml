@@ -1,0 +1,260 @@
+module Vset = Digraph.Vset
+module Vmap = Digraph.Vmap
+
+let bfs_distances g src =
+  if not (Digraph.mem_vertex g src) then Vmap.empty
+  else begin
+    let dist = ref (Vmap.add src 0 Vmap.empty) in
+    let queue = Queue.create () in
+    Queue.add src queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let du = Vmap.find u !dist in
+      Vset.iter
+        (fun v ->
+          if not (Vmap.mem v !dist) then begin
+            dist := Vmap.add v (du + 1) !dist;
+            Queue.add v queue
+          end)
+        (Digraph.succ g u)
+    done;
+    !dist
+  end
+
+let shortest_path g src dst =
+  if not (Digraph.mem_vertex g src && Digraph.mem_vertex g dst) then None
+  else if src = dst then Some [ src ]
+  else begin
+    let parent = ref Vmap.empty in
+    let visited = ref (Vset.singleton src) in
+    let queue = Queue.create () in
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      Vset.iter
+        (fun v ->
+          if not (Vset.mem v !visited) then begin
+            visited := Vset.add v !visited;
+            parent := Vmap.add v u !parent;
+            if v = dst then found := true else Queue.add v queue
+          end)
+        (Digraph.succ g u)
+    done;
+    if not !found then None
+    else begin
+      let rec build v acc =
+        if v = src then src :: acc else build (Vmap.find v !parent) (v :: acc)
+      in
+      Some (build dst [])
+    end
+  end
+
+let reachable g src =
+  Vmap.fold (fun v _ acc -> Vset.add v acc) (bfs_distances g src) Vset.empty
+
+let weakly_connected_components g =
+  let u = Digraph.undirected_closure g in
+  let seen = ref Vset.empty in
+  let comps =
+    Digraph.fold_vertices
+      (fun v acc ->
+        if Vset.mem v !seen then acc
+        else begin
+          let comp = reachable u v in
+          seen := Vset.union !seen comp;
+          comp :: acc
+        end)
+      g []
+  in
+  List.sort (fun a b -> Int.compare (Vset.cardinal b) (Vset.cardinal a)) comps
+
+let is_weakly_connected g =
+  match weakly_connected_components g with [] | [ _ ] -> true | _ -> false
+
+(* Tarjan's strongly connected components, iterative to avoid stack
+   overflows on long paths. *)
+let strongly_connected_components g =
+  let index = ref 0 in
+  let indices = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = Stack.create () in
+  let components = ref [] in
+  let rec strong v =
+    Hashtbl.replace indices v !index;
+    Hashtbl.replace lowlink v !index;
+    incr index;
+    Stack.push v stack;
+    Hashtbl.replace on_stack v true;
+    Vset.iter
+      (fun w ->
+        if not (Hashtbl.mem indices w) then begin
+          strong w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find indices w)))
+      (Digraph.succ g v);
+    if Hashtbl.find lowlink v = Hashtbl.find indices v then begin
+      let comp = ref Vset.empty in
+      let continue = ref true in
+      while !continue do
+        let w = Stack.pop stack in
+        Hashtbl.remove on_stack w;
+        comp := Vset.add w !comp;
+        if w = v then continue := false
+      done;
+      components := !comp :: !components
+    end
+  in
+  Digraph.fold_vertices (fun v () -> if not (Hashtbl.mem indices v) then strong v) g ();
+  List.rev !components
+
+let topological_sort g =
+  let in_deg = Hashtbl.create 64 in
+  Digraph.fold_vertices (fun v () -> Hashtbl.replace in_deg v (Digraph.in_degree g v)) g ();
+  let queue = Queue.create () in
+  Digraph.fold_vertices (fun v () -> if Digraph.in_degree g v = 0 then Queue.add v queue) g ();
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    incr count;
+    Vset.iter
+      (fun v ->
+        let d = Hashtbl.find in_deg v - 1 in
+        Hashtbl.replace in_deg v d;
+        if d = 0 then Queue.add v queue)
+      (Digraph.succ g u)
+  done;
+  if !count = Digraph.num_vertices g then Some (List.rev !order) else None
+
+let is_acyclic g = match topological_sort g with Some _ -> true | None -> false
+
+let find_cycle g =
+  (* DFS with colors; returns the first back-edge cycle found. *)
+  let color = Hashtbl.create 64 in
+  (* 0 = white (absent), 1 = gray, 2 = black *)
+  let result = ref None in
+  let rec dfs path v =
+    Hashtbl.replace color v 1;
+    let path = v :: path in
+    Vset.iter
+      (fun w ->
+        if !result = None then
+          match Hashtbl.find_opt color w with
+          | Some 1 ->
+              (* back edge: cycle is the path segment from w to v *)
+              let rec take acc = function
+                | [] -> acc
+                | x :: rest -> if x = w then x :: acc else take (x :: acc) rest
+              in
+              result := Some (take [] path)
+          | Some _ -> ()
+          | None -> dfs path w)
+      (Digraph.succ g v);
+    Hashtbl.replace color v 2
+  in
+  Digraph.fold_vertices
+    (fun v () -> if !result = None && not (Hashtbl.mem color v) then dfs [] v)
+    g ();
+  !result
+
+let diameter g =
+  if Digraph.num_vertices g < 2 then None
+  else begin
+    let best = ref 0 in
+    Digraph.fold_vertices
+      (fun v () ->
+        Vmap.iter (fun _ d -> if d > !best then best := d) (bfs_distances g v))
+      g ();
+    Some !best
+  end
+
+let undirected_diameter g =
+  if Digraph.num_vertices g < 2 then None
+  else begin
+    let u = Digraph.undirected_closure g in
+    let n = Digraph.num_vertices u in
+    let best = ref 0 in
+    let connected = ref true in
+    Digraph.fold_vertices
+      (fun v () ->
+        let dist = bfs_distances u v in
+        if Vmap.cardinal dist < n then connected := false;
+        Vmap.iter (fun _ d -> if d > !best then best := d) dist)
+      u ();
+    if !connected then Some !best else None
+  end
+
+let cut_size und part =
+  (* number of unordered adjacent pairs crossing the bipartition *)
+  let count = ref 0 in
+  Digraph.iter_edges
+    (fun u v ->
+      if u < v && Vset.mem u part <> Vset.mem v part then incr count)
+    (Digraph.undirected_closure und);
+  !count
+
+let min_bisection_cut ?(sweeps = 8) ~rng g =
+  let vs = Array.of_list (Digraph.vertex_list g) in
+  let n = Array.length vs in
+  if n = 0 then (Vset.empty, 0)
+  else begin
+    let und = Digraph.undirected_closure g in
+    let half = n / 2 in
+    let best_part = ref Vset.empty in
+    let best_cut = ref max_int in
+    for _ = 1 to max 1 sweeps do
+      Noc_util.Prng.shuffle rng vs;
+      let part = ref Vset.empty in
+      for i = 0 to half - 1 do
+        part := Vset.add vs.(i) !part
+      done;
+      (* greedy improvement: swap pairs that reduce the cut *)
+      let improved = ref true in
+      let guard = ref 0 in
+      while !improved && !guard < 32 do
+        improved := false;
+        incr guard;
+        let gain v =
+          (* moving v to the other side changes the cut by (internal -
+             external) undirected neighbors *)
+          let internal = ref 0 and external_ = ref 0 in
+          let side = Vset.mem v !part in
+          Vset.iter
+            (fun w ->
+              if Vset.mem w !part = side then incr internal else incr external_)
+            (Vset.union (Digraph.succ und v) (Digraph.pred und v));
+          !internal - !external_
+        in
+        let inside = Vset.elements !part in
+        let outside =
+          List.filter (fun v -> not (Vset.mem v !part)) (Array.to_list vs)
+        in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if Vset.mem a !part && not (Vset.mem b !part) then begin
+                  let adj = Digraph.mem_edge und a b || Digraph.mem_edge und b a in
+                  (* cut change if a and b swap sides; negative is better *)
+                  let delta = gain a + gain b + (if adj then 2 else 0) in
+                  if delta < 0 then begin
+                    part := Vset.add b (Vset.remove a !part);
+                    improved := true
+                  end
+                end)
+              outside)
+          inside
+      done;
+      let c = cut_size g !part in
+      if c < !best_cut then begin
+        best_cut := c;
+        best_part := !part
+      end
+    done;
+    (!best_part, if !best_cut = max_int then 0 else !best_cut)
+  end

@@ -1,0 +1,51 @@
+(** Classic graph algorithms over {!Digraph.t}.
+
+    Used for structural analysis of ACGs and synthesized topologies:
+    reachability and hop counts feed the energy model (Eq. 1 needs
+    [nhops]), strongly connected components and cycle extraction feed the
+    deadlock checker, and the bisection heuristic feeds the bisection
+    bandwidth constraint of Section 4.2. *)
+
+val bfs_distances : Digraph.t -> int -> int Digraph.Vmap.t
+(** [bfs_distances g src] maps every vertex reachable from [src] (following
+    edge direction) to its hop distance; [src] maps to 0. *)
+
+val shortest_path : Digraph.t -> int -> int -> int list option
+(** [shortest_path g src dst] is a minimum-hop directed path
+    [[src; ...; dst]], or [None] if unreachable. *)
+
+val reachable : Digraph.t -> int -> Digraph.Vset.t
+(** Vertices reachable from a source, including the source itself. *)
+
+val weakly_connected_components : Digraph.t -> Digraph.Vset.t list
+(** Components of the symmetric closure, largest first. *)
+
+val is_weakly_connected : Digraph.t -> bool
+(** True for the empty graph and for graphs with one weak component. *)
+
+val strongly_connected_components : Digraph.t -> Digraph.Vset.t list
+(** Tarjan's algorithm; components in reverse topological order. *)
+
+val topological_sort : Digraph.t -> int list option
+(** [Some order] iff the graph is acyclic. *)
+
+val is_acyclic : Digraph.t -> bool
+
+val find_cycle : Digraph.t -> int list option
+(** [find_cycle g] is [Some [v1; ...; vk]] such that [v1 -> v2 -> ... -> vk
+    -> v1] are edges of [g], if any directed cycle exists. *)
+
+val diameter : Digraph.t -> int option
+(** Longest finite shortest-path distance over ordered reachable pairs
+    (directed).  [None] for graphs with fewer than two vertices. *)
+
+val undirected_diameter : Digraph.t -> int option
+(** Diameter of the symmetric closure; [None] if disconnected or has fewer
+    than two vertices. *)
+
+val min_bisection_cut : ?sweeps:int -> rng:Noc_util.Prng.t -> Digraph.t -> Digraph.Vset.t * int
+(** Kernighan–Lin style heuristic for minimum bisection of the symmetric
+    closure: returns one half of a balanced (±1 vertex) bipartition and the
+    number of unordered adjacent pairs crossing the cut.  Used for the
+    bisection-bandwidth constraint check; exact bisection is NP-hard so a
+    heuristic upper bound is computed, as in the paper's tool flow. *)

@@ -1,0 +1,1 @@
+lib/primitives/library.ml: Format List Noc_graph Primitive

@@ -1,0 +1,1 @@
+lib/primitives/library.mli: Format Primitive

@@ -1,0 +1,1 @@
+lib/primitives/primitive.ml: Array Format List Noc_graph Printf Schedule

@@ -1,0 +1,1 @@
+lib/primitives/primitive.mli: Format Noc_graph Schedule

@@ -1,0 +1,1 @@
+lib/primitives/schedule.ml: Format Hashtbl List Noc_graph

@@ -1,0 +1,1 @@
+lib/primitives/schedule.mli: Format Noc_graph

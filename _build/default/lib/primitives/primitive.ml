@@ -1,0 +1,197 @@
+module D = Noc_graph.Digraph
+module G = Noc_graph.Generators
+module Vmap = D.Vmap
+module Vset = D.Vset
+
+type kind = Gossip of int | Broadcast of int | Path of int | Loop of int
+
+type t = {
+  name : string;
+  kind : kind;
+  repr : D.t;
+  impl : D.t;
+  schedule : Schedule.t;
+  routes : int list Vmap.t Vmap.t;
+}
+
+let size p = D.num_vertices p.repr
+
+let repr_edge_count p = D.num_edges p.repr
+
+let impl_link_count p = D.undirected_edge_count p.impl
+
+let route p ~src ~dst =
+  match Vmap.find_opt src p.routes with
+  | None -> None
+  | Some m -> Vmap.find_opt dst m
+
+let compute_routes impl schedule =
+  D.fold_vertices
+    (fun src acc ->
+      Vmap.add src (Schedule.first_arrival_paths ~impl ~src schedule) acc)
+    impl Vmap.empty
+
+let make ~name ~kind ~repr ~impl ~schedule =
+  if not (Schedule.is_valid ~impl schedule) then
+    invalid_arg (Printf.sprintf "Primitive.make: invalid schedule for %s" name);
+  { name; kind; repr; impl; schedule; routes = compute_routes impl schedule }
+
+(* ---------------------------------------------------------------- *)
+(* Gossip: minimum gossip graphs                                     *)
+
+(* Dimension-sweep schedule on the hypercube: in round k every vertex
+   exchanges with its neighbor across dimension k.  After sweeping all
+   dimensions every vertex knows everything (classic result). *)
+let hypercube_schedule d =
+  let n = 1 lsl d in
+  List.init d (fun k ->
+      let rec collect v acc =
+        if v >= n then acc
+        else
+          let w = v lxor (1 lsl k) in
+          let acc = if v < w then Schedule.Exchange (v + 1, w + 1) :: acc else acc in
+          collect (v + 1) acc
+      in
+      collect 0 [])
+
+(* Knödel graph rounds: round k matches (top j) with (bottom (j + 2^k - 1)
+   mod n/2); each vertex appears exactly once per round. *)
+let knodel_rounds n =
+  let half = n / 2 in
+  let delta =
+    let rec lg acc k = if k >= n then acc else lg (acc + 1) (k * 2) in
+    let up = lg 0 1 in
+    if 1 lsl up > n then up - 1 else up
+  in
+  let top j = j + 1 and bottom j = half + j + 1 in
+  List.init (max 1 delta) (fun k ->
+      List.init half (fun j ->
+          Schedule.Exchange (top j, bottom ((j + (1 lsl k) - 1) mod half))))
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let rec even_gossip_impl_schedule n =
+  if n = 2 then (G.complete 2, [ [ Schedule.Exchange (1, 2) ] ])
+  else if n = 4 then
+    (* the paper's MGG4: links 1-3, 2-4, 1-2, 3-4; rounds (1,3)(2,4) then
+       (1,2)(3,4) (Fig. 1) *)
+    let impl =
+      D.of_edges [ (1, 3); (3, 1); (2, 4); (4, 2); (1, 2); (2, 1); (3, 4); (4, 3) ]
+    in
+    (impl, [ [ Schedule.Exchange (1, 3); Schedule.Exchange (2, 4) ];
+             [ Schedule.Exchange (1, 2); Schedule.Exchange (3, 4) ] ])
+  else if is_power_of_two n then
+    let d =
+      let rec lg acc k = if k >= n then acc else lg (acc + 1) (k * 2) in
+      lg 0 1
+    in
+    (G.hypercube d, hypercube_schedule d)
+  else begin
+    (* general even n: Knödel graph; start with one dimension sweep and
+       extend one round at a time (cycling through the dimensions) until
+       gossip completes — this reaches the ceil(log2 n) optimum for the
+       even sizes the library uses (6, 10, 12, ...) *)
+    let impl = G.knodel n in
+    let base = Array.of_list (knodel_rounds n) in
+    let dims = Array.length base in
+    let rec extend s k guard =
+      if Schedule.completes_gossip ~impl s then s
+      else if guard = 0 then
+        invalid_arg "Primitive.gossip: Knödel schedule failed to complete"
+      else extend (s @ [ base.(k mod dims) ]) (k + 1) (guard - 1)
+    in
+    (impl, extend (Array.to_list base) dims (4 * dims))
+  end
+
+and odd_gossip_impl_schedule n =
+  (* even core on 1..n-1; vertex n docks at vertex 1 with one exchange at
+     each end of the core schedule *)
+  let core_impl, core_sched = even_gossip_impl_schedule (n - 1) in
+  let impl = D.add_edge_pair core_impl 1 n in
+  let sched = ([ Schedule.Exchange (n, 1) ] :: core_sched) @ [ [ Schedule.Exchange (n, 1) ] ] in
+  (impl, sched)
+
+let gossip n =
+  if n < 2 then invalid_arg "Primitive.gossip: need n >= 2";
+  let impl, schedule =
+    if n mod 2 = 0 then even_gossip_impl_schedule n else odd_gossip_impl_schedule n
+  in
+  if not (Schedule.completes_gossip ~impl schedule) then
+    invalid_arg (Printf.sprintf "Primitive.gossip: schedule incomplete for n=%d" n);
+  make ~name:(Printf.sprintf "MGG%d" n) ~kind:(Gossip n) ~repr:(G.complete n) ~impl
+    ~schedule
+
+(* ---------------------------------------------------------------- *)
+(* Broadcast: binomial trees                                         *)
+
+let broadcast n =
+  if n < 2 then invalid_arg "Primitive.broadcast: need n >= 2";
+  (* binomial broadcast: in each round every informed vertex calls one new
+     vertex; completes in ceil(log2 n) rounds with n-1 tree links *)
+  let informed = ref [ 1 ] in
+  let next = ref 2 in
+  let impl = ref (D.add_vertex D.empty 1) in
+  let schedule = ref [] in
+  while !next <= n do
+    let round = ref [] in
+    let senders = !informed in
+    List.iter
+      (fun u ->
+        if !next <= n then begin
+          let v = !next in
+          incr next;
+          impl := D.add_edge_pair !impl u v;
+          round := Schedule.Send (u, v) :: !round;
+          informed := !informed @ [ v ]
+        end)
+      senders;
+    schedule := List.rev !round :: !schedule
+  done;
+  let schedule = List.rev !schedule in
+  let impl = !impl in
+  if not (Schedule.completes_broadcast ~impl ~root:1 schedule) then
+    invalid_arg "Primitive.broadcast: schedule incomplete";
+  make
+    ~name:(Printf.sprintf "G12%d" (n - 1))
+    ~kind:(Broadcast n) ~repr:(G.star n) ~impl ~schedule
+
+(* ---------------------------------------------------------------- *)
+(* Paths and loops                                                   *)
+
+let alternating_path_rounds n =
+  let odd = ref [] and even = ref [] in
+  for i = 1 to n - 1 do
+    let tx = Schedule.Send (i, i + 1) in
+    if i mod 2 = 1 then odd := tx :: !odd else even := tx :: !even
+  done;
+  match (!odd, !even) with
+  | o, [] -> [ List.rev o ]
+  | o, e -> [ List.rev o; List.rev e ]
+
+let path n =
+  if n < 2 then invalid_arg "Primitive.path: need n >= 2";
+  let repr = G.path n in
+  let impl = D.undirected_closure repr in
+  make ~name:(Printf.sprintf "P%d" n) ~kind:(Path n) ~repr ~impl
+    ~schedule:(alternating_path_rounds n)
+
+let loop n =
+  if n < 3 then invalid_arg "Primitive.loop: need n >= 3";
+  let repr = G.loop n in
+  let impl = D.undirected_closure repr in
+  (* proper edge coloring of the cycle: 2 rounds when n is even, 3 when
+     odd (the closing edge n->1 conflicts with edge 1->2 otherwise) *)
+  let schedule =
+    if n mod 2 = 0 then
+      let closing = Schedule.Send (n, 1) in
+      match alternating_path_rounds n with
+      | [ o; e ] -> [ o; e @ [ closing ] ]
+      | other -> other @ [ [ closing ] ]
+    else alternating_path_rounds n @ [ [ Schedule.Send (n, 1) ] ]
+  in
+  make ~name:(Printf.sprintf "L%d" n) ~kind:(Loop n) ~repr ~impl ~schedule
+
+let pp ppf p =
+  Format.fprintf ppf "%s (|V|=%d, repr edges=%d, links=%d, rounds=%d)" p.name (size p)
+    (repr_edge_count p) (impl_link_count p)
+    (Schedule.rounds p.schedule)

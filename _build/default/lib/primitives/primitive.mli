@@ -1,0 +1,71 @@
+(** Communication primitives: representation graph, optimal implementation
+    graph and schedule (Fig. 1 of the paper).
+
+    A primitive has two graph views:
+
+    - the {e representation graph} is the traffic pattern the decomposition
+      algorithm searches for in the ACG (gossiping among n nodes is the
+      complete digraph K_n, broadcasting is an out-star, ...);
+    - the {e implementation graph} is the physical topology that realizes
+      the pattern in minimum time with few links (Minimum Gossip Graph,
+      minimum-time broadcast tree, ...), together with a round-optimal
+      {!Schedule.t}.
+
+    Both graphs use the same canonical vertex names [1..n], so a matching of
+    the representation graph into the ACG directly transfers the
+    implementation graph onto the matched cores. *)
+
+type kind =
+  | Gossip of int  (** all-to-all among [n] vertices *)
+  | Broadcast of int  (** vertex 1 to all of [2..n] *)
+  | Path of int  (** pipeline [1 -> 2 -> ... -> n] *)
+  | Loop of int  (** ring [1 -> 2 -> ... -> n -> 1] *)
+
+type t = private {
+  name : string;  (** e.g. ["MGG4"], ["G123"], ["L4"], ["P3"] *)
+  kind : kind;
+  repr : Noc_graph.Digraph.t;  (** pattern searched in the ACG *)
+  impl : Noc_graph.Digraph.t;  (** physical links (symmetric digraph) *)
+  schedule : Schedule.t;
+  routes : int list Noc_graph.Digraph.Vmap.t Noc_graph.Digraph.Vmap.t;
+      (** [routes src dst] is the first-arrival path [src; ...; dst] in the
+          implementation graph, for every ordered pair that the
+          representation graph connects (directly or transitively via the
+          schedule). *)
+}
+
+val size : t -> int
+(** Number of vertices of the representation graph. *)
+
+val repr_edge_count : t -> int
+
+val impl_link_count : t -> int
+(** Number of physical (undirected) links of the implementation graph: the
+    abstract wiring cost of the primitive used in the paper's printed
+    decompositions. *)
+
+val route : t -> src:int -> dst:int -> int list option
+(** Routing path for a covered pair (canonical vertex names). *)
+
+val gossip : int -> t
+(** [gossip n] is the all-to-all primitive on [n >= 2] vertices.
+    Implementations: single link for [n = 2]; the paper's MGG4 (the 4-cycle
+    with its 2-round schedule) for [n = 4]; Knödel-graph constructions for
+    larger even [n]; for odd [n], vertex [n] piggybacks on the even core
+    with one extra round at each end.  The schedule always completes gossip
+    (validated at construction). *)
+
+val broadcast : int -> t
+(** [broadcast n] is the one-to-(n-1) primitive ([n >= 2]), named [G12k]
+    for k = n-1 as in the paper.  Implementation: binomial broadcast tree
+    completing in ⌈log2 n⌉ rounds. *)
+
+val path : int -> t
+(** [path n] ([n >= 2]), named [Pn]: neighbor pipeline; the implementation
+    is the path itself scheduled in two alternating rounds. *)
+
+val loop : int -> t
+(** [loop n] ([n >= 3]), named [Ln]: ring; two alternating rounds (three if
+    [n] is odd). *)
+
+val pp : Format.formatter -> t -> unit

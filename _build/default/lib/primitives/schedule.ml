@@ -1,0 +1,123 @@
+module D = Noc_graph.Digraph
+module Vset = D.Vset
+module Vmap = D.Vmap
+
+type transaction = Exchange of int * int | Send of int * int
+
+type round = transaction list
+
+type t = round list
+
+let endpoints = function Exchange (a, b) -> (a, b) | Send (a, b) -> (a, b)
+
+let rounds = List.length
+
+let pp_transaction ppf = function
+  | Exchange (a, b) -> Format.fprintf ppf "(%d<->%d)" a b
+  | Send (a, b) -> Format.fprintf ppf "(%d->%d)" a b
+
+let pp ppf s =
+  List.iteri
+    (fun i r ->
+      Format.fprintf ppf "round %d: %a@ " (i + 1)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_transaction)
+        r)
+    s
+
+let is_valid ~impl s =
+  List.for_all
+    (fun r ->
+      let used = Hashtbl.create 8 in
+      List.for_all
+        (fun tx ->
+          let a, b = endpoints tx in
+          let adjacent = D.mem_edge impl a b || D.mem_edge impl b a in
+          let free = (not (Hashtbl.mem used a)) && not (Hashtbl.mem used b) in
+          Hashtbl.replace used a true;
+          Hashtbl.replace used b true;
+          adjacent && free && a <> b)
+        r)
+    s
+
+let initial_knowledge impl =
+  D.fold_vertices (fun v acc -> Vmap.add v (Vset.singleton v) acc) impl Vmap.empty
+
+let step_round know r =
+  (* synchronous semantics: all transfers read the knowledge at the start of
+     the round *)
+  let get v = match Vmap.find_opt v know with Some s -> s | None -> Vset.singleton v in
+  List.fold_left
+    (fun acc tx ->
+      match tx with
+      | Exchange (a, b) ->
+          let ka = get a and kb = get b in
+          let acc = Vmap.add a (Vset.union (Vmap.find a acc) kb) acc in
+          Vmap.add b (Vset.union (Vmap.find b acc) ka) acc
+      | Send (a, b) ->
+          let ka = get a in
+          Vmap.add b (Vset.union (Vmap.find b acc) ka) acc)
+    know r
+
+let knowledge_after ~impl s =
+  List.fold_left step_round (initial_knowledge impl) s
+
+let completes_gossip ~impl s =
+  let all = D.vertices impl in
+  let know = knowledge_after ~impl s in
+  Vset.for_all
+    (fun v ->
+      match Vmap.find_opt v know with Some k -> Vset.equal k all | None -> false)
+    all
+
+let completes_broadcast ~impl ~root s =
+  let know = knowledge_after ~impl s in
+  Vset.for_all
+    (fun v ->
+      match Vmap.find_opt v know with Some k -> Vset.mem root k | None -> false)
+    (D.vertices impl)
+
+let first_arrival_paths ~impl ~src s =
+  if not (D.mem_vertex impl src) then Vmap.empty
+  else begin
+    (* paths.(v) = Some path once src's token reaches v *)
+    let paths = ref (Vmap.add src [ src ] Vmap.empty) in
+    let n = D.num_vertices impl in
+    let apply_round r =
+      (* snapshot: arrivals within a round are based on start-of-round state *)
+      let snapshot = !paths in
+      let transfer a b =
+        match (Vmap.find_opt a snapshot, Vmap.find_opt b !paths) with
+        | Some pa, None -> paths := Vmap.add b (pa @ [ b ]) !paths
+        | _ -> ()
+      in
+      List.iter
+        (fun tx ->
+          match tx with
+          | Exchange (a, b) ->
+              transfer a b;
+              transfer b a
+          | Send (a, b) -> transfer a b)
+        r
+    in
+    (* repeat the schedule cyclically a bounded number of times; gossip and
+       broadcast schedules complete in one pass, path/loop pipelines may need
+       several *)
+    let max_passes = max 2 n in
+    let pass = ref 0 in
+    while Vmap.cardinal !paths < n && !pass < max_passes do
+      incr pass;
+      List.iter apply_round s
+    done;
+    !paths
+  end
+
+let gossip_lower_bound n =
+  if n < 2 then invalid_arg "Schedule.gossip_lower_bound: need n >= 2";
+  let rec lg acc k = if k >= n then acc else lg (acc + 1) (k * 2) in
+  let ceil_log = lg 0 1 in
+  if n mod 2 = 0 then ceil_log else ceil_log + 1
+
+let broadcast_lower_bound n =
+  if n < 1 then invalid_arg "Schedule.broadcast_lower_bound: need n >= 1";
+  let rec lg acc k = if k >= n then acc else lg (acc + 1) (k * 2) in
+  lg 0 1

@@ -1,0 +1,61 @@
+(** Round-based communication schedules in the telephone model.
+
+    The implementation graphs of the communication library (Fig. 1 of the
+    paper) come with schedules showing how the primitive completes in the
+    minimum number of rounds: in each round a node takes part in at most one
+    transaction (the classic telephone/gossip model the paper cites from
+    Hedetniemi et al. and Hromkovic et al.).
+
+    A schedule both certifies optimality of an implementation graph and
+    yields the routing tables of Section 4.5: replaying the schedule tells
+    every node through which neighbor information from any source first
+    reaches it. *)
+
+type transaction =
+  | Exchange of int * int  (** bidirectional (telephone call), used by gossip *)
+  | Send of int * int  (** one-way call [src, dst], used by broadcast/paths *)
+
+type round = transaction list
+
+type t = round list
+
+val endpoints : transaction -> int * int
+
+val rounds : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val is_valid : impl:Noc_graph.Digraph.t -> t -> bool
+(** A schedule is valid for an implementation graph when every transaction
+    uses an adjacent vertex pair of the graph (in either direction) and no
+    vertex takes part in two transactions of the same round. *)
+
+val knowledge_after : impl:Noc_graph.Digraph.t -> t -> Noc_graph.Digraph.Vset.t Noc_graph.Digraph.Vmap.t
+(** [knowledge_after ~impl s] replays [s] once with synchronous-round
+    semantics (information exchanged in a round is the information held at
+    the {e start} of that round) and returns, for each vertex, the set of
+    vertices whose initial token it has learned (every vertex knows its own
+    token initially). *)
+
+val completes_gossip : impl:Noc_graph.Digraph.t -> t -> bool
+(** Every vertex ends up knowing every vertex's token. *)
+
+val completes_broadcast : impl:Noc_graph.Digraph.t -> root:int -> t -> bool
+(** Every vertex ends up knowing the root's token. *)
+
+val first_arrival_paths :
+  impl:Noc_graph.Digraph.t -> src:int -> t -> int list Noc_graph.Digraph.Vmap.t
+(** [first_arrival_paths ~impl ~src s] replays the schedule (repeating it
+    cyclically up to a small bound if one pass does not suffice) and returns,
+    for every vertex [v] that learns [src]'s token, the path
+    [[src; ...; v]] along which the token first reached [v].  This is
+    exactly the paper's routing-table construction: the next hop from [src]
+    towards [v] is the second vertex of the path. *)
+
+val gossip_lower_bound : int -> int
+(** Minimum number of rounds for gossiping among [n >= 2] vertices in the
+    telephone model: ⌈log2 n⌉ for even [n], ⌈log2 n⌉ + 1 for odd [n > 1]. *)
+
+val broadcast_lower_bound : int -> int
+(** Minimum number of rounds to broadcast among [n >= 1] vertices:
+    ⌈log2 n⌉. *)

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Bytes Hashtbl Int List Noc_core Noc_graph Noc_util Option Packet Printf Queue

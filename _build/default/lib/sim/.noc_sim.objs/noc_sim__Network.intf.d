@@ -1,0 +1,1 @@
+lib/sim/network.mli: Bytes Noc_core Noc_graph Noc_util Packet

@@ -1,0 +1,1 @@
+lib/sim/patterns.ml: Fun List Noc_core Noc_graph Printf

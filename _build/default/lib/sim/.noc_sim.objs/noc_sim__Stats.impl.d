@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Format List Network Noc_core Noc_energy Noc_graph Packet

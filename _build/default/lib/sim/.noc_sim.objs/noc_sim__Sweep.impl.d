@@ -1,0 +1,1 @@
+lib/sim/sweep.ml: List Network Noc_core Noc_graph Noc_util Stats

@@ -1,0 +1,1 @@
+lib/sim/sweep.mli: Noc_core Noc_util

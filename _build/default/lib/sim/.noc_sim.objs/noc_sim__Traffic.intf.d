@@ -1,0 +1,1 @@
+lib/sim/traffic.mli: Network Noc_core Noc_util

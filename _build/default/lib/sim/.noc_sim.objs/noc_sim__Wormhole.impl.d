@@ -1,0 +1,1 @@
+lib/sim/wormhole.ml: Array Bytes Hashtbl List Network Noc_core Noc_graph Option Packet Printf Stats

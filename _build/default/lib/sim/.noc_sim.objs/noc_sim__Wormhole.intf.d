@@ -1,0 +1,1 @@
+lib/sim/wormhole.mli: Bytes Noc_core Noc_graph Packet Stats

@@ -1,0 +1,273 @@
+module D = Noc_graph.Digraph
+module Edge_map = D.Edge_map
+module Vmap = D.Vmap
+
+type config = {
+  router_delay : int;
+  link_delay : int;
+  flit_bits : int;
+}
+
+let default_config = { router_delay = 1; link_delay = 1; flit_bits = 8 }
+
+type policy = Fixed | Adaptive | Oblivious of Noc_util.Prng.t
+
+type delivery = { packet : Packet.t; delivered_at : int }
+
+(* A packet currently at a router, waiting for (or about to request) its
+   next channel. *)
+type in_flight = {
+  packet : Packet.t;
+  mutable hop : int;  (* index into the planned route (Fixed policy) *)
+  mutable node : int;  (* router currently holding the packet *)
+  mutable trace : int list;  (* nodes visited, most recent first *)
+}
+
+type channel = {
+  mutable busy_until : int;
+  waiting : in_flight Queue.t;
+}
+
+type t = {
+  arch : Noc_core.Synthesis.t;
+  cfg : config;
+  policy : policy;
+  (* lazily computed hop distances to a destination over the topology *)
+  dist_tables : (int, int Vmap.t) Hashtbl.t;
+  traces : (int, int list) Hashtbl.t;  (* delivered packet id -> path *)
+  mutable cycle : int;
+  mutable next_id : int;
+  mutable in_network : int;
+  channels : (D.Edge.t, channel) Hashtbl.t;
+  channel_order : D.Edge.t array;  (* fixed arbitration scan order *)
+  (* arrivals.(future cycle) -> packets becoming ready at a router *)
+  arrivals : (int, in_flight list ref) Hashtbl.t;
+  mutable delivered_rev : delivery list;
+  mutable drain_rev : delivery list;
+  mutable flit_hops : int;
+  mutable link_flits : int Edge_map.t;
+  mutable switch_flits : int Vmap.t;
+  mutable buffer_flit_cycles : int;
+  mutable queued_flits : int;
+}
+
+let create ?(config = default_config) ?(policy = Fixed) arch =
+  if config.router_delay < 1 || config.link_delay < 1 then
+    invalid_arg "Network.create: delays must be >= 1";
+  if config.flit_bits < 1 then invalid_arg "Network.create: flit_bits must be >= 1";
+  let channels = Hashtbl.create 64 in
+  let edges = D.edges arch.Noc_core.Synthesis.topology in
+  List.iter
+    (fun e -> Hashtbl.replace channels e { busy_until = 0; waiting = Queue.create () })
+    edges;
+  {
+    arch;
+    cfg = config;
+    policy;
+    dist_tables = Hashtbl.create 16;
+    traces = Hashtbl.create 64;
+    cycle = 0;
+    next_id = 0;
+    in_network = 0;
+    channels;
+    channel_order = Array.of_list edges;
+    arrivals = Hashtbl.create 64;
+    delivered_rev = [];
+    drain_rev = [];
+    flit_hops = 0;
+    link_flits = Edge_map.empty;
+    switch_flits = Vmap.empty;
+    buffer_flit_cycles = 0;
+    queued_flits = 0;
+  }
+
+let now t = t.cycle
+
+let config t = t.cfg
+
+let count_switch t node flits =
+  t.switch_flits <-
+    Vmap.add node (flits + Option.value ~default:0 (Vmap.find_opt node t.switch_flits))
+      t.switch_flits
+
+let schedule_arrival t at inf =
+  let cell =
+    match Hashtbl.find_opt t.arrivals at with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace t.arrivals at l;
+        l
+  in
+  cell := inf :: !cell
+
+let deliver t inf =
+  t.in_network <- t.in_network - 1;
+  Hashtbl.replace t.traces inf.packet.Packet.id (List.rev inf.trace);
+  let d = { packet = inf.packet; delivered_at = t.cycle } in
+  t.delivered_rev <- d :: t.delivered_rev;
+  t.drain_rev <- d :: t.drain_rev
+
+(* hop distances to [dst] over the (symmetric) topology, memoized *)
+let distances_to t dst =
+  match Hashtbl.find_opt t.dist_tables dst with
+  | Some m -> m
+  | None ->
+      (* BFS from dst following predecessor links = distance-to-dst *)
+      let topo = t.arch.Noc_core.Synthesis.topology in
+      let m = Noc_graph.Traversal.bfs_distances (D.reverse topo) dst in
+      Hashtbl.replace t.dist_tables dst m;
+      m
+
+(* the next hop under the adaptive/oblivious policies: a neighbor strictly
+   closer to the destination *)
+let choose_next t inf =
+  let dst = inf.packet.Packet.dst in
+  let node = inf.node in
+  let dist = distances_to t dst in
+  let here = match Vmap.find_opt node dist with Some d -> d | None -> max_int in
+  let topo = t.arch.Noc_core.Synthesis.topology in
+  let candidates =
+    D.Vset.fold
+      (fun n acc ->
+        match Vmap.find_opt n dist with
+        | Some d when d < here -> n :: acc
+        | Some _ | None -> acc)
+      (D.succ topo node) []
+    |> List.sort Int.compare
+  in
+  match (candidates, t.policy) with
+  | [], _ ->
+      invalid_arg
+        (Printf.sprintf "Network: no minimal next hop from %d towards %d" node dst)
+  | _ :: _, Oblivious rng -> List.nth candidates (Noc_util.Prng.int rng (List.length candidates))
+  | _ :: _, (Fixed | Adaptive) ->
+      (* Adaptive: least backlog; ties by node id (the sort above) *)
+      let backlog n =
+        match Hashtbl.find_opt t.channels (node, n) with
+        | Some ch ->
+            let busy = max 0 (ch.busy_until - t.cycle) in
+            busy + Queue.fold (fun acc i -> acc + i.packet.Packet.size_flits) 0 ch.waiting
+        | None -> max_int
+      in
+      List.fold_left
+        (fun best n ->
+          match best with
+          | None -> Some n
+          | Some b -> if backlog n < backlog b then Some n else best)
+        None candidates
+      |> Option.get
+
+(* A packet is ready at a router: either it is home, or it queues for its
+   next channel (planned under Fixed, chosen per hop otherwise). *)
+let route_or_deliver t inf =
+  if inf.node = inf.packet.Packet.dst then deliver t inf
+  else begin
+    let next =
+      match t.policy with
+      | Fixed -> inf.packet.Packet.route.(inf.hop + 1)
+      | Adaptive | Oblivious _ -> choose_next t inf
+    in
+    match Hashtbl.find_opt t.channels (inf.node, next) with
+    | Some ch ->
+        Queue.add inf ch.waiting;
+        t.queued_flits <- t.queued_flits + inf.packet.Packet.size_flits
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Network: route uses missing link %d->%d" inf.node next)
+  end
+
+let inject ?(tag = 0) ?(payload = Bytes.empty) ?(size_flits = 1) t ~src ~dst =
+  if size_flits < 1 then invalid_arg "Network.inject: size_flits must be >= 1";
+  match Noc_core.Synthesis.route t.arch ~src ~dst with
+  | None -> invalid_arg (Printf.sprintf "Network.inject: no route %d->%d" src dst)
+  | Some path ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let packet =
+        {
+          Packet.id;
+          src;
+          dst;
+          size_flits;
+          tag;
+          payload;
+          route = Array.of_list path;
+          injected_at = t.cycle;
+        }
+      in
+      t.in_network <- t.in_network + 1;
+      count_switch t src size_flits;
+      (* source router processing, then contend for the first channel *)
+      schedule_arrival t
+        (t.cycle + t.cfg.router_delay)
+        { packet; hop = 0; node = src; trace = [ src ] };
+      id
+
+let step t =
+  t.cycle <- t.cycle + 1;
+  (* flits sitting in router queues burn retention energy this cycle *)
+  t.buffer_flit_cycles <- t.buffer_flit_cycles + t.queued_flits;
+  (* 1. packets becoming ready at routers this cycle *)
+  (match Hashtbl.find_opt t.arrivals t.cycle with
+  | Some cell ->
+      Hashtbl.remove t.arrivals t.cycle;
+      (* restore deterministic order: schedule_arrival prepends *)
+      List.iter (route_or_deliver t) (List.rev !cell)
+  | None -> ());
+  (* 2. channel arbitration in fixed scan order *)
+  Array.iter
+    (fun e ->
+      let ch = Hashtbl.find t.channels e in
+      if ch.busy_until <= t.cycle && not (Queue.is_empty ch.waiting) then begin
+        let inf = Queue.pop ch.waiting in
+        let flits = inf.packet.Packet.size_flits in
+        t.queued_flits <- t.queued_flits - flits;
+        ch.busy_until <- t.cycle + flits;
+        t.flit_hops <- t.flit_hops + flits;
+        t.link_flits <-
+          Edge_map.add e
+            (flits + Option.value ~default:0 (Edge_map.find_opt e t.link_flits))
+            t.link_flits;
+        let _, v = e in
+        count_switch t v flits;
+        inf.hop <- inf.hop + 1;
+        inf.node <- v;
+        inf.trace <- v :: inf.trace;
+        let tail_arrives = t.cycle + t.cfg.link_delay + flits - 1 in
+        schedule_arrival t (tail_arrives + t.cfg.router_delay) inf
+      end)
+    t.channel_order
+
+let pending t = t.in_network
+
+let run_until_idle ?(max_cycles = 1_000_000) t =
+  let start = t.cycle in
+  let rec go () =
+    if t.in_network = 0 then `Idle
+    else if t.cycle - start >= max_cycles then `Limit
+    else begin
+      step t;
+      go ()
+    end
+  in
+  go ()
+
+let deliveries t = List.rev t.delivered_rev
+
+let drain_deliveries t =
+  let ds = List.rev t.drain_rev in
+  t.drain_rev <- [];
+  ds
+
+let arch t = t.arch
+
+let route_taken t id = Hashtbl.find_opt t.traces id
+
+let buffer_flit_cycles t = t.buffer_flit_cycles
+
+let flit_hops t = t.flit_hops
+
+let link_flits t = t.link_flits
+
+let switch_flits t = t.switch_flits

@@ -1,0 +1,106 @@
+(** Cycle-accurate network simulation.
+
+    This is the substitute for the paper's Virtex-2 FPGA prototype
+    (Section 5.2): the same architectures (customized and mesh) are
+    exercised with the same traffic and measured in cycles.
+
+    Model: output-channel arbitration with store-and-forward packets.
+    Every directed physical link is a channel that serializes one flit per
+    cycle; a packet granted a channel at cycle T occupies it for
+    [size_flits] cycles, and its tail lands in the next router at
+    [T + link_delay + size_flits - 1], after which the router spends
+    [router_delay] cycles before the packet contends for its next channel.
+    Channels grant waiting packets in FIFO order (ties by packet id), and
+    channels are scanned in a fixed lexicographic order, so simulations are
+    fully deterministic.  Buffers are unbounded: protocol deadlock cannot
+    occur in the simulator (deadlock risk of a routing function is analyzed
+    statically by {!Noc_core.Deadlock}), which matches prototype NoCs with
+    conservatively sized FIFOs. *)
+
+type config = {
+  router_delay : int;  (** cycles spent in each router, >= 1 *)
+  link_delay : int;  (** wire latency of a link, >= 1 *)
+  flit_bits : int;  (** physical link width *)
+}
+
+val default_config : config
+(** [router_delay = 1], [link_delay = 1], [flit_bits = 8]. *)
+
+(** Routing policy (the paper's Section 6 lists "adaptive or stochastic
+    routing strategies" as future work; both are provided): *)
+type policy =
+  | Fixed
+      (** follow the architecture's precomputed route (deterministic
+          routing: XY on the mesh, schedule-derived on customized
+          topologies) — the default and the paper's setting *)
+  | Adaptive
+      (** minimal adaptive: at each router, among the neighbors that
+          reduce the topology distance to the destination, pick the output
+          channel with the least backlog (free beats busy, then shorter
+          queue, then smaller node id) *)
+  | Oblivious of Noc_util.Prng.t
+      (** minimal stochastic: uniform choice among distance-reducing
+          neighbors, deterministic for a given PRNG *)
+
+type delivery = { packet : Packet.t; delivered_at : int }
+
+type t
+
+val create : ?config:config -> ?policy:policy -> Noc_core.Synthesis.t -> t
+(** A fresh network over the given architecture at cycle 0.  Under
+    [Adaptive] and [Oblivious] policies packets still require the flow to
+    have a route in the architecture (reachability), but the path taken is
+    chosen hop by hop. *)
+
+val now : t -> int
+
+val config : t -> config
+
+val inject :
+  ?tag:int -> ?payload:Bytes.t -> ?size_flits:int -> t -> src:int -> dst:int -> int
+(** Queues a packet at its source's local port at the current cycle and
+    returns its id.  The route comes from the architecture.
+    [size_flits] defaults to 1.
+    @raise Invalid_argument if the architecture has no route
+    [src -> dst]. *)
+
+val step : t -> unit
+(** Advance one cycle. *)
+
+val pending : t -> int
+(** Packets injected but not yet delivered. *)
+
+val run_until_idle : ?max_cycles:int -> t -> [ `Idle | `Limit ]
+(** Steps until no packet is in flight (returning at the cycle the last
+    delivery happened... precisely: the first cycle at which the network is
+    empty) or until [max_cycles] total steps (default 1_000_000). *)
+
+val deliveries : t -> delivery list
+(** All deliveries so far, in delivery order. *)
+
+val drain_deliveries : t -> delivery list
+(** Deliveries since the previous call (or since creation), in delivery
+    order; clears the drain buffer but not the cumulative statistics. *)
+
+val arch : t -> Noc_core.Synthesis.t
+(** The architecture the network was built over. *)
+
+val route_taken : t -> int -> int list option
+(** The path a delivered packet actually traversed (equals its planned
+    route under [Fixed]); [None] for unknown or undelivered ids. *)
+
+(** Activity counters for energy accounting: *)
+
+val buffer_flit_cycles : t -> int
+(** Total flit-cycles spent waiting in router queues (occupancy integral,
+    the buffer-retention activity term). *)
+
+val flit_hops : t -> int
+(** Total flit-link traversals so far. *)
+
+val link_flits : t -> int Noc_graph.Digraph.Edge_map.t
+(** Flits carried per directed link. *)
+
+val switch_flits : t -> int Noc_graph.Digraph.Vmap.t
+(** Flits processed per router (arrivals and injections count; each packet
+    visit contributes [size_flits]). *)

@@ -1,0 +1,62 @@
+let check_pow2 name nodes =
+  if nodes <= 0 || nodes land (nodes - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Patterns.%s: nodes must be a power of two" name)
+
+let bits nodes =
+  let rec go acc k = if k >= nodes then acc else go (acc + 1) (k * 2) in
+  go 0 1
+
+let transpose ~rows ~cols =
+  if rows <> cols then invalid_arg "Patterns.transpose: need a square grid";
+  let id r c = (r * cols) + c + 1 in
+  List.concat
+    (List.init rows (fun r ->
+         List.filter_map
+           (fun c -> if r <> c then Some (id r c, id c r) else None)
+           (List.init cols Fun.id)))
+
+let bit_reversal ~nodes =
+  check_pow2 "bit_reversal" nodes;
+  let w = bits nodes in
+  let reverse i =
+    let r = ref 0 in
+    for b = 0 to w - 1 do
+      if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (w - 1 - b))
+    done;
+    !r
+  in
+  List.filter_map
+    (fun i ->
+      let j = reverse i in
+      if i <> j then Some (i + 1, j + 1) else None)
+    (List.init nodes Fun.id)
+
+let bit_complement ~nodes =
+  check_pow2 "bit_complement" nodes;
+  let mask = nodes - 1 in
+  List.filter_map
+    (fun i ->
+      let j = lnot i land mask in
+      if i <> j then Some (i + 1, j + 1) else None)
+    (List.init nodes Fun.id)
+
+let hotspot ~nodes ~target =
+  if target < 1 || target > nodes then invalid_arg "Patterns.hotspot: target out of range";
+  List.filter_map
+    (fun i ->
+      let v = i + 1 in
+      if v <> target then Some (v, target) else None)
+    (List.init nodes Fun.id)
+
+let shuffle ~nodes =
+  check_pow2 "shuffle" nodes;
+  let w = bits nodes in
+  let mask = nodes - 1 in
+  List.filter_map
+    (fun i ->
+      let j = ((i lsl 1) lor (i lsr (w - 1))) land mask in
+      if i <> j then Some (i + 1, j + 1) else None)
+    (List.init nodes Fun.id)
+
+let to_acg ?(volume = 8) ?(bandwidth = 0.1) flows =
+  Noc_core.Acg.uniform ~volume ~bandwidth (Noc_graph.Digraph.of_edges flows)

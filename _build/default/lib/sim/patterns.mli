@@ -1,0 +1,30 @@
+(** Classic synthetic traffic patterns for NoC evaluation.
+
+    Each pattern is a set of (source, destination) flows over row-major
+    grid node ids (node at row r, column c of an R×C grid is
+    [r*C + c + 1]), the standard benchmark family (transpose, bit
+    reversal, bit complement, hotspot) used to stress interconnects beyond
+    the application-specific ACGs. *)
+
+val transpose : rows:int -> cols:int -> (int * int) list
+(** Node (r, c) sends to node (c, r).  Requires [rows = cols]; nodes on
+    the diagonal send nothing. @raise Invalid_argument otherwise. *)
+
+val bit_reversal : nodes:int -> (int * int) list
+(** Node with binary index b sends to the node whose index is b reversed;
+    [nodes] must be a power of two.  Self-flows are dropped. *)
+
+val bit_complement : nodes:int -> (int * int) list
+(** Node i sends to node (~i) within the index width; [nodes] must be a
+    power of two. *)
+
+val hotspot : nodes:int -> target:int -> (int * int) list
+(** Every node except [target] sends to [target].
+    @raise Invalid_argument if the target is out of range. *)
+
+val shuffle : nodes:int -> (int * int) list
+(** Perfect shuffle: index rotated left by one bit; [nodes] must be a
+    power of two.  Self-flows are dropped. *)
+
+val to_acg : ?volume:int -> ?bandwidth:float -> (int * int) list -> Noc_core.Acg.t
+(** Flows as a uniform ACG (default volume 8, bandwidth 0.1). *)

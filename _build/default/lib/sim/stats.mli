@@ -1,0 +1,54 @@
+(** Measurement of simulation runs: the §5.2 metrics.
+
+    Latency is measured per packet from injection to tail delivery;
+    throughput over the makespan; energy from the activity counters using
+    the same bit-energy technology model as the synthesis cost function,
+    which is how the paper's XPower measurement is reproduced. *)
+
+type summary = {
+  packets : int;
+  flits : int;
+  avg_latency : float;  (** cycles, injection to delivery *)
+  min_latency : int;
+  max_latency : int;
+  avg_hops : float;
+  makespan : int;  (** cycles from first injection to last delivery *)
+  throughput : float;  (** delivered flits per cycle over the makespan *)
+}
+
+val summarize : Network.delivery list -> summary
+(** Summary of a delivery batch; all-zero summary for []. *)
+
+val dynamic_energy_pj :
+  tech:Noc_energy.Technology.t -> fp:Noc_energy.Floorplan.t -> Network.t -> float
+(** Activity-based dynamic energy: every flit crossing a switch costs
+    [flit_bits * es_bit]; every flit crossing a link costs [flit_bits *
+    EL_bit(link length)] with the length from the floorplan. *)
+
+val buffer_energy_pj : tech:Noc_energy.Technology.t -> Network.t -> float
+(** Buffer-retention energy: flit-cycles of queue occupancy times the
+    technology's per-flit-cycle buffer cost.  Congested architectures pay
+    this; an architecture matched to its traffic barely queues. *)
+
+val clock_energy_pj : tech:Noc_energy.Technology.t -> Network.t -> float
+(** Clocked router overhead: elapsed cycles × Σ over routers of (ports²) ×
+    the technology's per-port²-cycle cost.  Crossbars and arbiters grow
+    quadratically with radix (Orion-style), so a mesh of identical 5-port
+    routers burns more per cycle than degree-matched customized routers —
+    and a faster architecture additionally finishes sooner. *)
+
+val total_energy_pj :
+  tech:Noc_energy.Technology.t -> fp:Noc_energy.Floorplan.t -> Network.t -> float
+(** Dynamic + buffer + clocked energy: the quantity compared against the
+    paper's per-block XPower energy measurements. *)
+
+val avg_power_mw :
+  tech:Noc_energy.Technology.t ->
+  fp:Noc_energy.Floorplan.t ->
+  ?static_mw:float ->
+  Network.t ->
+  float
+(** Total energy divided by elapsed time at the technology's clock, plus
+    an optional extra static floor.  0 before any cycle has elapsed. *)
+
+val pp_summary : Format.formatter -> summary -> unit

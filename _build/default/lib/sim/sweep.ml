@@ -1,0 +1,46 @@
+module D = Noc_graph.Digraph
+
+type point = {
+  rate : float;
+  offered : float;
+  delivered : int;
+  avg_latency : float;
+  throughput : float;
+}
+
+let latency_vs_load ~rng ~arch ~acg ?(size_flits = 2) ?(cycles = 2000) ~rates () =
+  let edges = D.edges (Noc_core.Acg.graph acg) in
+  List.map
+    (fun rate ->
+      let rng = Noc_util.Prng.split rng in
+      let net = Network.create arch in
+      for _ = 1 to cycles do
+        List.iter
+          (fun (src, dst) ->
+            if Noc_util.Prng.bernoulli rng rate then
+              ignore (Network.inject ~size_flits net ~src ~dst))
+          edges;
+        Network.step net
+      done;
+      (match Network.run_until_idle ~max_cycles:200_000 net with
+      | `Idle | `Limit -> ());
+      let s = Stats.summarize (Network.deliveries net) in
+      {
+        rate;
+        offered = rate *. float_of_int (List.length edges);
+        delivered = s.Stats.packets;
+        avg_latency = s.Stats.avg_latency;
+        throughput = s.Stats.throughput;
+      })
+    rates
+
+let saturation_rate points =
+  match points with
+  | [] -> None
+  | first :: _ ->
+      let base = if first.avg_latency > 0. then first.avg_latency else 1.0 in
+      List.find_map
+        (fun p -> if p.avg_latency > 4.0 *. base then Some p.rate else None)
+        points
+
+let to_series points = List.map (fun p -> (p.offered, p.avg_latency)) points

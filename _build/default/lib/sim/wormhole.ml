@@ -1,0 +1,258 @@
+module D = Noc_graph.Digraph
+module Edge_map = D.Edge_map
+
+type config = {
+  num_vcs : int;
+  flit_bits : int;
+}
+
+let default_config = { num_vcs = 2; flit_bits = 8 }
+
+type delivery = { packet : Packet.t; delivered_at : int }
+
+(* A worm whose flits occupy the consecutive channel window [lo, head_ch]
+   of its route (lo = 0 while flits are still entering at the source). *)
+type worm = {
+  packet : Packet.t;
+  channels : D.Edge.t array;  (* c_0 .. c_{h-1} *)
+  vcs : int array;  (* virtual channel used on each c_i *)
+  mutable head_ch : int;  (* -1 before the head enters c_0 *)
+  mutable src_remaining : int;
+  mutable sink_received : int;
+  mutable delivered : bool;
+}
+
+type t = {
+  arch : Noc_core.Synthesis.t;
+  cfg : config;
+  mutable cycle : int;
+  mutable next_id : int;
+  (* (channel, vc) -> id of the worm holding it *)
+  holders : (D.Edge.t * int, int) Hashtbl.t;
+  mutable worms : worm list;  (* active, oldest first *)
+  mutable delivered_rev : delivery list;
+  mutable flit_hops : int;
+  mutable link_flits : int Edge_map.t;
+}
+
+let create ?(config = default_config) arch =
+  if config.num_vcs < 1 then invalid_arg "Wormhole.create: num_vcs must be >= 1";
+  if config.flit_bits < 1 then invalid_arg "Wormhole.create: flit_bits must be >= 1";
+  {
+    arch;
+    cfg = config;
+    cycle = 0;
+    next_id = 0;
+    holders = Hashtbl.create 64;
+    worms = [];
+    delivered_rev = [];
+    flit_hops = 0;
+    link_flits = Edge_map.empty;
+  }
+
+let now t = t.cycle
+
+(* channels of a vertex path *)
+let channels_of path =
+  let rec go = function
+    | a :: (b :: _ as rest) -> (a, b) :: go rest
+    | [ _ ] | [] -> []
+  in
+  Array.of_list (go path)
+
+(* increasing-channel-order virtual channel discipline, capped at the
+   available VCs (Noc_core.Deadlock.vc_of_hop's rule, computed locally so
+   the engine does not depend on the route being an ACG flow) *)
+let vc_assignment cfg channels =
+  let n = Array.length channels in
+  let vcs = Array.make n 0 in
+  let vc = ref 0 in
+  for i = 1 to n - 1 do
+    if D.Edge.compare channels.(i) channels.(i - 1) <= 0 then incr vc;
+    vcs.(i) <- min !vc (cfg.num_vcs - 1)
+  done;
+  vcs
+
+let inject ?(tag = 0) ?(payload = Bytes.empty) ?(size_flits = 1) t ~src ~dst =
+  if size_flits < 1 then invalid_arg "Wormhole.inject: size_flits must be >= 1";
+  match Noc_core.Synthesis.route t.arch ~src ~dst with
+  | None -> invalid_arg (Printf.sprintf "Wormhole.inject: no route %d->%d" src dst)
+  | Some path ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let packet =
+        {
+          Packet.id;
+          src;
+          dst;
+          size_flits;
+          tag;
+          payload;
+          route = Array.of_list path;
+          injected_at = t.cycle;
+        }
+      in
+      let channels = channels_of path in
+      let worm =
+        {
+          packet;
+          channels;
+          vcs = vc_assignment t.cfg channels;
+          head_ch = -1;
+          src_remaining = size_flits;
+          sink_received = 0;
+          delivered = false;
+        }
+      in
+      t.worms <- t.worms @ [ worm ];
+      id
+
+let flits_in_net w =
+  w.packet.Packet.size_flits - w.src_remaining - w.sink_received
+
+let window w =
+  (* channel indices currently holding flits of this worm *)
+  let flits = flits_in_net w in
+  if flits = 0 then None
+  else begin
+    let hi = w.head_ch in
+    let lo = if w.src_remaining > 0 then 0 else hi - flits + 1 in
+    Some (lo, hi)
+  end
+
+let step t =
+  t.cycle <- t.cycle + 1;
+  let used = Hashtbl.create 32 in
+  let h_of w = Array.length w.channels in
+  let try_advance w =
+    if w.delivered then false
+    else begin
+      let h = h_of w in
+      let draining = w.head_ch = h - 1 in
+      (* the new window after a hypothetical advance *)
+      let new_hi = if draining then h - 1 else w.head_ch + 1 in
+      let entering = w.src_remaining > 0 in
+      let sink_inc = if draining then 1 else 0 in
+      let new_flits =
+        w.packet.Packet.size_flits
+        - (w.src_remaining - if entering then 1 else 0)
+        - (w.sink_received + sink_inc)
+      in
+      if new_flits = 0 && sink_inc = 1 then begin
+        (* the last flit exits the network: no link is used, the worm
+           completes *)
+        (match window w with
+        | Some (lo, hi) ->
+            for i = lo to hi do
+              Hashtbl.remove t.holders (w.channels.(i), w.vcs.(i))
+            done
+        | None -> ());
+        w.sink_received <- w.sink_received + 1;
+        w.delivered <- true;
+        t.delivered_rev <- { packet = w.packet; delivered_at = t.cycle } :: t.delivered_rev;
+        true
+      end
+      else begin
+        let new_lo =
+          if w.src_remaining - (if entering then 1 else 0) > 0 then 0
+          else new_hi - new_flits + 1
+        in
+        (* (a) a free virtual channel on the next link, when entering one *)
+        let vc_ok =
+          if draining then true
+          else begin
+            let key = (w.channels.(new_hi), w.vcs.(new_hi)) in
+            match Hashtbl.find_opt t.holders key with
+            | None -> true
+            | Some id -> id = w.packet.Packet.id
+          end
+        in
+        (* (b) every link of the new window is unused this cycle *)
+        let links_ok =
+          vc_ok
+          &&
+          let ok = ref true in
+          for i = new_lo to new_hi do
+            if Hashtbl.mem used w.channels.(i) then ok := false
+          done;
+          !ok
+        in
+        if not links_ok then false
+        else begin
+          (* commit: lock links, acquire/release VCs, shift flits *)
+          for i = new_lo to new_hi do
+            Hashtbl.replace used w.channels.(i) true;
+            t.flit_hops <- t.flit_hops + 1;
+            t.link_flits <-
+              Edge_map.add
+                w.channels.(i)
+                (1 + Option.value ~default:0 (Edge_map.find_opt w.channels.(i) t.link_flits))
+                t.link_flits
+          done;
+          if not draining then
+            Hashtbl.replace t.holders (w.channels.(new_hi), w.vcs.(new_hi))
+              w.packet.Packet.id;
+          (match window w with
+          | Some (lo, _) ->
+              for i = lo to new_lo - 1 do
+                Hashtbl.remove t.holders (w.channels.(i), w.vcs.(i))
+              done
+          | None -> ());
+          w.head_ch <- new_hi;
+          if entering then w.src_remaining <- w.src_remaining - 1;
+          w.sink_received <- w.sink_received + sink_inc;
+          true
+        end
+      end
+    end
+  in
+  (* round-robin arbitration: rotate the starting worm each cycle *)
+  let active = List.filter (fun w -> not w.delivered) t.worms in
+  let n = List.length active in
+  if n > 0 then begin
+    let arr = Array.of_list active in
+    let start = t.cycle mod n in
+    let progressed = ref false in
+    for k = 0 to n - 1 do
+      let w = arr.((start + k) mod n) in
+      if try_advance w then progressed := true
+    done;
+    ignore !progressed
+  end;
+  t.worms <- List.filter (fun w -> not w.delivered) t.worms
+
+let pending t = List.length t.worms
+
+let run_until_idle ?(max_cycles = 1_000_000) t =
+  let start = t.cycle in
+  let rec go () =
+    if t.worms = [] then `Idle
+    else if t.cycle - start >= max_cycles then `Limit
+    else begin
+      let before =
+        List.map (fun w -> (w.head_ch, w.src_remaining, w.sink_received)) t.worms
+      in
+      step t;
+      let after =
+        List.map (fun w -> (w.head_ch, w.src_remaining, w.sink_received)) t.worms
+      in
+      (* the state is purely a function of worm positions and holds; if
+         nothing moved and nothing was delivered, it never will *)
+      if t.worms <> [] && List.length before = List.length after && before = after then
+        `Deadlock
+      else go ()
+    end
+  in
+  go ()
+
+let deliveries t = List.rev t.delivered_rev
+
+let flit_hops t = t.flit_hops
+
+let link_flits t = t.link_flits
+
+let summary t =
+  Stats.summarize
+    (List.map
+       (fun { packet; delivered_at } -> { Network.packet; delivered_at })
+       (deliveries t))

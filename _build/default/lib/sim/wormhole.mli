@@ -1,0 +1,69 @@
+(** Flit-level wormhole switching with virtual channels.
+
+    The store-and-forward engine of {!Network} buffers whole packets per
+    hop; real NoC prototypes of the paper's era (and its FPGA prototype's
+    "packet switching") pipeline {e flits} through the network in wormhole
+    fashion: the head flit reserves a virtual channel on each link it
+    enters, body flits stream behind it, and the whole worm stalls in place
+    — holding its channels — whenever the head blocks.  This engine models
+    exactly that, with the textbook one-flit-per-VC buffer abstraction:
+
+    - a packet of [n] flits occupies up to [n] consecutive channels of its
+      (fixed) route;
+    - each physical channel carries at most one flit per cycle (the VCs
+      time-share the link);
+    - a worm advances in lockstep — every flit moves one slot — when (a)
+      its head can enter the next channel on a free virtual channel (or the
+      sink consumes), and (b) it wins the link for every channel it
+      occupies this cycle; otherwise it stalls in place;
+    - virtual channels are allocated with the increasing-channel-order
+      discipline of {!Noc_core.Deadlock.vc_of_hop}, capped at
+      [num_vcs - 1].
+
+    Because stalled worms hold their channels, routes with a cyclic channel
+    dependency graph genuinely deadlock when [num_vcs] is too small —
+    {!run_until_idle} returns [`Deadlock] — and become live again with the
+    virtual channels {!Noc_core.Deadlock.analyze} prescribes.  The test
+    suite demonstrates both outcomes on a wrap-around ring. *)
+
+type config = {
+  num_vcs : int;  (** virtual channels per physical link, >= 1 *)
+  flit_bits : int;
+}
+
+val default_config : config
+(** [num_vcs = 2], [flit_bits = 8]. *)
+
+type delivery = { packet : Packet.t; delivered_at : int }
+
+type t
+
+val create : ?config:config -> Noc_core.Synthesis.t -> t
+
+val now : t -> int
+
+val inject :
+  ?tag:int -> ?payload:Bytes.t -> ?size_flits:int -> t -> src:int -> dst:int -> int
+(** Queues a worm at its source at the current cycle; returns the packet
+    id.  @raise Invalid_argument if the architecture has no route. *)
+
+val step : t -> unit
+
+val pending : t -> int
+
+val run_until_idle : ?max_cycles:int -> t -> [ `Idle | `Deadlock | `Limit ]
+(** [`Deadlock] is returned when worms remain but none has advanced for a
+    full topology-diameter's worth of cycles — with fixed routes and
+    in-place stalling this is a genuine circular wait.  [`Limit] means the
+    cycle budget ran out while progress was still being made. *)
+
+val deliveries : t -> delivery list
+
+val flit_hops : t -> int
+(** Total flit-link traversals (for energy accounting, compatible with
+    {!Stats}-style counting). *)
+
+val link_flits : t -> int Noc_graph.Digraph.Edge_map.t
+
+val summary : t -> Stats.summary
+(** Convenience: {!Stats.summarize} over a compatible delivery view. *)

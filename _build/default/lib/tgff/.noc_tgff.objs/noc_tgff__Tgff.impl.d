@@ -1,0 +1,1 @@
+lib/tgff/tgff.ml: List Noc_graph Noc_util

@@ -1,0 +1,1 @@
+lib/tgff/tgff.mli: Noc_graph Noc_util

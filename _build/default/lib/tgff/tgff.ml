@@ -1,0 +1,109 @@
+module D = Noc_graph.Digraph
+module Prng = Noc_util.Prng
+
+type params = {
+  tasks : int;
+  max_out : int;
+  max_in : int;
+  p_join : float;
+  extra_edge_p : float;
+  volume_range : int * int;
+  bandwidth_range : float * float;
+}
+
+let default_params =
+  {
+    tasks = 12;
+    max_out = 3;
+    max_in = 2;
+    p_join = 0.3;
+    extra_edge_p = 0.05;
+    volume_range = (64, 512);
+    bandwidth_range = (0.1, 1.0);
+  }
+
+type t = {
+  graph : D.t;
+  volume : int D.Edge_map.t;
+  bandwidth : float D.Edge_map.t;
+}
+
+(* TGFF-style skeleton: grow a DAG from a single root.  At each step either
+   expand a frontier node with children (fan-out) or join several frontier
+   nodes into a new node (fan-in). *)
+let skeleton ~rng p =
+  let n_target = max 1 p.tasks in
+  let g = ref (D.add_vertex D.empty 1) in
+  let next_id = ref 2 in
+  let frontier = ref [ 1 ] in
+  while !next_id <= n_target do
+    let remaining = n_target - !next_id + 1 in
+    let do_join =
+      List.length !frontier >= 2 && Prng.bernoulli rng p.p_join && remaining >= 1
+    in
+    if do_join then begin
+      (* join: a new node consumes up to max_in frontier nodes *)
+      let k = min (Prng.int_in rng 2 (max 2 p.max_in)) (List.length !frontier) in
+      let parents = Prng.sample rng k !frontier in
+      let v = !next_id in
+      incr next_id;
+      List.iter (fun u -> g := D.add_edge !g u v) parents;
+      frontier := v :: List.filter (fun u -> not (List.mem u parents)) !frontier
+    end
+    else begin
+      (* expansion: one frontier node fans out *)
+      let u = Prng.choose rng !frontier in
+      let k = min (Prng.int_in rng 1 (max 1 p.max_out)) remaining in
+      let children = List.init k (fun _ ->
+          let v = !next_id in
+          incr next_id;
+          g := D.add_edge !g u v;
+          v)
+      in
+      frontier := children @ List.filter (fun w -> w <> u) !frontier
+    end
+  done;
+  !g
+
+let generate ~rng p =
+  let g = skeleton ~rng p in
+  let n = D.num_vertices g in
+  (* TGFF post-processing: sprinkle extra forward dependence edges *)
+  let g = ref g in
+  for u = 1 to n do
+    for v = u + 1 to n do
+      if (not (D.mem_edge !g u v)) && Prng.bernoulli rng p.extra_edge_p then
+        g := D.add_edge !g u v
+    done
+  done;
+  let lo_v, hi_v = p.volume_range in
+  let lo_b, hi_b = p.bandwidth_range in
+  let volume, bandwidth =
+    D.fold_edges
+      (fun u v (vol, bw) ->
+        ( D.Edge_map.add (u, v) (Prng.int_in rng lo_v hi_v) vol,
+          D.Edge_map.add (u, v) (lo_b +. Prng.float rng (hi_b -. lo_b)) bw ))
+      !g
+      (D.Edge_map.empty, D.Edge_map.empty)
+  in
+  { graph = !g; volume; bandwidth }
+
+let automotive =
+  { default_params with tasks = 18; max_out = 3; max_in = 3; p_join = 0.35 }
+
+let consumer = { default_params with tasks = 12; max_out = 4; max_in = 2 }
+
+let networking = { default_params with tasks = 13; max_out = 2; max_in = 2; p_join = 0.4 }
+
+let office = { default_params with tasks = 5; max_out = 2; max_in = 2 }
+
+let telecom = { default_params with tasks = 16; max_out = 3; max_in = 2; p_join = 0.3 }
+
+let presets =
+  [
+    ("automotive", automotive);
+    ("consumer", consumer);
+    ("networking", networking);
+    ("office", office);
+    ("telecom", telecom);
+  ]

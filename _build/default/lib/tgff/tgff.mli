@@ -1,0 +1,56 @@
+(** TGFF-style task graph generation.
+
+    The paper's Fig. 4a measures decomposition run time on benchmarks
+    produced by TGFF (Dick, Rhodes & Wolf, CODES'98) — pseudo-random layered
+    task DAGs with bounded fan-in/fan-out, the kind that underlies the E3S
+    embedded-benchmark suites (the "automotive industry benchmark consisting
+    of 18 nodes" in the paper is one of those).  This module reimplements the
+    fan-out/fan-in expansion process of TGFF so run-time experiments can be
+    regenerated without the original binary.
+
+    Task graphs come with per-edge communication volumes and bandwidth
+    requirements drawn from configurable ranges, ready to be turned into an
+    Application Characterization Graph. *)
+
+type params = {
+  tasks : int;  (** target number of tasks (vertices) *)
+  max_out : int;  (** maximum fan-out during expansion *)
+  max_in : int;  (** maximum fan-in at join nodes *)
+  p_join : float;  (** probability of a join step vs an expansion step *)
+  extra_edge_p : float;
+      (** probability, per forward vertex pair, of an extra dependence edge
+          added after the skeleton is built *)
+  volume_range : int * int;  (** communication volume (bits) per edge *)
+  bandwidth_range : float * float;  (** bandwidth requirement per edge *)
+}
+
+val default_params : params
+(** 12 tasks, fan-out 3, fan-in 2, sparse extra edges, volumes 64–512 bits. *)
+
+type t = {
+  graph : Noc_graph.Digraph.t;
+  volume : int Noc_graph.Digraph.Edge_map.t;
+  bandwidth : float Noc_graph.Digraph.Edge_map.t;
+}
+(** A generated task graph: a connected DAG rooted at vertex 1, with edge
+    attributes. *)
+
+val generate : rng:Noc_util.Prng.t -> params -> t
+(** Generates one task graph.  The result is acyclic, weakly connected, has
+    exactly [max 1 params.tasks] vertices numbered from 1, and respects the
+    fan-in/fan-out bounds on the skeleton (extra edges may exceed them, as in
+    TGFF's own post-processing). *)
+
+(** Parameter presets patterned after the E3S/TGFF benchmark families used
+    in the paper's Fig. 4a. *)
+
+val automotive : params
+(** 18 tasks — the paper's largest TGFF benchmark. *)
+
+val consumer : params
+val networking : params
+val office : params
+val telecom : params
+
+val presets : (string * params) list
+(** All presets with their names, in the order above. *)

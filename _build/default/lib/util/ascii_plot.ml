@@ -1,0 +1,49 @@
+let marks = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let render ?(width = 64) ?(height = 16) ?(x_label = "x") ?(y_label = "y") series =
+  let all_points = List.concat_map snd series in
+  if all_points = [] then "(no data)\n"
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let fmin = List.fold_left min infinity and fmax = List.fold_left max neg_infinity in
+    let x0 = fmin xs and x1 = fmax xs in
+    let y0 = fmin ys and y1 = fmax ys in
+    let xspan = if x1 > x0 then x1 -. x0 else 1.0 in
+    let yspan = if y1 > y0 then y1 -. y0 else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, pts) ->
+        let mark = marks.(si mod Array.length marks) in
+        List.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float ((x -. x0) /. xspan *. float_of_int (width - 1))
+            in
+            let cy =
+              height - 1
+              - int_of_float ((y -. y0) /. yspan *. float_of_int (height - 1))
+            in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then
+              grid.(cy).(cx) <- mark)
+          pts)
+      series;
+    let buf = Buffer.create ((width + 12) * (height + 4)) in
+    Buffer.add_string buf
+      (Printf.sprintf "%s: %.4g .. %.4g   %s: %.4g .. %.4g\n" x_label x0 x1 y_label y0 y1);
+    Array.iteri
+      (fun row line ->
+        let edge = if row = 0 || row = height - 1 then '+' else '|' in
+        Buffer.add_char buf edge;
+        Array.iter (Buffer.add_char buf) line;
+        Buffer.add_char buf edge;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf "legend:";
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s" marks.(si mod Array.length marks) name))
+      series;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

@@ -1,0 +1,18 @@
+(** Minimal ASCII chart rendering for benchmark output.
+
+    Renders one or more (x, y) series into a character grid with axis
+    ranges annotated — enough to show the {e shape} of a latency-vs-load or
+    run-time-vs-size curve directly in the bench log. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * (float * float) list) list ->
+  string
+(** [render series] plots each named series with its own mark (['*'], ['+'],
+    ['o'], ['x'], ...), shared axes covering the union of the data ranges,
+    and a legend line.  Default grid is 64x16.  Series with no points are
+    listed in the legend but plot nothing; an entirely empty input yields
+    an ["(no data)"] placeholder. *)

@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix64 s }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let r = Int64.to_int (Int64.logand (bits64 g) mask) in
+  r mod bound
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: hi < lo";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 random bits mapped to [0,1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bound *. (r /. 9007199254740992.0)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g p =
+  let p = if p < 0. then 0. else if p > 1. then 1. else p in
+  float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g xs =
+  match xs with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth xs (int g (List.length xs))
+
+let sample g k xs =
+  let n = List.length xs in
+  if k >= n then xs
+  else begin
+    let a = Array.of_list xs in
+    shuffle g a;
+    Array.to_list (Array.sub a 0 k)
+  end

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the project (graph generators, traffic
+    injection, simulated annealing, property tests that need auxiliary
+    randomness) draw from this splittable generator so that every experiment
+    is reproducible from a single integer seed.  The implementation is
+    SplitMix64 (Steele, Lea & Flood, OOPSLA 2014), which is adequate for
+    simulation workloads and has no global state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will replay [g]'s future
+    stream. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. @raise
+    Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. @raise Invalid_argument on []. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample g k xs] draws [k] distinct elements (reservoir sampling); returns
+    all of [xs] if [k >= List.length xs]. *)

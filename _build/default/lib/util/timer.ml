@@ -1,0 +1,20 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  let t1 = Unix.gettimeofday () in
+  (x, t1 -. t0)
+
+let time_median ~repeats f =
+  let repeats = max 1 repeats in
+  let result = ref None in
+  let samples =
+    List.init repeats (fun _ ->
+        let x, dt = time f in
+        result := Some x;
+        dt)
+  in
+  let sorted = List.sort compare samples in
+  let median = List.nth sorted (repeats / 2) in
+  match !result with
+  | Some x -> (x, median)
+  | None -> assert false

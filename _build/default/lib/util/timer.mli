@@ -1,0 +1,9 @@
+(** Wall-clock timing helpers for the run-time experiments (Fig. 4). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock time in seconds. *)
+
+val time_median : repeats:int -> (unit -> 'a) -> 'a * float
+(** [time_median ~repeats f] runs [f] [repeats] times (at least once) and
+    returns the last result with the median elapsed time. *)

@@ -1,0 +1,1 @@
+test/suite_aes.ml: Alcotest Array Bytes List Noc_aes Noc_core Noc_energy Noc_graph Noc_primitives Noc_sim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_apps.ml: Alcotest Array Complex Float List Noc_apps Noc_core Noc_energy Noc_graph Noc_primitives Noc_util Printf QCheck QCheck_alcotest

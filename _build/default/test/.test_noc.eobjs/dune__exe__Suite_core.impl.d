@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Filename Float Format Fun List Noc_aes Noc_core Noc_energy Noc_graph Noc_primitives Noc_tgff Noc_util Option QCheck QCheck_alcotest String Sys

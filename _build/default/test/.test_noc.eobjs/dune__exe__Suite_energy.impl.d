@@ -1,0 +1,1 @@
+test/suite_energy.ml: Alcotest List Noc_energy Noc_graph Noc_util QCheck QCheck_alcotest

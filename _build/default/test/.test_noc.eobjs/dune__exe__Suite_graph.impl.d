@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Filename Fun Int List Noc_graph Noc_util Option Printf QCheck QCheck_alcotest String Sys Unix

@@ -1,0 +1,1 @@
+test/suite_primitives.ml: Alcotest Format List Noc_graph Noc_primitives Printf QCheck QCheck_alcotest String

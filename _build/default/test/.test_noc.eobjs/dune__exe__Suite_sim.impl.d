@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Bytes List Noc_aes Noc_core Noc_energy Noc_graph Noc_primitives Noc_sim Noc_util Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_tgff.ml: Alcotest List Noc_graph Noc_tgff Noc_util Printf QCheck QCheck_alcotest

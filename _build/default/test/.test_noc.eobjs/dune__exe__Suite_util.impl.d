@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array List Noc_util QCheck QCheck_alcotest String

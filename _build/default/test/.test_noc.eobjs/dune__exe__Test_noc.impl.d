@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Suite_aes Suite_apps Suite_core Suite_energy Suite_graph Suite_primitives Suite_sim Suite_tgff Suite_util

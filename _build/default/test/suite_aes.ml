@@ -1,0 +1,217 @@
+(* Tests for AES-128 (FIPS-197 vectors) and the distributed 16-node NoC
+   implementation (Section 5.2): the simulated network must produce
+   bit-identical ciphertexts on every architecture. *)
+
+module A = Noc_aes.Aes_core
+module Dist = Noc_aes.Distributed
+module D = Noc_graph.Digraph
+module Acg = Noc_core.Acg
+module Syn = Noc_core.Synthesis
+module Bb = Noc_core.Branch_bound
+module L = Noc_primitives.Library
+
+let hex = A.of_hex
+
+(* -------------------------------------------------------------------- *)
+(* Reference AES                                                         *)
+
+let test_hex_roundtrip () =
+  let b = hex "00ff10ab" in
+  Alcotest.(check string) "roundtrip" "00ff10ab" (A.to_hex b);
+  Alcotest.check_raises "odd" (Invalid_argument "Aes_core.of_hex: odd length") (fun () ->
+      ignore (hex "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Aes_core.of_hex: not a hex digit")
+    (fun () -> ignore (hex "zz"))
+
+let test_sbox_known_values () =
+  (* FIPS-197 Fig. 7 *)
+  Alcotest.(check int) "sbox 0x00" 0x63 (A.sbox 0x00);
+  Alcotest.(check int) "sbox 0x01" 0x7c (A.sbox 0x01);
+  Alcotest.(check int) "sbox 0x53" 0xed (A.sbox 0x53);
+  Alcotest.(check int) "sbox 0xff" 0x16 (A.sbox 0xff);
+  (* inverse is an inverse *)
+  for i = 0 to 255 do
+    Alcotest.(check int) "inv" i (A.inv_sbox (A.sbox i))
+  done
+
+let test_gf_mul () =
+  (* FIPS-197 Section 4.2 example: 57 x 83 = c1 *)
+  Alcotest.(check int) "57*83" 0xc1 (A.gf_mul 0x57 0x83);
+  Alcotest.(check int) "x*1" 0x57 (A.gf_mul 0x57 0x01);
+  Alcotest.(check int) "x*0" 0 (A.gf_mul 0x57 0x00);
+  Alcotest.(check int) "57*13" 0xfe (A.gf_mul 0x57 0x13)
+
+let test_mix_column_example () =
+  (* FIPS-197 Appendix B round 1: column [d4 bf 5d 30] -> [04 66 81 e5] *)
+  let out = A.mix_single_column [| 0xd4; 0xbf; 0x5d; 0x30 |] in
+  Alcotest.(check (array int)) "mixed" [| 0x04; 0x66; 0x81; 0xe5 |] out;
+  let back = A.inv_mix_single_column out in
+  Alcotest.(check (array int)) "inverse" [| 0xd4; 0xbf; 0x5d; 0x30 |] back
+
+let test_key_expansion () =
+  (* FIPS-197 Appendix A.1: last round key of the 2b7e... key *)
+  let rks = A.expand_key (hex "2b7e151628aed2a6abf7158809cf4f3c") in
+  Alcotest.(check int) "11 round keys" 11 (Array.length rks);
+  Alcotest.(check string) "round 10 key" "d014f9a8c9ee2589e13f0cc8b6630ca6"
+    (A.to_hex rks.(10));
+  Alcotest.(check string) "round 1 key" "a0fafe1788542cb123a339392a6c7605"
+    (A.to_hex rks.(1))
+
+let test_fips_appendix_b () =
+  (* FIPS-197 Appendix B *)
+  let key = hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let pt = hex "3243f6a8885a308d313198a2e0370734" in
+  Alcotest.(check string) "ciphertext" "3925841d02dc09fbdc118597196a0b32"
+    (A.to_hex (A.encrypt_block ~key pt))
+
+let test_fips_appendix_c () =
+  (* FIPS-197 Appendix C.1 *)
+  let key = hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = hex "00112233445566778899aabbccddeeff" in
+  let ct = A.encrypt_block ~key pt in
+  Alcotest.(check string) "ciphertext" "69c4e0d86a7b0430d8cdb78070b4c55a" (A.to_hex ct);
+  Alcotest.(check string) "decrypt" (A.to_hex pt) (A.to_hex (A.decrypt_block ~key ct))
+
+let test_ecb () =
+  let key = hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = hex "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff" in
+  let ct = A.encrypt_ecb ~key pt in
+  Alcotest.(check int) "length" 32 (Bytes.length ct);
+  Alcotest.(check string) "both blocks equal" (A.to_hex (Bytes.sub ct 0 16))
+    (A.to_hex (Bytes.sub ct 16 16));
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Aes_core.encrypt_ecb: length must be a multiple of 16") (fun () ->
+      ignore (A.encrypt_ecb ~key (Bytes.create 17)))
+
+let test_bad_sizes () =
+  Alcotest.check_raises "bad key" (Invalid_argument "Aes_core.expand_key: need a 16-byte key")
+    (fun () -> ignore (A.expand_key (Bytes.create 8)));
+  Alcotest.check_raises "bad block"
+    (Invalid_argument "Aes_core.encrypt_block: need a 16-byte block") (fun () ->
+      ignore (A.encrypt_block ~key:(Bytes.create 16) (Bytes.create 8)))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"decrypt inverts encrypt on random blocks" ~count:100
+    QCheck.(pair (string_of_size (QCheck.Gen.return 16)) (string_of_size (QCheck.Gen.return 16)))
+    (fun (k, p) ->
+      let key = Bytes.of_string k and pt = Bytes.of_string p in
+      Bytes.equal pt (A.decrypt_block ~key (A.encrypt_block ~key pt)))
+
+(* -------------------------------------------------------------------- *)
+(* Distributed AES                                                       *)
+
+let test_node_mapping () =
+  Alcotest.(check int) "(0,0)" 1 (Dist.node_of ~row:0 ~col:0);
+  Alcotest.(check int) "(3,3)" 16 (Dist.node_of ~row:3 ~col:3);
+  Alcotest.(check (pair int int)) "inverse" (2, 1) (Dist.pos_of 10);
+  (* first state column on nodes 1, 5, 9, 13 as in the paper's listing *)
+  Alcotest.(check (list int)) "first column" [ 1; 5; 9; 13 ]
+    (List.init 4 (fun r -> Dist.node_of ~row:r ~col:0));
+  Alcotest.check_raises "bad row" (Invalid_argument "Distributed.node_of: row/col in [0,3]")
+    (fun () -> ignore (Dist.node_of ~row:4 ~col:0))
+
+let test_acg_structure () =
+  let acg = Dist.acg () in
+  Alcotest.(check int) "16 cores" 16 (Acg.num_cores acg);
+  (* 4 columns x 12 gossip edges + 3 rows x 4 shift edges *)
+  Alcotest.(check int) "60 flows" 60 (Acg.num_flows acg);
+  (* volumes: 72 bits on mix edges, 80 on shift edges *)
+  Alcotest.(check int) "mix volume" 72 (Acg.volume acg 1 5);
+  Alcotest.(check int) "shift volume" 80 (Acg.volume acg 5 8);
+  (* row 0 has no shift edges *)
+  Alcotest.(check int) "no row-0 shifts" 0 (Acg.volume acg 1 2)
+
+let arch_pair () =
+  let acg = Dist.acg () in
+  let d, _ = Bb.decompose ~library:(L.default ()) acg in
+  (acg, Syn.custom acg d, Syn.mesh ~rows:4 ~cols:4 acg)
+
+let test_distributed_correct_on_mesh () =
+  let _, _, mesh = arch_pair () in
+  let key = hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let pt = hex "3243f6a8885a308d313198a2e0370734" in
+  let r = Dist.encrypt ~arch:mesh ~key pt in
+  Alcotest.(check string) "bit-exact on mesh" "3925841d02dc09fbdc118597196a0b32"
+    (A.to_hex r.Dist.ciphertext)
+
+let test_distributed_correct_on_custom () =
+  let _, custom, _ = arch_pair () in
+  let key = hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = hex "00112233445566778899aabbccddeeff" in
+  let r = Dist.encrypt ~arch:custom ~key pt in
+  Alcotest.(check string) "bit-exact on custom" "69c4e0d86a7b0430d8cdb78070b4c55a"
+    (A.to_hex r.Dist.ciphertext)
+
+let test_custom_faster_than_mesh () =
+  let _, custom, mesh = arch_pair () in
+  let key = hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = hex "00112233445566778899aabbccddeeff" in
+  let rc = Dist.encrypt ~arch:custom ~key pt in
+  let rm = Dist.encrypt ~arch:mesh ~key pt in
+  Alcotest.(check bool) "fewer cycles per block" true (rc.Dist.cycles < rm.Dist.cycles);
+  Alcotest.(check bool) "lower avg latency" true
+    (rc.Dist.summary.Noc_sim.Stats.avg_latency < rm.Dist.summary.Noc_sim.Stats.avg_latency)
+
+let test_custom_lower_energy () =
+  let _, custom, mesh = arch_pair () in
+  let key = hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = hex "00112233445566778899aabbccddeeff" in
+  let tech = Noc_energy.Technology.cmos_180nm in
+  let fp = Noc_energy.Floorplan.grid (Noc_energy.Floorplan.uniform_cores ~n:16 ~size_mm:2.0) in
+  let rc = Dist.encrypt ~arch:custom ~key pt in
+  let rm = Dist.encrypt ~arch:mesh ~key pt in
+  let ec = Noc_sim.Stats.total_energy_pj ~tech ~fp rc.Dist.net in
+  let em = Noc_sim.Stats.total_energy_pj ~tech ~fp rm.Dist.net in
+  Alcotest.(check bool) "custom needs less energy per block" true (ec < em)
+
+let test_throughput_formula () =
+  (* the paper's numbers: 271 cycles/block at 100 MHz = 47.2 Mbps *)
+  let t = Dist.throughput_mbps ~cycles_per_block:271 ~clock_mhz:100.0 in
+  Alcotest.(check bool) "matches paper" true (abs_float (t -. 47.2) < 0.05);
+  let t2 = Dist.throughput_mbps ~cycles_per_block:199 ~clock_mhz:100.0 in
+  Alcotest.(check bool) "custom 64.3" true (abs_float (t2 -. 64.3) < 0.05)
+
+let test_deterministic_run () =
+  let _, custom, _ = arch_pair () in
+  let key = hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = hex "00112233445566778899aabbccddeeff" in
+  let a = Dist.encrypt ~arch:custom ~key pt in
+  let b = Dist.encrypt ~arch:custom ~key pt in
+  Alcotest.(check int) "same cycle count" a.Dist.cycles b.Dist.cycles
+
+let qcheck_distributed_matches_reference =
+  QCheck.Test.make ~name:"distributed AES is bit-exact on random inputs" ~count:10
+    QCheck.(pair (string_of_size (QCheck.Gen.return 16)) (string_of_size (QCheck.Gen.return 16)))
+    (fun (k, p) ->
+      let key = Bytes.of_string k and pt = Bytes.of_string p in
+      let acg = Dist.acg () in
+      let d, _ = Bb.decompose ~library:(L.default ()) acg in
+      let custom = Syn.custom acg d in
+      let r = Dist.encrypt ~arch:custom ~key pt in
+      Bytes.equal r.Dist.ciphertext (A.encrypt_block ~key pt))
+
+let suite =
+  ( "aes",
+    [
+      Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+      Alcotest.test_case "sbox known values" `Quick test_sbox_known_values;
+      Alcotest.test_case "gf multiplication" `Quick test_gf_mul;
+      Alcotest.test_case "mix column (FIPS example)" `Quick test_mix_column_example;
+      Alcotest.test_case "key expansion (FIPS A.1)" `Quick test_key_expansion;
+      Alcotest.test_case "encrypt (FIPS B)" `Quick test_fips_appendix_b;
+      Alcotest.test_case "encrypt/decrypt (FIPS C.1)" `Quick test_fips_appendix_c;
+      Alcotest.test_case "ecb mode" `Quick test_ecb;
+      Alcotest.test_case "bad sizes rejected" `Quick test_bad_sizes;
+      QCheck_alcotest.to_alcotest qcheck_roundtrip;
+      Alcotest.test_case "node/state mapping" `Quick test_node_mapping;
+      Alcotest.test_case "Fig 6a ACG structure" `Quick test_acg_structure;
+      Alcotest.test_case "distributed bit-exact on mesh" `Quick test_distributed_correct_on_mesh;
+      Alcotest.test_case "distributed bit-exact on custom" `Quick
+        test_distributed_correct_on_custom;
+      Alcotest.test_case "custom beats mesh: cycles and latency" `Quick
+        test_custom_faster_than_mesh;
+      Alcotest.test_case "custom beats mesh: energy per block" `Quick test_custom_lower_energy;
+      Alcotest.test_case "throughput formula (Sec 5.2)" `Quick test_throughput_formula;
+      Alcotest.test_case "simulation deterministic" `Quick test_deterministic_run;
+      QCheck_alcotest.to_alcotest qcheck_distributed_matches_reference;
+    ] )

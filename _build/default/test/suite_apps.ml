@@ -1,0 +1,210 @@
+(* Tests for the application workloads: distributed FFT (bit-exact against
+   the sequential reference) and the multimedia benchmark ACGs. *)
+
+module Fft = Noc_apps.Fft
+module Mm = Noc_apps.Multimedia
+module Acg = Noc_core.Acg
+module Syn = Noc_core.Synthesis
+module Bb = Noc_core.Branch_bound
+module Prng = Noc_util.Prng
+
+let close a b = Complex.norm (Complex.sub a b) < 1e-9
+
+let arrays_close x y =
+  Array.length x = Array.length y
+  && Array.for_all2 (fun a b -> close a b) x y
+
+let random_signal ~seed n =
+  let rng = Prng.create ~seed in
+  Array.init n (fun _ ->
+      { Complex.re = Prng.float rng 2.0 -. 1.0; im = Prng.float rng 2.0 -. 1.0 })
+
+(* -------------------------------------------------------------------- *)
+(* Sequential FFT                                                        *)
+
+let test_fft_impulse () =
+  (* the DFT of a unit impulse is all ones *)
+  let x = Array.make 16 Complex.zero in
+  x.(0) <- Complex.one;
+  let y = Fft.fft x in
+  Array.iter (fun c -> Alcotest.(check bool) "flat spectrum" true (close c Complex.one)) y
+
+let test_fft_constant () =
+  (* the DFT of a constant is an impulse of height n at bin 0 *)
+  let x = Array.make 8 Complex.one in
+  let y = Fft.fft x in
+  Alcotest.(check bool) "dc bin" true (close y.(0) { Complex.re = 8.0; im = 0.0 });
+  for k = 1 to 7 do
+    Alcotest.(check bool) "zero elsewhere" true (close y.(k) Complex.zero)
+  done
+
+let test_fft_matches_dft () =
+  List.iter
+    (fun n ->
+      let x = random_signal ~seed:(100 + n) n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d" n)
+        true
+        (arrays_close (Fft.fft x) (Fft.dft x)))
+    [ 2; 4; 8; 16; 32 ]
+
+let test_fft_rejects_non_pow2 () =
+  Alcotest.check_raises "n=6" (Invalid_argument "Fft.fft: length must be a power of two")
+    (fun () -> ignore (Fft.fft (Array.make 6 Complex.zero)))
+
+(* -------------------------------------------------------------------- *)
+(* Distributed FFT                                                       *)
+
+let fft_arches () =
+  let acg = Fft.acg () in
+  let d, _ = Bb.decompose ~library:(Noc_primitives.Library.default ()) acg in
+  (acg, Syn.custom acg d, Syn.mesh ~rows:4 ~cols:4 acg)
+
+let test_fft_acg_structure () =
+  let acg = Fft.acg () in
+  Alcotest.(check int) "16 cores" 16 (Acg.num_cores acg);
+  (* 4 stages x 16 directed messages *)
+  Alcotest.(check int) "64 flows" 64 (Acg.num_flows acg);
+  (* hypercube pattern: every node talks to exactly 4 partners each way *)
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "out degree 4" 4
+        (Noc_graph.Digraph.out_degree (Acg.graph acg) v))
+    (Noc_graph.Digraph.vertex_list (Acg.graph acg));
+  Alcotest.(check int) "complex volume" 128 (Acg.volume acg 1 9)
+
+let test_distributed_fft_exact () =
+  let _, custom, mesh = fft_arches () in
+  let x = random_signal ~seed:7 16 in
+  let expect = Fft.fft x in
+  List.iter
+    (fun (name, arch) ->
+      let r = Fft.distributed ~arch x in
+      Alcotest.(check bool) (name ^ " matches sequential fft") true
+        (arrays_close r.Fft.output expect);
+      Alcotest.(check bool) (name ^ " cycles positive") true (r.Fft.cycles > 0))
+    [ ("custom", custom); ("mesh", mesh) ]
+
+(* Under the wiring cost the greedy pass may interpret a node's four
+   stage-partners as a broadcast primitive (link-neutral) whose tree
+   routing lengthens individual stage messages; the energy cost rejects
+   multi-hop matchings whose flows are temporally unrelated, and the
+   resulting all-ring cover gives every FFT flow a direct link. *)
+let energy_fft_custom () =
+  let acg = Fft.acg () in
+  let tech = Noc_energy.Technology.cmos_180nm in
+  let fp =
+    Noc_energy.Floorplan.grid (Noc_energy.Floorplan.uniform_cores ~n:16 ~size_mm:2.0)
+  in
+  let options = { (Bb.energy_options ~tech ~fp) with constraints = None } in
+  let d, _ = Bb.decompose ~options ~library:(Noc_primitives.Library.default ()) acg in
+  (acg, Syn.custom acg d)
+
+let test_fft_energy_cover_is_direct () =
+  let acg, custom = energy_fft_custom () in
+  Alcotest.(check int) "hypercube links" 32 (Syn.link_count custom);
+  Alcotest.(check int) "all flows direct" 1 (Syn.max_hops custom);
+  Alcotest.(check (float 1e-9)) "avg 1 hop" 1.0 (Syn.avg_hops acg custom)
+
+let test_distributed_fft_custom_faster () =
+  let _, custom = energy_fft_custom () in
+  let acg = Fft.acg () in
+  let mesh = Syn.mesh ~rows:4 ~cols:4 acg in
+  let x = random_signal ~seed:9 16 in
+  let rc = Fft.distributed ~arch:custom x in
+  let rm = Fft.distributed ~arch:mesh x in
+  Alcotest.(check bool) "custom needs fewer cycles" true (rc.Fft.cycles < rm.Fft.cycles);
+  (* ...while the wiring-cost cover (broadcast trees) lengthens stage
+     messages; both still compute the exact transform *)
+  let _, wiring_custom, _ = fft_arches () in
+  let rw = Fft.distributed ~arch:wiring_custom x in
+  Alcotest.(check bool) "wiring-cost cover is multi-hop" true
+    (Syn.max_hops wiring_custom > 1);
+  Alcotest.(check bool) "still exact" true (arrays_close rw.Fft.output (Fft.fft x))
+
+let test_distributed_fft_bad_size () =
+  let _, custom, _ = fft_arches () in
+  Alcotest.check_raises "8 samples" (Invalid_argument "Fft.distributed: need 16 samples")
+    (fun () -> ignore (Fft.distributed ~arch:custom (Array.make 8 Complex.zero)))
+
+let qcheck_distributed_fft =
+  QCheck.Test.make ~name:"distributed FFT matches the reference on random signals"
+    ~count:10 QCheck.small_int
+    (fun seed ->
+      let _, custom, _ = fft_arches () in
+      let x = random_signal ~seed:(seed + 500) 16 in
+      let r = Fft.distributed ~arch:custom x in
+      arrays_close r.Fft.output (Fft.fft x))
+
+(* -------------------------------------------------------------------- *)
+(* Multimedia ACGs                                                       *)
+
+let test_vopd_structure () =
+  let acg = Mm.vopd () in
+  Alcotest.(check int) "12 cores" 12 (Acg.num_cores acg);
+  Alcotest.(check int) "14 flows" 14 (Acg.num_flows acg);
+  (* the heaviest pipeline stages carry 362 MB/s = 2.896 Gbit/s *)
+  Alcotest.(check (float 1e-6)) "bandwidth conversion" 2.896 (Acg.bandwidth acg 2 3);
+  Alcotest.(check int) "volume scaling" (362 * 8) (Acg.volume acg 2 3);
+  Alcotest.(check string) "names" "stripe_mem" (Mm.name_of Mm.vopd_names 5);
+  Alcotest.(check string) "fallback" "core99" (Mm.name_of Mm.vopd_names 99)
+
+let test_mpeg4_structure () =
+  let acg = Mm.mpeg4 () in
+  Alcotest.(check int) "12 cores" 12 (Acg.num_cores acg);
+  (* sdram is the hub: it touches most cores *)
+  let g = Acg.graph acg in
+  Alcotest.(check bool) "hub degree" true (Noc_graph.Digraph.degree g 4 >= 12);
+  Alcotest.(check string) "hub name" "sdram" (Mm.name_of Mm.mpeg4_names 4)
+
+let test_multimedia_synthesis () =
+  List.iter
+    (fun (name, acg) ->
+      let d, stats = Bb.decompose ~library:(Noc_primitives.Library.default ()) acg in
+      Alcotest.(check bool)
+        (name ^ " valid")
+        true
+        (Noc_core.Decomposition.is_valid_for acg d);
+      Alcotest.(check bool) (name ^ " finite") true (Float.is_finite stats.Bb.best_cost);
+      let arch = Syn.custom acg d in
+      Alcotest.(check bool) (name ^ " routes valid") true (Syn.routes_valid arch);
+      Alcotest.(check bool)
+        (name ^ " deadlock free")
+        true
+        (Noc_core.Deadlock.is_deadlock_free arch))
+    [ ("vopd", Mm.vopd ()); ("mpeg4", Mm.mpeg4 ()) ]
+
+let test_multimedia_custom_beats_mesh_hops () =
+  (* pipeline+hub traffic on a mesh takes detours; the customized topology
+     gives every flow a direct link or a short primitive route *)
+  List.iter
+    (fun (name, acg) ->
+      let d, _ = Bb.decompose ~library:(Noc_primitives.Library.default ()) acg in
+      let custom = Syn.custom acg d in
+      let mesh = Syn.mesh ~rows:3 ~cols:4 acg in
+      Alcotest.(check bool)
+        (name ^ " fewer avg hops")
+        true
+        (Syn.avg_hops acg custom <= Syn.avg_hops acg mesh))
+    [ ("vopd", Mm.vopd ()); ("mpeg4", Mm.mpeg4 ()) ]
+
+let suite =
+  ( "apps",
+    [
+      Alcotest.test_case "fft: impulse" `Quick test_fft_impulse;
+      Alcotest.test_case "fft: constant" `Quick test_fft_constant;
+      Alcotest.test_case "fft matches dft" `Quick test_fft_matches_dft;
+      Alcotest.test_case "fft rejects non-power-of-2" `Quick test_fft_rejects_non_pow2;
+      Alcotest.test_case "fft acg structure (hypercube)" `Quick test_fft_acg_structure;
+      Alcotest.test_case "distributed fft bit-exact" `Quick test_distributed_fft_exact;
+      Alcotest.test_case "fft energy cover is direct" `Quick test_fft_energy_cover_is_direct;
+      Alcotest.test_case "distributed fft: custom faster (energy cover)" `Quick
+        test_distributed_fft_custom_faster;
+      Alcotest.test_case "distributed fft: bad size" `Quick test_distributed_fft_bad_size;
+      QCheck_alcotest.to_alcotest qcheck_distributed_fft;
+      Alcotest.test_case "vopd structure" `Quick test_vopd_structure;
+      Alcotest.test_case "mpeg4 structure" `Quick test_mpeg4_structure;
+      Alcotest.test_case "multimedia synthesis" `Quick test_multimedia_synthesis;
+      Alcotest.test_case "multimedia: custom <= mesh hops" `Quick
+        test_multimedia_custom_beats_mesh_hops;
+    ] )

@@ -1,0 +1,540 @@
+(* Tests for the noc_graph substrate: digraph algebra, traversals,
+   generators and the VF2 matching engine. *)
+
+module D = Noc_graph.Digraph
+module T = Noc_graph.Traversal
+module G = Noc_graph.Generators
+module V = Noc_graph.Vf2
+module Prng = Noc_util.Prng
+
+let dg = Alcotest.testable D.pp D.equal
+
+(* -------------------------------------------------------------------- *)
+(* Digraph basics                                                        *)
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (D.is_empty D.empty);
+  Alcotest.(check int) "no vertices" 0 (D.num_vertices D.empty);
+  Alcotest.(check int) "no edges" 0 (D.num_edges D.empty)
+
+let test_add_edge () =
+  let g = D.add_edge D.empty 1 2 in
+  Alcotest.(check bool) "edge" true (D.mem_edge g 1 2);
+  Alcotest.(check bool) "no reverse" false (D.mem_edge g 2 1);
+  Alcotest.(check int) "two vertices" 2 (D.num_vertices g);
+  Alcotest.(check int) "one edge" 1 (D.num_edges g);
+  (* idempotent *)
+  let g2 = D.add_edge g 1 2 in
+  Alcotest.(check int) "still one edge" 1 (D.num_edges g2)
+
+let test_self_loop_rejected () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Digraph.add_edge: self-loop")
+    (fun () -> ignore (D.add_edge D.empty 3 3))
+
+let test_remove_edge () =
+  let g = D.of_edges [ (1, 2); (2, 3) ] in
+  let g = D.remove_edge g 1 2 in
+  Alcotest.(check bool) "gone" false (D.mem_edge g 1 2);
+  Alcotest.(check bool) "vertex kept" true (D.mem_vertex g 1);
+  Alcotest.(check int) "one left" 1 (D.num_edges g);
+  (* removing a missing edge is a no-op *)
+  Alcotest.(check dg) "noop" g (D.remove_edge g 1 2)
+
+let test_remove_vertex () =
+  let g = D.of_edges [ (1, 2); (2, 3); (3, 1) ] in
+  let g = D.remove_vertex g 2 in
+  Alcotest.(check bool) "vertex gone" false (D.mem_vertex g 2);
+  Alcotest.(check int) "edges pruned" 1 (D.num_edges g);
+  Alcotest.(check bool) "3->1 kept" true (D.mem_edge g 3 1)
+
+let test_degrees () =
+  let g = D.of_edges [ (1, 2); (1, 3); (2, 1) ] in
+  Alcotest.(check int) "out 1" 2 (D.out_degree g 1);
+  Alcotest.(check int) "in 1" 1 (D.in_degree g 1);
+  Alcotest.(check int) "deg 1" 3 (D.degree g 1);
+  Alcotest.(check int) "out unknown" 0 (D.out_degree g 99)
+
+let test_union () =
+  let a = D.of_edges [ (1, 2) ] in
+  let b = D.of_edges ~vertices:[ 9 ] [ (2, 3) ] in
+  let u = D.union a b in
+  Alcotest.(check int) "vertices" 4 (D.num_vertices u);
+  Alcotest.(check int) "edges" 2 (D.num_edges u);
+  Alcotest.(check bool) "isolated kept" true (D.mem_vertex u 9)
+
+let test_diff_edges () =
+  (* Definition 2: vertices are preserved, only edges subtracted *)
+  let g = D.of_edges [ (1, 2); (2, 3); (3, 1) ] in
+  let r = D.diff_edges g [ (1, 2); (3, 1) ] in
+  Alcotest.(check int) "vertices kept" 3 (D.num_vertices r);
+  Alcotest.(check int) "one edge" 1 (D.num_edges r);
+  Alcotest.(check bool) "2->3 kept" true (D.mem_edge r 2 3)
+
+let test_induced () =
+  let g = D.of_edges [ (1, 2); (2, 3); (3, 4); (4, 1) ] in
+  let s = D.induced g (D.Vset.of_list [ 1; 2; 3 ]) in
+  Alcotest.(check int) "vertices" 3 (D.num_vertices s);
+  Alcotest.(check int) "edges" 2 (D.num_edges s)
+
+let test_map_vertices () =
+  let g = D.of_edges [ (1, 2); (2, 3) ] in
+  let h = D.map_vertices (fun v -> v * 10) g in
+  Alcotest.(check bool) "10->20" true (D.mem_edge h 10 20);
+  Alcotest.check_raises "collision" (Invalid_argument "Digraph.map_vertices: not injective")
+    (fun () -> ignore (D.map_vertices (fun _ -> 5) g))
+
+let test_reverse () =
+  let g = D.of_edges [ (1, 2); (2, 3) ] in
+  let r = D.reverse g in
+  Alcotest.(check bool) "2->1" true (D.mem_edge r 2 1);
+  Alcotest.(check bool) "not 1->2" false (D.mem_edge r 1 2);
+  Alcotest.(check dg) "double reverse" g (D.reverse r)
+
+let test_undirected_counts () =
+  let g = D.of_edges [ (1, 2); (2, 1); (2, 3) ] in
+  Alcotest.(check int) "unordered pairs" 2 (D.undirected_edge_count g);
+  let c = D.undirected_closure g in
+  Alcotest.(check int) "closure edges" 4 (D.num_edges c)
+
+(* -------------------------------------------------------------------- *)
+(* Traversal                                                             *)
+
+let test_bfs () =
+  let g = G.path 5 in
+  let d = T.bfs_distances g 1 in
+  Alcotest.(check int) "dist to 5" 4 (D.Vmap.find 5 d);
+  Alcotest.(check int) "dist to 1" 0 (D.Vmap.find 1 d);
+  (* direction matters *)
+  let d5 = T.bfs_distances g 5 in
+  Alcotest.(check bool) "1 unreachable from 5" false (D.Vmap.mem 1 d5)
+
+let test_shortest_path () =
+  let g = G.mesh ~rows:3 ~cols:3 in
+  (match T.shortest_path g 1 9 with
+  | Some p ->
+      Alcotest.(check int) "length" 5 (List.length p);
+      Alcotest.(check int) "starts" 1 (List.hd p);
+      Alcotest.(check int) "ends" 9 (List.nth p 4)
+  | None -> Alcotest.fail "should be reachable");
+  let g2 = G.path 3 in
+  Alcotest.(check bool) "unreachable" true (T.shortest_path g2 3 1 = None);
+  (match T.shortest_path g2 2 2 with
+  | Some [ 2 ] -> ()
+  | _ -> Alcotest.fail "trivial path")
+
+let test_components () =
+  let g = D.union (G.loop 3) (D.map_vertices (fun v -> v + 10) (G.loop 4)) in
+  let comps = T.weakly_connected_components g in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  Alcotest.(check int) "largest first" 4 (D.Vset.cardinal (List.hd comps));
+  Alcotest.(check bool) "not connected" false (T.is_weakly_connected g);
+  Alcotest.(check bool) "loop connected" true (T.is_weakly_connected (G.loop 5));
+  Alcotest.(check bool) "empty connected" true (T.is_weakly_connected D.empty)
+
+let test_scc () =
+  let g = D.of_edges [ (1, 2); (2, 3); (3, 1); (3, 4); (4, 5) ] in
+  let sccs = T.strongly_connected_components g in
+  let sizes = List.sort compare (List.map D.Vset.cardinal sccs) in
+  Alcotest.(check (list int)) "scc sizes" [ 1; 1; 3 ] sizes
+
+let test_topo () =
+  let g = D.of_edges [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
+  (match T.topological_sort g with
+  | Some order ->
+      let pos v = Option.get (List.find_index (Int.equal v) order) in
+      D.iter_edges (fun u v -> Alcotest.(check bool) "order" true (pos u < pos v)) g
+  | None -> Alcotest.fail "dag expected");
+  Alcotest.(check bool) "cycle has no topo" true (T.topological_sort (G.loop 3) = None);
+  Alcotest.(check bool) "acyclic" true (T.is_acyclic g);
+  Alcotest.(check bool) "cyclic" false (T.is_acyclic (G.loop 3))
+
+let test_find_cycle () =
+  (match T.find_cycle (G.loop 4) with
+  | Some c -> Alcotest.(check int) "cycle length" 4 (List.length c)
+  | None -> Alcotest.fail "loop has a cycle");
+  Alcotest.(check bool) "dag has none" true (T.find_cycle (G.path 5) = None);
+  (* returned cycle is a real edge cycle *)
+  let g = D.of_edges [ (1, 2); (2, 3); (3, 2); (3, 4) ] in
+  match T.find_cycle g with
+  | Some c ->
+      let arr = Array.of_list c in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        Alcotest.(check bool) "edge exists" true (D.mem_edge g arr.(i) arr.((i + 1) mod n))
+      done
+  | None -> Alcotest.fail "2-3 cycle expected"
+
+let test_diameter () =
+  Alcotest.(check (option int)) "path diam" (Some 4) (T.diameter (G.path 5));
+  Alcotest.(check (option int)) "mesh diam" (Some 4) (T.undirected_diameter (G.mesh ~rows:3 ~cols:3));
+  Alcotest.(check (option int)) "single vertex" None (T.diameter (D.add_vertex D.empty 1));
+  Alcotest.(check (option int)) "disconnected" None
+    (T.undirected_diameter (D.of_edges ~vertices:[ 9 ] [ (1, 2) ]))
+
+let test_bisection () =
+  (* two K4s joined by a single bidirectional bridge: optimal bisection cuts
+     exactly that one pair *)
+  let k4a = G.complete 4 in
+  let k4b = D.map_vertices (fun v -> v + 4) (G.complete 4) in
+  let g = D.add_edge_pair (D.union k4a k4b) 1 5 in
+  let rng = Prng.create ~seed:5 in
+  let part, cut = T.min_bisection_cut ~sweeps:10 ~rng g in
+  Alcotest.(check int) "balanced" 4 (D.Vset.cardinal part);
+  Alcotest.(check int) "cut=1" 1 cut
+
+(* -------------------------------------------------------------------- *)
+(* Generators                                                            *)
+
+let test_structured_generators () =
+  Alcotest.(check int) "path edges" 4 (D.num_edges (G.path 5));
+  Alcotest.(check int) "loop edges" 5 (D.num_edges (G.loop 5));
+  Alcotest.(check int) "star edges" 5 (D.num_edges (G.star 6));
+  Alcotest.(check int) "complete edges" 12 (D.num_edges (G.complete 4));
+  Alcotest.(check int) "ring edges" 8 (D.num_edges (G.bidirectional_ring 4));
+  Alcotest.(check int) "mesh 3x3 links" 12 (D.undirected_edge_count (G.mesh ~rows:3 ~cols:3));
+  Alcotest.(check int) "torus 3x3 links" 18 (D.undirected_edge_count (G.torus ~rows:3 ~cols:3));
+  Alcotest.(check int) "hypercube 3 links" 12 (D.undirected_edge_count (G.hypercube 3))
+
+let test_knodel () =
+  (* W(2,4) is the 4-cycle: 4 undirected links, all degrees 2 *)
+  let k4 = G.knodel 4 in
+  Alcotest.(check int) "knodel4 vertices" 4 (D.num_vertices k4);
+  Alcotest.(check int) "knodel4 links" 4 (D.undirected_edge_count k4);
+  List.iter
+    (fun v -> Alcotest.(check int) "degree 2" 2 (D.Vset.cardinal (D.succ k4 v)))
+    (D.vertex_list k4);
+  (* W(3,8): 12 undirected links, 3-regular *)
+  let k8 = G.knodel 8 in
+  Alcotest.(check int) "knodel8 links" 12 (D.undirected_edge_count k8);
+  List.iter
+    (fun v -> Alcotest.(check int) "degree 3" 3 (D.Vset.cardinal (D.succ k8 v)))
+    (D.vertex_list k8);
+  Alcotest.check_raises "odd rejected" (Invalid_argument "Generators.knodel: need positive even n")
+    (fun () -> ignore (G.knodel 5))
+
+let test_random_generators () =
+  let rng = Prng.create ~seed:1 in
+  let g = G.erdos_renyi ~rng ~n:20 ~p:0.2 in
+  Alcotest.(check int) "n vertices" 20 (D.num_vertices g);
+  let g0 = G.erdos_renyi ~rng ~n:10 ~p:0.0 in
+  Alcotest.(check int) "p=0 no edges" 0 (D.num_edges g0);
+  let g1 = G.erdos_renyi ~rng ~n:10 ~p:1.0 in
+  Alcotest.(check int) "p=1 complete" 90 (D.num_edges g1);
+  let gm = G.gnm ~rng ~n:12 ~m:30 in
+  Alcotest.(check int) "exact m" 30 (D.num_edges gm);
+  let gm_cap = G.gnm ~rng ~n:4 ~m:100 in
+  Alcotest.(check int) "m capped" 12 (D.num_edges gm_cap);
+  let dag = G.random_dag ~rng ~n:15 ~p:0.3 in
+  Alcotest.(check bool) "dag acyclic" true (T.is_acyclic dag)
+
+let test_generator_determinism () =
+  let g1 = G.erdos_renyi ~rng:(Prng.create ~seed:9) ~n:15 ~p:0.3 in
+  let g2 = G.erdos_renyi ~rng:(Prng.create ~seed:9) ~n:15 ~p:0.3 in
+  Alcotest.(check dg) "same seed same graph" g1 g2
+
+let test_planted () =
+  let rng = Prng.create ~seed:4 in
+  let g = G.planted ~rng ~n:12 ~parts:[ G.complete 4; G.loop 4 ] in
+  Alcotest.(check int) "vertices" 12 (D.num_vertices g);
+  (* the planted K4 must be findable *)
+  Alcotest.(check bool) "k4 found" true (V.exists ~pattern:(G.complete 4) ~target:g ());
+  Alcotest.(check bool) "loop found" true (V.exists ~pattern:(G.loop 4) ~target:g ())
+
+let test_dot () =
+  let g = D.of_edges [ (1, 2); (2, 1); (2, 3) ] in
+  let s = Noc_graph.Dot.to_dot g in
+  Alcotest.(check bool) "digraph" true (String.length s > 0 && String.sub s 0 7 = "digraph");
+  let u = Noc_graph.Dot.to_dot ~undirected:true g in
+  Alcotest.(check bool) "graph" true (String.sub u 0 5 = "graph");
+  (* labels and file output *)
+  let l =
+    Noc_graph.Dot.to_dot
+      ~vertex_label:(fun v -> Printf.sprintf "core%d" v)
+      ~edge_label:(fun a b -> if a = 1 && b = 2 then Some "hot" else None)
+      g
+  in
+  Alcotest.(check bool) "vertex labels" true
+    (let rec has i =
+       i + 5 <= String.length l && (String.sub l i 5 = "core1" || has (i + 1))
+     in
+     has 0);
+  let path = Filename.temp_file "graph" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Noc_graph.Dot.write_file ~path s;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      close_in ic;
+      Alcotest.(check int) "file written" (String.length s) len)
+
+(* -------------------------------------------------------------------- *)
+(* VF2                                                                   *)
+
+let count_matches pattern target =
+  List.length (V.find_all ~pattern ~target ())
+
+let test_vf2_k4_in_k5 () =
+  (* K4 -> K5: all 5*4*3*2 injections are monomorphisms *)
+  Alcotest.(check int) "monomorphism count" 120 (count_matches (G.complete 4) (G.complete 5));
+  (* but only C(5,4)=5 distinct covered edge sets *)
+  Alcotest.(check int) "distinct images" 5
+    (List.length (V.find_distinct_images ~pattern:(G.complete 4) ~target:(G.complete 5) ()))
+
+let test_vf2_no_match () =
+  Alcotest.(check bool) "k4 not in c4" false
+    (V.exists ~pattern:(G.complete 4) ~target:(G.knodel 4) ());
+  Alcotest.(check bool) "loop5 not in loop4" false
+    (V.exists ~pattern:(G.loop 5) ~target:(G.loop 4) ())
+
+let test_vf2_loop_in_mesh () =
+  (* a directed 4-cycle exists in a bidirectional mesh (around a unit square) *)
+  Alcotest.(check bool) "loop4 in mesh" true
+    (V.exists ~pattern:(G.loop 4) ~target:(G.mesh ~rows:2 ~cols:2) ());
+  (* a directed 3-cycle does not exist in a bipartite mesh *)
+  Alcotest.(check bool) "loop3 not in mesh" false
+    (V.exists ~pattern:(G.loop 3) ~target:(G.mesh ~rows:3 ~cols:3) ())
+
+let test_vf2_path_directed () =
+  let target = G.path 6 in
+  (* directed path of 3 vertices appears 4 times in path of 6 *)
+  Alcotest.(check int) "path3 in path6" 4 (count_matches (G.path 3) target)
+
+let test_vf2_star () =
+  (* star with 3 leaves in K4: 4 roots * 3! leaf arrangements *)
+  Alcotest.(check int) "star count" 24 (count_matches (G.star 4) (G.complete 4))
+
+let test_vf2_all_results_valid () =
+  let rng = Prng.create ~seed:31 in
+  let target = G.erdos_renyi ~rng ~n:12 ~p:0.3 in
+  let pattern = G.loop 4 in
+  let ms = V.find_all ~pattern ~target () in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "valid monomorphism" true (V.is_monomorphism ~pattern ~target m))
+    ms
+
+let test_vf2_max_matches () =
+  let ms = V.find_all ~max_matches:7 ~pattern:(G.complete 3) ~target:(G.complete 5) () in
+  Alcotest.(check int) "capped" 7 (List.length ms)
+
+let test_vf2_deadline () =
+  (* an already-expired deadline must time out quickly and return no match *)
+  let deadline = Unix.gettimeofday () -. 1.0 in
+  let outcome =
+    V.iter ~deadline ~pattern:(G.complete 6) ~target:(G.complete 12) (fun _ -> `Continue)
+  in
+  Alcotest.(check bool) "timed out" true (outcome = V.Timed_out)
+
+let test_vf2_empty_pattern () =
+  Alcotest.(check int) "empty pattern no matches" 0 (count_matches D.empty (G.complete 3))
+
+let test_vf2_edge_image () =
+  let pattern = G.path 3 in
+  let target = G.path 5 in
+  match V.find_first ~pattern ~target () with
+  | Some m ->
+      let img = V.edge_image ~pattern m in
+      Alcotest.(check int) "two edges" 2 (List.length img);
+      List.iter
+        (fun (u, v) -> Alcotest.(check bool) "edge in target" true (D.mem_edge target u v))
+        img
+  | None -> Alcotest.fail "path3 must embed in path5"
+
+(* Property: a randomly relabelled subgraph of a random graph always embeds. *)
+let qcheck_vf2_planted =
+  QCheck.Test.make ~name:"vf2 finds planted subgraphs" ~count:50
+    QCheck.(pair small_int (int_bound 3))
+    (fun (seed, which) ->
+      let rng = Prng.create ~seed:(seed + 1000) in
+      let part =
+        match which with
+        | 0 -> G.complete 3
+        | 1 -> G.loop 4
+        | 2 -> G.star 4
+        | _ -> G.path 4
+      in
+      let target = G.planted ~rng ~n:10 ~parts:[ part ] in
+      V.exists ~pattern:part ~target ())
+
+(* Property: subtracting a found match's edge image strictly decreases the
+   edge count by the pattern's edge count. *)
+let qcheck_vf2_subtract =
+  QCheck.Test.make ~name:"match subtraction removes exactly pattern edges" ~count:50
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed:(seed + 2000) in
+      let target = G.planted ~rng ~n:9 ~parts:[ G.loop 4; G.path 3 ] in
+      let pattern = G.loop 4 in
+      match V.find_first ~pattern ~target () with
+      | None -> false
+      | Some m ->
+          let img = V.edge_image ~pattern m in
+          let r = D.diff_edges target img in
+          D.num_edges r = D.num_edges target - D.num_edges pattern
+          && D.num_vertices r = D.num_vertices target)
+
+(* -------------------------------------------------------------------- *)
+(* Multi-pattern screening                                               *)
+
+module MP = Noc_graph.Multi_pattern
+
+let library_patterns () =
+  [ (1, G.complete 4); (2, G.star 4); (3, G.loop 4); (4, G.path 3) ]
+
+let test_multi_pattern_survivors () =
+  let t = MP.compile (library_patterns ()) in
+  (* a sparse path: K4 and star-with-degree-3 cannot embed *)
+  let target = G.path 5 in
+  let surv = MP.survivors t target in
+  Alcotest.(check bool) "K4 screened out" false (List.mem 1 surv);
+  Alcotest.(check bool) "star screened out" false (List.mem 2 surv);
+  Alcotest.(check bool) "path survives" true (List.mem 4 surv);
+  (* the loop passes the degree screen (necessary, not sufficient) and is
+     only rejected by the full search *)
+  Alcotest.(check (list int)) "complement" [ 1; 2 ] (MP.screened_out t target);
+  Alcotest.(check bool) "loop fails the full search" true
+    (MP.find_first t ~id:3 target = None)
+
+let test_multi_pattern_no_false_negatives () =
+  let t = MP.compile (library_patterns ()) in
+  let rng = Prng.create ~seed:61 in
+  for _ = 1 to 20 do
+    let target = G.erdos_renyi ~rng ~n:10 ~p:0.3 in
+    let surv = MP.survivors t target in
+    List.iter
+      (fun (id, pattern) ->
+        if V.exists ~pattern ~target () then
+          Alcotest.(check bool)
+            (Printf.sprintf "pattern %d must survive" id)
+            true (List.mem id surv))
+      (library_patterns ())
+  done
+
+let test_multi_pattern_find () =
+  let t = MP.compile (library_patterns ()) in
+  let target = G.complete 5 in
+  (match MP.find_first t ~id:1 target with
+  | Some m ->
+      Alcotest.(check bool) "valid" true
+        (V.is_monomorphism ~pattern:(G.complete 4) ~target m)
+  | None -> Alcotest.fail "K4 embeds in K5");
+  Alcotest.(check bool) "screened find is None" true
+    (MP.find_first t ~id:1 (G.path 4) = None);
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Multi_pattern.find_first: unknown id 99") (fun () ->
+      ignore (MP.find_first t ~id:99 target));
+  let hits = MP.matching_patterns t target in
+  (* K5 contains all four patterns *)
+  Alcotest.(check (list int)) "all match" [ 1; 2; 3; 4 ] (List.map fst hits)
+
+let test_multi_pattern_duplicate_id () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Multi_pattern.compile: duplicate id 1") (fun () ->
+      ignore (MP.compile [ (1, G.path 2); (1, G.path 3) ]))
+
+(* -------------------------------------------------------------------- *)
+(* Approximate matching                                                  *)
+
+let test_approx_near_gossip () =
+  (* K4 minus one edge: no exact MGG4 pattern, but 1-tolerant matching *)
+  let target = D.remove_edge (G.complete 4) 1 4 in
+  Alcotest.(check bool) "no exact match" false
+    (V.exists ~pattern:(G.complete 4) ~target ());
+  (match V.find_first_approx ~max_missing:1 ~pattern:(G.complete 4) ~target () with
+  | Some a ->
+      Alcotest.(check int) "one missing edge" 1 (List.length a.V.missing);
+      (* the missing pattern edge maps onto the removed target edge *)
+      let u, v = List.hd a.V.missing in
+      let mu = D.Vmap.find u a.V.approx_mapping and mv = D.Vmap.find v a.V.approx_mapping in
+      Alcotest.(check (pair int int)) "maps to the hole" (1, 4) (mu, mv)
+  | None -> Alcotest.fail "1-tolerant match expected");
+  Alcotest.(check bool) "0-tolerant rejects" true
+    (V.find_first_approx ~max_missing:0 ~pattern:(G.complete 4) ~target () = None)
+
+let test_approx_zero_equals_exact () =
+  let rng = Prng.create ~seed:71 in
+  for _ = 1 to 10 do
+    let target = G.erdos_renyi ~rng ~n:8 ~p:0.35 in
+    let pattern = G.loop 4 in
+    let exact = List.length (V.find_all ~pattern ~target ()) in
+    let approx =
+      List.length (V.find_all_approx ~max_missing:0 ~pattern ~target ())
+    in
+    Alcotest.(check int) "same count" exact approx
+  done
+
+let test_covered_edge_image () =
+  let target = D.remove_edge (G.complete 4) 1 4 in
+  match V.find_first_approx ~max_missing:1 ~pattern:(G.complete 4) ~target () with
+  | Some a ->
+      let covered =
+        V.covered_edge_image ~pattern:(G.complete 4) ~target a.V.approx_mapping
+      in
+      Alcotest.(check int) "11 of 12 covered" 11 (List.length covered);
+      List.iter
+        (fun (u, v) -> Alcotest.(check bool) "real edge" true (D.mem_edge target u v))
+        covered
+  | None -> Alcotest.fail "match expected"
+
+let qcheck_approx_budget_respected =
+  QCheck.Test.make ~name:"approximate matches never exceed the miss budget" ~count:30
+    QCheck.(pair small_int (int_range 0 3))
+    (fun (seed, budget) ->
+      let rng = Prng.create ~seed:(seed + 3000) in
+      let target = G.erdos_renyi ~rng ~n:8 ~p:0.3 in
+      let pattern = G.complete 4 in
+      V.find_all_approx ~max_missing:budget ~max_matches:20 ~pattern ~target ()
+      |> List.for_all (fun a -> List.length a.V.missing <= budget))
+
+let suite =
+  ( "graph",
+    [
+      Alcotest.test_case "empty graph" `Quick test_empty;
+      Alcotest.test_case "add edge" `Quick test_add_edge;
+      Alcotest.test_case "self loop rejected" `Quick test_self_loop_rejected;
+      Alcotest.test_case "remove edge" `Quick test_remove_edge;
+      Alcotest.test_case "remove vertex" `Quick test_remove_vertex;
+      Alcotest.test_case "degrees" `Quick test_degrees;
+      Alcotest.test_case "union (Def 1)" `Quick test_union;
+      Alcotest.test_case "diff_edges (Def 2)" `Quick test_diff_edges;
+      Alcotest.test_case "induced subgraph" `Quick test_induced;
+      Alcotest.test_case "map vertices" `Quick test_map_vertices;
+      Alcotest.test_case "reverse" `Quick test_reverse;
+      Alcotest.test_case "undirected counts" `Quick test_undirected_counts;
+      Alcotest.test_case "bfs distances" `Quick test_bfs;
+      Alcotest.test_case "shortest path" `Quick test_shortest_path;
+      Alcotest.test_case "weak components" `Quick test_components;
+      Alcotest.test_case "strongly connected components" `Quick test_scc;
+      Alcotest.test_case "topological sort" `Quick test_topo;
+      Alcotest.test_case "find cycle" `Quick test_find_cycle;
+      Alcotest.test_case "diameter" `Quick test_diameter;
+      Alcotest.test_case "bisection heuristic" `Quick test_bisection;
+      Alcotest.test_case "structured generators" `Quick test_structured_generators;
+      Alcotest.test_case "knodel graphs" `Quick test_knodel;
+      Alcotest.test_case "random generators" `Quick test_random_generators;
+      Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+      Alcotest.test_case "planted generator" `Quick test_planted;
+      Alcotest.test_case "dot export" `Quick test_dot;
+      Alcotest.test_case "vf2 k4 in k5" `Quick test_vf2_k4_in_k5;
+      Alcotest.test_case "vf2 no match" `Quick test_vf2_no_match;
+      Alcotest.test_case "vf2 loop in mesh" `Quick test_vf2_loop_in_mesh;
+      Alcotest.test_case "vf2 directed paths" `Quick test_vf2_path_directed;
+      Alcotest.test_case "vf2 star count" `Quick test_vf2_star;
+      Alcotest.test_case "vf2 results valid" `Quick test_vf2_all_results_valid;
+      Alcotest.test_case "vf2 max matches" `Quick test_vf2_max_matches;
+      Alcotest.test_case "vf2 deadline" `Quick test_vf2_deadline;
+      Alcotest.test_case "vf2 empty pattern" `Quick test_vf2_empty_pattern;
+      Alcotest.test_case "vf2 edge image" `Quick test_vf2_edge_image;
+      Alcotest.test_case "multi-pattern survivors" `Quick test_multi_pattern_survivors;
+      Alcotest.test_case "multi-pattern has no false negatives" `Quick
+        test_multi_pattern_no_false_negatives;
+      Alcotest.test_case "multi-pattern find" `Quick test_multi_pattern_find;
+      Alcotest.test_case "multi-pattern duplicate id" `Quick test_multi_pattern_duplicate_id;
+      Alcotest.test_case "approx: near-gossip matched" `Quick test_approx_near_gossip;
+      Alcotest.test_case "approx: zero tolerance = exact" `Quick test_approx_zero_equals_exact;
+      Alcotest.test_case "approx: covered edge image" `Quick test_covered_edge_image;
+      QCheck_alcotest.to_alcotest qcheck_approx_budget_respected;
+      QCheck_alcotest.to_alcotest qcheck_vf2_planted;
+      QCheck_alcotest.to_alcotest qcheck_vf2_subtract;
+    ] )

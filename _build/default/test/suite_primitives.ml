@@ -1,0 +1,343 @@
+(* Tests for the communication library: schedules, minimum gossip /
+   broadcast graphs, routing extraction (paper Sections 3 and 4.5). *)
+
+module D = Noc_graph.Digraph
+module G = Noc_graph.Generators
+module S = Noc_primitives.Schedule
+module P = Noc_primitives.Primitive
+module L = Noc_primitives.Library
+
+(* -------------------------------------------------------------------- *)
+(* Schedule semantics                                                    *)
+
+let test_schedule_validity () =
+  let impl = D.undirected_closure (G.path 3) in
+  Alcotest.(check bool) "valid" true (S.is_valid ~impl [ [ S.Send (1, 2) ]; [ S.Exchange (2, 3) ] ]);
+  (* vertex used twice in one round *)
+  Alcotest.(check bool) "conflict" false
+    (S.is_valid ~impl [ [ S.Send (1, 2); S.Send (2, 3) ] ]);
+  (* non-adjacent pair *)
+  Alcotest.(check bool) "non-edge" false (S.is_valid ~impl [ [ S.Send (1, 3) ] ]);
+  (* self transaction *)
+  Alcotest.(check bool) "self" false (S.is_valid ~impl:(G.complete 3) [ [ S.Exchange (2, 2) ] ])
+
+let test_synchronous_semantics () =
+  (* In one round, exchanges propagate start-of-round knowledge only:
+     a chain (1,2) (3,4) in round 1 then (2,3) in round 2 must NOT give
+     vertex 4 token 1 (4 exchanged before 3 knew 1). *)
+  let impl = D.undirected_closure (G.path 4) in
+  let s = [ [ S.Exchange (1, 2); S.Exchange (3, 4) ]; [ S.Exchange (2, 3) ] ] in
+  let know = S.knowledge_after ~impl s in
+  let k4 = D.Vmap.find 4 know in
+  Alcotest.(check bool) "4 lacks 1" false (D.Vset.mem 1 k4);
+  let k2 = D.Vmap.find 2 know in
+  Alcotest.(check bool) "2 knows 4" true (D.Vset.mem 4 k2)
+
+let test_lower_bounds () =
+  Alcotest.(check int) "gossip 2" 1 (S.gossip_lower_bound 2);
+  Alcotest.(check int) "gossip 4" 2 (S.gossip_lower_bound 4);
+  Alcotest.(check int) "gossip 8" 3 (S.gossip_lower_bound 8);
+  Alcotest.(check int) "gossip 3 (odd)" 3 (S.gossip_lower_bound 3);
+  Alcotest.(check int) "gossip 5 (odd)" 4 (S.gossip_lower_bound 5);
+  Alcotest.(check int) "broadcast 2" 1 (S.broadcast_lower_bound 2);
+  Alcotest.(check int) "broadcast 5" 3 (S.broadcast_lower_bound 5);
+  Alcotest.(check int) "broadcast 8" 3 (S.broadcast_lower_bound 8)
+
+(* -------------------------------------------------------------------- *)
+(* Gossip primitives (MGGs)                                              *)
+
+let test_mgg4_structure () =
+  let p = P.gossip 4 in
+  Alcotest.(check string) "name" "MGG4" p.P.name;
+  (* representation: complete digraph on 4 vertices *)
+  Alcotest.(check int) "repr edges" 12 (P.repr_edge_count p);
+  (* implementation: the 4-cycle of Fig. 1 - exactly 4 physical links *)
+  Alcotest.(check int) "links" 4 (P.impl_link_count p);
+  Alcotest.(check bool) "1-3 link" true (D.mem_edge p.P.impl 1 3);
+  Alcotest.(check bool) "2-4 link" true (D.mem_edge p.P.impl 2 4);
+  Alcotest.(check bool) "1-2 link" true (D.mem_edge p.P.impl 1 2);
+  Alcotest.(check bool) "3-4 link" true (D.mem_edge p.P.impl 3 4);
+  Alcotest.(check bool) "no 1-4 link" false (D.mem_edge p.P.impl 1 4);
+  (* optimal: gossip among 4 in exactly 2 rounds *)
+  Alcotest.(check int) "rounds" 2 (S.rounds p.P.schedule)
+
+let test_mgg4_routing_paper_example () =
+  (* Section 4.5: "if vertex 1 needs to send a message to vertex 4, then it
+     will forward its message to vertex 3 first" *)
+  let p = P.gossip 4 in
+  match P.route p ~src:1 ~dst:4 with
+  | Some path -> Alcotest.(check (list int)) "1 to 4 via 3" [ 1; 3; 4 ] path
+  | None -> Alcotest.fail "route 1->4 must exist"
+
+let test_gossip_optimal_rounds_pow2 () =
+  List.iter
+    (fun n ->
+      let p = P.gossip n in
+      Alcotest.(check int)
+        (Printf.sprintf "MGG%d rounds" n)
+        (S.gossip_lower_bound n) (S.rounds p.P.schedule))
+    [ 2; 4; 8; 16 ]
+
+let test_gossip_optimal_rounds_even () =
+  (* Knödel-based schedules reach the even-size optimum ceil(log2 n) *)
+  List.iter
+    (fun n ->
+      let p = P.gossip n in
+      Alcotest.(check int)
+        (Printf.sprintf "MGG%d optimal" n)
+        (S.gossip_lower_bound n) (S.rounds p.P.schedule))
+    [ 2; 4; 6; 8; 10; 12; 14; 16 ];
+  (* odd sizes dock an extra vertex onto the even core: optimal for
+     n = 3, 5 and within one extra round of the bound up to 13 *)
+  List.iter
+    (fun n ->
+      let p = P.gossip n in
+      Alcotest.(check bool)
+        (Printf.sprintf "MGG%d near-optimal" n)
+        true
+        (S.rounds p.P.schedule <= S.gossip_lower_bound n + 1))
+    [ 3; 5; 7; 9; 11; 13 ]
+
+let test_gossip_completes_many_sizes () =
+  List.iter
+    (fun n ->
+      let p = P.gossip n in
+      Alcotest.(check bool)
+        (Printf.sprintf "gossip %d completes" n)
+        true
+        (S.completes_gossip ~impl:p.P.impl p.P.schedule);
+      Alcotest.(check bool)
+        (Printf.sprintf "gossip %d schedule valid" n)
+        true
+        (S.is_valid ~impl:p.P.impl p.P.schedule))
+    [ 2; 3; 4; 5; 6; 7; 8; 10; 12; 16 ]
+
+let test_gossip_routes_total () =
+  (* every ordered pair must have a route: gossip is all-to-all *)
+  List.iter
+    (fun n ->
+      let p = P.gossip n in
+      for src = 1 to n do
+        for dst = 1 to n do
+          if src <> dst then
+            match P.route p ~src ~dst with
+            | Some path ->
+                Alcotest.(check int) "starts at src" src (List.hd path);
+                Alcotest.(check int) "ends at dst" dst (List.nth path (List.length path - 1));
+                (* consecutive vertices are physically linked *)
+                let rec check = function
+                  | a :: (b :: _ as rest) ->
+                      Alcotest.(check bool) "link exists" true (D.mem_edge p.P.impl a b);
+                      check rest
+                  | _ -> ()
+                in
+                check path
+            | None -> Alcotest.fail (Printf.sprintf "no route %d->%d in MGG%d" src dst n)
+        done
+      done)
+    [ 2; 4; 6; 8 ]
+
+let test_gossip_invalid () =
+  Alcotest.check_raises "n=1" (Invalid_argument "Primitive.gossip: need n >= 2") (fun () ->
+      ignore (P.gossip 1))
+
+(* -------------------------------------------------------------------- *)
+(* Broadcast primitives                                                  *)
+
+let test_broadcast_structure () =
+  let p = P.broadcast 4 in
+  Alcotest.(check string) "name G123" "G123" p.P.name;
+  Alcotest.(check int) "repr edges (star)" 3 (P.repr_edge_count p);
+  (* binomial tree: n-1 links *)
+  Alcotest.(check int) "links" 3 (P.impl_link_count p);
+  Alcotest.(check int) "rounds" 2 (S.rounds p.P.schedule);
+  let p5 = P.broadcast 5 in
+  Alcotest.(check string) "name G124" "G124" p5.P.name;
+  Alcotest.(check int) "G124 rounds" 3 (S.rounds p5.P.schedule)
+
+let test_broadcast_optimal_rounds () =
+  List.iter
+    (fun n ->
+      let p = P.broadcast n in
+      Alcotest.(check int)
+        (Printf.sprintf "broadcast %d rounds" n)
+        (S.broadcast_lower_bound n) (S.rounds p.P.schedule);
+      Alcotest.(check bool)
+        (Printf.sprintf "broadcast %d completes" n)
+        true
+        (S.completes_broadcast ~impl:p.P.impl ~root:1 p.P.schedule))
+    [ 2; 3; 4; 5; 6; 7; 8; 12; 16 ]
+
+let test_broadcast_routes_from_root () =
+  let p = P.broadcast 8 in
+  for dst = 2 to 8 do
+    match P.route p ~src:1 ~dst with
+    | Some path -> Alcotest.(check int) "route ends" dst (List.nth path (List.length path - 1))
+    | None -> Alcotest.fail "root must reach everyone"
+  done
+
+(* -------------------------------------------------------------------- *)
+(* Paths and loops                                                       *)
+
+let test_path_primitive () =
+  let p = P.path 4 in
+  Alcotest.(check string) "name" "P4" p.P.name;
+  Alcotest.(check int) "repr edges" 3 (P.repr_edge_count p);
+  Alcotest.(check int) "links" 3 (P.impl_link_count p);
+  Alcotest.(check bool) "schedule valid" true (S.is_valid ~impl:p.P.impl p.P.schedule);
+  (* at most 2 rounds: alternate edges *)
+  Alcotest.(check bool) "pipeline rounds" true (S.rounds p.P.schedule <= 2);
+  (* forward routes exist *)
+  (match P.route p ~src:1 ~dst:4 with
+  | Some path -> Alcotest.(check (list int)) "along path" [ 1; 2; 3; 4 ] path
+  | None -> Alcotest.fail "forward route expected")
+
+let test_loop_primitive () =
+  let p = P.loop 4 in
+  Alcotest.(check string) "name" "L4" p.P.name;
+  Alcotest.(check int) "repr edges" 4 (P.repr_edge_count p);
+  Alcotest.(check int) "links" 4 (P.impl_link_count p);
+  Alcotest.(check int) "even loop rounds" 2 (S.rounds p.P.schedule);
+  let p5 = P.loop 5 in
+  Alcotest.(check int) "odd loop rounds" 3 (S.rounds p5.P.schedule);
+  Alcotest.(check bool) "odd loop valid" true (S.is_valid ~impl:p5.P.impl p5.P.schedule);
+  (* route wraps around the ring *)
+  match P.route p ~src:4 ~dst:1 with
+  | Some path -> Alcotest.(check (list int)) "wrap" [ 4; 1 ] path
+  | None -> Alcotest.fail "ring route expected"
+
+let test_loop_min_size () =
+  Alcotest.check_raises "loop 2 rejected" (Invalid_argument "Primitive.loop: need n >= 3")
+    (fun () -> ignore (P.loop 2))
+
+(* -------------------------------------------------------------------- *)
+(* Library                                                               *)
+
+let test_default_library () =
+  let lib = L.default () in
+  Alcotest.(check (list string)) "catalog"
+    [ "MGG4"; "G124"; "G123"; "L8"; "L7"; "L6"; "L5"; "L4"; "L3"; "P6"; "P5"; "P4"; "P3" ]
+    (L.names lib);
+  (* ids are 1-based and sequential *)
+  List.iteri (fun i e -> Alcotest.(check int) "id" (i + 1) e.L.id) lib;
+  (* no 2-vertex primitive: otherwise no remainder could ever exist *)
+  List.iter
+    (fun e -> Alcotest.(check bool) "size >= 3" true (P.size e.L.prim >= 3))
+    lib
+
+let test_library_lookup () =
+  let lib = L.default () in
+  (match L.find lib 1 with
+  | Some e -> Alcotest.(check string) "id 1 is MGG4" "MGG4" e.L.prim.P.name
+  | None -> Alcotest.fail "id 1 exists");
+  Alcotest.(check bool) "id 99 missing" true (L.find lib 99 = None);
+  (match L.find_by_name lib "L4" with
+  | Some e -> Alcotest.(check int) "L4 id" 8 e.L.id
+  | None -> Alcotest.fail "L4 exists");
+  Alcotest.(check bool) "unknown name" true (L.find_by_name lib "XYZ" = None)
+
+let test_library_max_diameter () =
+  let lib = L.default () in
+  (* P6 has diameter 5, the largest implementation in the default library *)
+  Alcotest.(check int) "max diameter" 5 (L.max_diameter lib);
+  let lib_min = L.minimal () in
+  (* MGG4 impl diameter 2, G123 binomial tree diameter... root-leaf depth *)
+  Alcotest.(check bool) "minimal diameter small" true (L.max_diameter lib_min <= 3)
+
+let test_extended_library () =
+  let lib = L.extended () in
+  Alcotest.(check bool) "has MGG8" true (L.find_by_name lib "MGG8" <> None);
+  Alcotest.(check bool) "has G127" true (L.find_by_name lib "G127" <> None)
+
+(* -------------------------------------------------------------------- *)
+(* Properties                                                            *)
+
+let qcheck_gossip_completes =
+  QCheck.Test.make ~name:"gossip schedules complete and are valid" ~count:20
+    QCheck.(int_range 2 14)
+    (fun n ->
+      let p = P.gossip n in
+      S.is_valid ~impl:p.P.impl p.P.schedule
+      && S.completes_gossip ~impl:p.P.impl p.P.schedule)
+
+let qcheck_broadcast_optimal =
+  QCheck.Test.make ~name:"broadcast always completes in ceil(log2 n) rounds" ~count:20
+    QCheck.(int_range 2 32)
+    (fun n ->
+      let p = P.broadcast n in
+      S.rounds p.P.schedule = S.broadcast_lower_bound n
+      && S.completes_broadcast ~impl:p.P.impl ~root:1 p.P.schedule)
+
+let qcheck_routes_follow_links =
+  QCheck.Test.make ~name:"all primitive routes follow physical links" ~count:20
+    QCheck.(int_range 3 10)
+    (fun n ->
+      let prims = [ P.gossip n; P.broadcast n; P.path n; P.loop n ] in
+      List.for_all
+        (fun p ->
+          let impl = p.P.impl in
+          let ok = ref true in
+          for src = 1 to n do
+            for dst = 1 to n do
+              match P.route p ~src ~dst with
+              | Some (first :: rest) ->
+                  let rec follow prev = function
+                    | [] -> ()
+                    | x :: tl ->
+                        if not (D.mem_edge impl prev x) then ok := false;
+                        follow x tl
+                  in
+                  if first <> src then ok := false;
+                  follow first rest
+              | Some [] -> ok := false
+              | None -> ()
+            done
+          done;
+          !ok)
+        prims)
+
+let test_pretty_printers () =
+  let p = P.gossip 4 in
+  let s1 = Format.asprintf "%a" P.pp p in
+  Alcotest.(check bool) "primitive pp" true (String.length s1 > 0);
+  let s2 = Format.asprintf "%a" S.pp p.P.schedule in
+  Alcotest.(check bool) "schedule pp mentions rounds" true
+    (String.length s2 > 0 && String.sub s2 0 5 = "round");
+  let s3 = Format.asprintf "%a" L.pp (L.default ()) in
+  Alcotest.(check bool) "library pp lists MGG4" true
+    (let rec has i =
+       i + 4 <= String.length s3 && (String.sub s3 i 4 = "MGG4" || has (i + 1))
+     in
+     has 0)
+
+let suite =
+  ( "primitives",
+    [
+      Alcotest.test_case "schedule validity" `Quick test_schedule_validity;
+      Alcotest.test_case "synchronous round semantics" `Quick test_synchronous_semantics;
+      Alcotest.test_case "telephone-model lower bounds" `Quick test_lower_bounds;
+      Alcotest.test_case "MGG4 structure (Fig. 1)" `Quick test_mgg4_structure;
+      Alcotest.test_case "MGG4 routing: 1 to 4 via 3 (Sec 4.5)" `Quick
+        test_mgg4_routing_paper_example;
+      Alcotest.test_case "gossip optimal rounds (powers of 2)" `Quick
+        test_gossip_optimal_rounds_pow2;
+      Alcotest.test_case "gossip optimal rounds (even sizes)" `Quick
+        test_gossip_optimal_rounds_even;
+      Alcotest.test_case "gossip completes, many sizes" `Quick test_gossip_completes_many_sizes;
+      Alcotest.test_case "gossip routes are total" `Quick test_gossip_routes_total;
+      Alcotest.test_case "gossip invalid size" `Quick test_gossip_invalid;
+      Alcotest.test_case "broadcast structure" `Quick test_broadcast_structure;
+      Alcotest.test_case "broadcast optimal rounds" `Quick test_broadcast_optimal_rounds;
+      Alcotest.test_case "broadcast routes from root" `Quick test_broadcast_routes_from_root;
+      Alcotest.test_case "path primitive" `Quick test_path_primitive;
+      Alcotest.test_case "loop primitive" `Quick test_loop_primitive;
+      Alcotest.test_case "loop minimum size" `Quick test_loop_min_size;
+      Alcotest.test_case "default library catalog" `Quick test_default_library;
+      Alcotest.test_case "library lookup" `Quick test_library_lookup;
+      Alcotest.test_case "library max diameter" `Quick test_library_max_diameter;
+      Alcotest.test_case "extended library" `Quick test_extended_library;
+      Alcotest.test_case "pretty printers" `Quick test_pretty_printers;
+      QCheck_alcotest.to_alcotest qcheck_gossip_completes;
+      QCheck_alcotest.to_alcotest qcheck_broadcast_optimal;
+      QCheck_alcotest.to_alcotest qcheck_routes_follow_links;
+    ] )

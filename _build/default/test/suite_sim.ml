@@ -1,0 +1,577 @@
+(* Tests for the cycle-accurate NoC simulator: delivery semantics, latency
+   arithmetic, contention serialization, determinism, activity counters and
+   the power/energy accounting. *)
+
+module D = Noc_graph.Digraph
+module G = Noc_graph.Generators
+module Acg = Noc_core.Acg
+module Syn = Noc_core.Synthesis
+module Net = Noc_sim.Network
+module Stats = Noc_sim.Stats
+module Traffic = Noc_sim.Traffic
+module Prng = Noc_util.Prng
+
+(* A 1x4 mesh (a path) carrying flows along it: easy to reason about. *)
+let line_arch () =
+  let acg = Acg.uniform ~volume:1 ~bandwidth:0.1 (D.of_edges [ (1, 2); (1, 4); (2, 3) ]) in
+  (acg, Syn.mesh ~rows:1 ~cols:4 acg)
+
+let test_single_packet_latency () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  (* router_delay=1, link_delay=1, 1 flit: src router (1 cycle) + 1 link
+     (1 cycle) + dst router (1 cycle) = delivered at cycle 3 *)
+  let _ = Net.inject net ~src:1 ~dst:2 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  match Net.deliveries net with
+  | [ { Net.delivered_at; packet } ] ->
+      Alcotest.(check int) "one hop latency" 3 delivered_at;
+      Alcotest.(check int) "injected at 0" 0 packet.Noc_sim.Packet.injected_at
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 delivery, got %d" (List.length ds))
+
+let test_multi_hop_latency () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  (* 3 hops: per hop link(1) + router(1), plus source router 1 -> 7 cycles *)
+  let _ = Net.inject net ~src:1 ~dst:4 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  match Net.deliveries net with
+  | [ { Net.delivered_at; _ } ] -> Alcotest.(check int) "three hops" 7 delivered_at
+  | _ -> Alcotest.fail "one delivery expected"
+
+let test_serialization_delay () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  (* 4 flits over one hop: tail arrives link_delay + flits - 1 after grant *)
+  let _ = Net.inject ~size_flits:4 net ~src:1 ~dst:2 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  match Net.deliveries net with
+  | [ { Net.delivered_at; _ } ] -> Alcotest.(check int) "serialized" 6 delivered_at
+  | _ -> Alcotest.fail "one delivery expected"
+
+let test_contention_serializes () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  (* two packets from 1 to 2 compete for channel (1,2): second is delayed
+     by the first's serialization *)
+  let _ = Net.inject net ~src:1 ~dst:2 in
+  let _ = Net.inject net ~src:1 ~dst:2 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  let ds = Net.deliveries net in
+  Alcotest.(check int) "both delivered" 2 (List.length ds);
+  let times = List.map (fun d -> d.Net.delivered_at) ds |> List.sort compare in
+  Alcotest.(check (list int)) "one cycle apart" [ 3; 4 ] times
+
+let test_fifo_order_on_channel () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  let id1 = Net.inject net ~src:1 ~dst:2 in
+  let id2 = Net.inject net ~src:1 ~dst:2 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.deliveries net with
+  | [ a; b ] ->
+      Alcotest.(check int) "first injected first delivered" id1
+        a.Net.packet.Noc_sim.Packet.id;
+      Alcotest.(check int) "second" id2 b.Net.packet.Noc_sim.Packet.id
+  | _ -> Alcotest.fail "two deliveries expected")
+
+let test_inject_no_route () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  Alcotest.check_raises "no route" (Invalid_argument "Network.inject: no route 4->1")
+    (fun () -> ignore (Net.inject net ~src:4 ~dst:1))
+
+let test_bad_config () =
+  let _, arch = line_arch () in
+  Alcotest.check_raises "bad delays" (Invalid_argument "Network.create: delays must be >= 1")
+    (fun () ->
+      ignore (Net.create ~config:{ Net.router_delay = 0; link_delay = 1; flit_bits = 8 } arch))
+
+let test_drain_deliveries () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  let _ = Net.inject net ~src:1 ~dst:2 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  Alcotest.(check int) "first drain" 1 (List.length (Net.drain_deliveries net));
+  Alcotest.(check int) "second drain empty" 0 (List.length (Net.drain_deliveries net));
+  (* cumulative list unaffected *)
+  Alcotest.(check int) "deliveries kept" 1 (List.length (Net.deliveries net))
+
+let test_activity_counters () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  let _ = Net.inject net ~src:1 ~dst:4 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  Alcotest.(check int) "3 link traversals" 3 (Net.flit_hops net);
+  let total_switch =
+    D.Vmap.fold (fun _ f acc -> acc + f) (Net.switch_flits net) 0
+  in
+  Alcotest.(check int) "4 router visits" 4 total_switch;
+  let l12 = Option.value ~default:0 (D.Edge_map.find_opt (1, 2) (Net.link_flits net)) in
+  Alcotest.(check int) "link 1-2 carried 1 flit" 1 l12
+
+let test_payload_carried () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  let payload = Bytes.of_string "x" in
+  let _ = Net.inject ~payload ~tag:42 net ~src:1 ~dst:4 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  match Net.deliveries net with
+  | [ { Net.packet; _ } ] ->
+      Alcotest.(check string) "payload" "x" (Bytes.to_string packet.Noc_sim.Packet.payload);
+      Alcotest.(check int) "tag" 42 packet.Noc_sim.Packet.tag
+  | _ -> Alcotest.fail "one delivery expected"
+
+let test_determinism () =
+  let acg = Noc_aes.Distributed.acg () in
+  let arch = Syn.mesh ~rows:4 ~cols:4 acg in
+  let run () =
+    let net = Net.create arch in
+    let rng = Prng.create ~seed:3 in
+    let flows = Traffic.flows_of_acg ~rate_scale:0.05 acg in
+    let ds = Traffic.run ~rng ~net ~flows ~cycles:500 () in
+    (List.length ds, (Stats.summarize ds).Stats.avg_latency)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_summary_empty () =
+  let s = Stats.summarize [] in
+  Alcotest.(check int) "no packets" 0 s.Stats.packets;
+  Alcotest.(check (float 1e-9)) "zero latency" 0.0 s.Stats.avg_latency
+
+let test_summary_fields () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  let _ = Net.inject net ~src:1 ~dst:2 in
+  let _ = Net.inject net ~src:1 ~dst:4 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  let s = Stats.summarize (Net.deliveries net) in
+  Alcotest.(check int) "packets" 2 s.Stats.packets;
+  Alcotest.(check int) "min" 3 s.Stats.min_latency;
+  (* both flows contend for channel (1,2); the 3-hop packet loses one
+     arbitration round: 7 + 1 *)
+  Alcotest.(check int) "max" 8 s.Stats.max_latency;
+  Alcotest.(check (float 1e-9)) "avg" 5.5 s.Stats.avg_latency;
+  Alcotest.(check (float 1e-9)) "avg hops" 2.0 s.Stats.avg_hops
+
+let test_energy_accounting () =
+  let tech = Noc_energy.Technology.cmos_180nm in
+  let fp = Noc_energy.Floorplan.grid (Noc_energy.Floorplan.uniform_cores ~n:4 ~size_mm:2.0) in
+  let acg = Acg.uniform ~volume:8 ~bandwidth:0.1 (D.of_edges [ (1, 2) ]) in
+  let arch = Syn.mesh ~rows:2 ~cols:2 acg in
+  let net = Net.create arch in
+  let _ = Net.inject net ~src:1 ~dst:2 in
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (* one flit of 8 bits: 2 switch visits + one 2mm link *)
+  let expect_dyn =
+    (2.0 *. 8.0 *. tech.Noc_energy.Technology.es_bit)
+    +. (8.0 *. Noc_energy.Technology.link_energy_per_bit tech ~length_mm:2.0)
+  in
+  Alcotest.(check (float 1e-6)) "dynamic energy" expect_dyn
+    (Stats.dynamic_energy_pj ~tech ~fp net);
+  Alcotest.(check bool) "clock energy positive" true (Stats.clock_energy_pj ~tech net > 0.);
+  Alcotest.(check bool) "total >= dynamic" true
+    (Stats.total_energy_pj ~tech ~fp net >= Stats.dynamic_energy_pj ~tech ~fp net);
+  Alcotest.(check bool) "power positive" true (Stats.avg_power_mw ~tech ~fp net > 0.)
+
+let test_buffer_occupancy_counted () =
+  let _, arch = line_arch () in
+  let net = Net.create arch in
+  (* heavy contention on channel (1,2) *)
+  for _ = 1 to 10 do
+    ignore (Net.inject ~size_flits:4 net ~src:1 ~dst:2)
+  done;
+  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  Alcotest.(check bool) "queue occupancy recorded" true (Net.buffer_flit_cycles net > 0)
+
+let test_traffic_uniform_when_no_bandwidth () =
+  (* zero-bandwidth ACGs fall back to uniform rates *)
+  let acg = Acg.uniform ~volume:1 ~bandwidth:0.0 (D.of_edges [ (1, 2); (2, 3) ]) in
+  let flows = Traffic.flows_of_acg ~rate_scale:0.07 acg in
+  List.iter
+    (fun f -> Alcotest.(check (float 1e-9)) "uniform rate" 0.07 f.Traffic.rate)
+    flows
+
+let test_wormhole_empty_summary () =
+  let acg = Acg.uniform ~volume:1 ~bandwidth:0.1 (D.of_edges [ (1, 2) ]) in
+  let arch = Syn.mesh ~rows:1 ~cols:2 acg in
+  let net = Noc_sim.Wormhole.create arch in
+  let s = Noc_sim.Wormhole.summary net in
+  Alcotest.(check int) "no packets" 0 s.Stats.packets;
+  Alcotest.(check bool) "idle immediately" true
+    (Noc_sim.Wormhole.run_until_idle net = `Idle)
+
+let test_traffic_rates () =
+  let acg = Noc_aes.Distributed.acg () in
+  let flows = Traffic.flows_of_acg ~rate_scale:0.1 acg in
+  Alcotest.(check int) "one flow per edge" (Acg.num_flows acg) (List.length flows);
+  List.iter
+    (fun f -> Alcotest.(check bool) "rate bounded" true (f.Traffic.rate <= 0.1 +. 1e-9))
+    flows;
+  Alcotest.(check bool) "offered load positive" true (Traffic.offered_load flows > 0.)
+
+let test_traffic_run_delivers () =
+  let acg = Noc_aes.Distributed.acg () in
+  let arch = Syn.mesh ~rows:4 ~cols:4 acg in
+  let net = Net.create arch in
+  let rng = Prng.create ~seed:7 in
+  let flows = Traffic.flows_of_acg ~rate_scale:0.02 acg in
+  let ds = Traffic.run ~rng ~net ~flows ~cycles:1000 () in
+  Alcotest.(check bool) "packets delivered" true (List.length ds > 0);
+  Alcotest.(check int) "none stuck" 0 (Net.pending net)
+
+(* -------------------------------------------------------------------- *)
+(* Routing policies (adaptive / stochastic, the paper's Sec. 6)          *)
+
+let diag_mesh () =
+  (* a 2x2 mesh with one corner-to-corner flow: two minimal paths *)
+  let acg = Acg.uniform ~volume:1 ~bandwidth:0.1 (D.of_edges [ (1, 4) ]) in
+  (acg, Syn.mesh ~rows:2 ~cols:2 acg)
+
+let deliver_all net =
+  match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang"
+
+let test_fixed_route_taken () =
+  let _, arch = diag_mesh () in
+  let net = Net.create arch in
+  let id = Net.inject net ~src:1 ~dst:4 in
+  deliver_all net;
+  (* XY: column first -> 1, 2, 4 *)
+  Alcotest.(check (option (list int))) "planned path" (Some [ 1; 2; 4 ])
+    (Net.route_taken net id)
+
+let test_adaptive_minimal () =
+  let _, arch = diag_mesh () in
+  let net = Net.create ~policy:Net.Adaptive arch in
+  let id = Net.inject net ~src:1 ~dst:4 in
+  deliver_all net;
+  match Net.route_taken net id with
+  | Some path ->
+      Alcotest.(check int) "minimal length" 3 (List.length path);
+      Alcotest.(check int) "starts" 1 (List.hd path);
+      Alcotest.(check int) "ends" 4 (List.nth path 2)
+  | None -> Alcotest.fail "trace recorded"
+
+let test_adaptive_spreads_load () =
+  (* two simultaneous packets on the same corner-to-corner flow: the
+     adaptive policy must send them over the two disjoint minimal paths *)
+  let _, arch = diag_mesh () in
+  let net = Net.create ~policy:Net.Adaptive arch in
+  let id1 = Net.inject ~size_flits:4 net ~src:1 ~dst:4 in
+  let id2 = Net.inject ~size_flits:4 net ~src:1 ~dst:4 in
+  deliver_all net;
+  let p1 = Option.get (Net.route_taken net id1) in
+  let p2 = Option.get (Net.route_taken net id2) in
+  Alcotest.(check bool) "disjoint middles" true (List.nth p1 1 <> List.nth p2 1)
+
+let test_adaptive_faster_under_contention () =
+  let _, arch = diag_mesh () in
+  let run policy =
+    let net = Net.create ~policy arch in
+    for _ = 1 to 8 do
+      ignore (Net.inject ~size_flits:4 net ~src:1 ~dst:4)
+    done;
+    deliver_all net;
+    Net.now net
+  in
+  Alcotest.(check bool) "adaptive drains faster than fixed" true
+    (run Net.Adaptive < run Net.Fixed)
+
+let test_oblivious_deterministic_and_minimal () =
+  let _, arch = diag_mesh () in
+  let run seed =
+    let net = Net.create ~policy:(Net.Oblivious (Prng.create ~seed)) arch in
+    let ids = List.init 6 (fun _ -> Net.inject net ~src:1 ~dst:4) in
+    deliver_all net;
+    List.map (fun id -> Option.get (Net.route_taken net id)) ids
+  in
+  let a = run 3 and b = run 3 in
+  Alcotest.(check bool) "same seed same paths" true (a = b);
+  List.iter (fun p -> Alcotest.(check int) "minimal" 3 (List.length p)) a
+
+let test_adaptive_on_custom_topology () =
+  (* adaptive routing also works on a synthesized architecture *)
+  let acg = Noc_aes.Distributed.acg () in
+  let d, _ =
+    Noc_core.Branch_bound.decompose ~library:(Noc_primitives.Library.default ()) acg
+  in
+  let arch = Syn.custom acg d in
+  let net = Net.create ~policy:Net.Adaptive arch in
+  let flows = Traffic.flows_of_acg ~rate_scale:0.05 acg in
+  let rng = Prng.create ~seed:5 in
+  let ds = Traffic.run ~rng ~net ~flows ~cycles:300 () in
+  Alcotest.(check bool) "delivers" true (List.length ds > 0);
+  Alcotest.(check int) "drains" 0 (Net.pending net)
+
+(* -------------------------------------------------------------------- *)
+(* Traffic patterns and load sweeps                                      *)
+
+module Pat = Noc_sim.Patterns
+module Sweep = Noc_sim.Sweep
+
+let test_patterns_structure () =
+  let t = Pat.transpose ~rows:4 ~cols:4 in
+  Alcotest.(check int) "transpose flows" 12 (List.length t);
+  Alcotest.(check bool) "(0,1)->(1,0)" true (List.mem (2, 5) t);
+  Alcotest.check_raises "non-square" (Invalid_argument "Patterns.transpose: need a square grid")
+    (fun () -> ignore (Pat.transpose ~rows:2 ~cols:4));
+  let br = Pat.bit_reversal ~nodes:8 in
+  (* indices 0..7: reversal swaps 1<->4, 3<->6; 0,2,5,7 are palindromes *)
+  Alcotest.(check int) "bit reversal flows" 4 (List.length br);
+  Alcotest.(check bool) "1->4 (001->100)" true (List.mem (2, 5) br);
+  let bc = Pat.bit_complement ~nodes:8 in
+  Alcotest.(check int) "bit complement flows" 8 (List.length bc);
+  Alcotest.(check bool) "0->7" true (List.mem (1, 8) bc);
+  let hs = Pat.hotspot ~nodes:6 ~target:3 in
+  Alcotest.(check int) "hotspot flows" 5 (List.length hs);
+  List.iter (fun (_, d) -> Alcotest.(check int) "to target" 3 d) hs;
+  let sh = Pat.shuffle ~nodes:8 in
+  Alcotest.(check bool) "shuffle 1->2 (001->010)" true (List.mem (2, 3) sh);
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Patterns.bit_reversal: nodes must be a power of two") (fun () ->
+      ignore (Pat.bit_reversal ~nodes:6))
+
+let test_pattern_acg () =
+  let acg = Pat.to_acg ~volume:16 (Pat.transpose ~rows:4 ~cols:4) in
+  Alcotest.(check int) "flows" 12 (Acg.num_flows acg);
+  Alcotest.(check int) "volume" 16 (Acg.volume acg 2 5)
+
+let test_latency_vs_load () =
+  let acg = Pat.to_acg (Pat.transpose ~rows:4 ~cols:4) in
+  let arch = Syn.mesh ~rows:4 ~cols:4 acg in
+  let rng = Prng.create ~seed:13 in
+  let points =
+    Sweep.latency_vs_load ~rng ~arch ~acg ~cycles:400 ~rates:[ 0.01; 0.05; 0.3 ] ()
+  in
+  Alcotest.(check int) "three points" 3 (List.length points);
+  let lats = List.map (fun p -> p.Sweep.avg_latency) points in
+  (* latency grows with offered load *)
+  Alcotest.(check bool) "monotone-ish" true
+    (List.nth lats 0 <= List.nth lats 2);
+  List.iter
+    (fun p -> Alcotest.(check bool) "delivered some" true (p.Sweep.delivered > 0))
+    points;
+  (* series view matches points *)
+  Alcotest.(check int) "series length" 3 (List.length (Sweep.to_series points))
+
+let test_saturation_detection () =
+  let mk rate lat =
+    {
+      Sweep.rate;
+      offered = rate;
+      delivered = 10;
+      avg_latency = lat;
+      throughput = 0.1;
+    }
+  in
+  Alcotest.(check (option (float 1e-9))) "knee found" (Some 0.3)
+    (Sweep.saturation_rate [ mk 0.1 5.0; mk 0.2 8.0; mk 0.3 25.0 ]);
+  Alcotest.(check (option (float 1e-9))) "no knee" None
+    (Sweep.saturation_rate [ mk 0.1 5.0; mk 0.2 6.0 ]);
+  Alcotest.(check (option (float 1e-9))) "empty" None (Sweep.saturation_rate [])
+
+(* -------------------------------------------------------------------- *)
+(* Wormhole switching                                                    *)
+
+module W = Noc_sim.Wormhole
+
+let line_arch_flow h =
+  (* a straight 1 x (h+1) mesh carrying the single flow 1 -> h+1 *)
+  let acg = Acg.uniform ~volume:1 ~bandwidth:0.1 (D.of_edges [ (1, h + 1) ]) in
+  Syn.mesh ~rows:1 ~cols:(h + 1) acg
+
+let test_wormhole_uncontended_latency () =
+  (* h link hops, n flits: head pipelines one hop per cycle, tail exits n
+     cycles after the head reaches the sink: latency = h + n *)
+  List.iter
+    (fun (h, n) ->
+      let net = W.create (line_arch_flow h) in
+      let _ = W.inject ~size_flits:n net ~src:1 ~dst:(h + 1) in
+      (match W.run_until_idle net with
+      | `Idle -> ()
+      | `Deadlock | `Limit -> Alcotest.fail "uncontended worm must drain");
+      match W.deliveries net with
+      | [ { W.delivered_at; _ } ] ->
+          Alcotest.(check int) (Printf.sprintf "h=%d n=%d" h n) (h + n) delivered_at
+      | _ -> Alcotest.fail "one delivery")
+    [ (1, 1); (1, 4); (3, 1); (3, 4); (5, 8) ]
+
+let test_wormhole_beats_store_and_forward () =
+  (* the whole point of wormhole: multi-hop multi-flit latency is h + n,
+     store-and-forward pays the serialization at every hop *)
+  let h = 4 and n = 6 in
+  let arch = line_arch_flow h in
+  let whn =
+    let net = W.create arch in
+    let _ = W.inject ~size_flits:n net ~src:1 ~dst:(h + 1) in
+    (match W.run_until_idle net with `Idle -> () | _ -> Alcotest.fail "drain");
+    (List.hd (W.deliveries net)).W.delivered_at
+  in
+  let saf =
+    let net = Net.create arch in
+    let _ = Net.inject ~size_flits:n net ~src:1 ~dst:(h + 1) in
+    (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "drain");
+    (List.hd (Net.deliveries net)).Net.delivered_at
+  in
+  Alcotest.(check bool) "wormhole pipelines" true (whn < saf)
+
+let test_wormhole_link_sharing () =
+  (* two worms over the same single link: the link carries one flit per
+     cycle, so together they take ~2n cycles but both make progress via the
+     round-robin *)
+  let arch = line_arch_flow 1 in
+  let net = W.create arch in
+  let _ = W.inject ~size_flits:4 net ~src:1 ~dst:2 in
+  let _ = W.inject ~size_flits:4 net ~src:1 ~dst:2 in
+  (match W.run_until_idle net with `Idle -> () | _ -> Alcotest.fail "drain");
+  let times = List.map (fun d -> d.W.delivered_at) (W.deliveries net) in
+  Alcotest.(check int) "both delivered" 2 (List.length times);
+  Alcotest.(check bool) "link is serialized" true (List.fold_left max 0 times >= 8)
+
+let test_wormhole_flit_hops () =
+  let h = 3 and n = 4 in
+  let net = W.create (line_arch_flow h) in
+  let _ = W.inject ~size_flits:n net ~src:1 ~dst:(h + 1) in
+  (match W.run_until_idle net with `Idle -> () | _ -> Alcotest.fail "drain");
+  Alcotest.(check int) "every flit crosses every link" (h * n) (W.flit_hops net)
+
+(* the classic wrap-around ring: four flows, each two hops, whose channel
+   dependencies form a cycle *)
+let ring_arch () =
+  let topology = G.bidirectional_ring 4 in
+  let routes =
+    D.Edge_map.of_seq
+      (List.to_seq
+         [
+           ((1, 3), [ 1; 2; 3 ]);
+           ((2, 4), [ 2; 3; 4 ]);
+           ((3, 1), [ 3; 4; 1 ]);
+           ((4, 2), [ 4; 1; 2 ]);
+         ])
+  in
+  Syn.make ~topology ~routes ()
+
+let test_wormhole_ring_deadlocks_with_one_vc () =
+  let arch = ring_arch () in
+  (* static analysis predicts the deadlock risk... *)
+  let report = Noc_core.Deadlock.analyze arch in
+  Alcotest.(check bool) "CDG has a cycle" true (report.Noc_core.Deadlock.cdg_cycle <> None);
+  Alcotest.(check int) "2 VCs prescribed" 2 report.Noc_core.Deadlock.vcs_needed;
+  (* ...and the flit-level simulation realizes it with a single VC *)
+  let net = W.create ~config:{ W.num_vcs = 1; flit_bits = 8 } arch in
+  List.iter
+    (fun (src, dst) -> ignore (W.inject ~size_flits:4 net ~src ~dst))
+    [ (1, 3); (2, 4); (3, 1); (4, 2) ];
+  (match W.run_until_idle net with
+  | `Deadlock -> ()
+  | `Idle -> Alcotest.fail "expected a deadlock with 1 VC"
+  | `Limit -> Alcotest.fail "expected deadlock detection, not a timeout");
+  Alcotest.(check bool) "worms stuck" true (W.pending net > 0)
+
+let test_wormhole_ring_drains_with_two_vcs () =
+  let arch = ring_arch () in
+  let net = W.create ~config:{ W.num_vcs = 2; flit_bits = 8 } arch in
+  List.iter
+    (fun (src, dst) -> ignore (W.inject ~size_flits:4 net ~src ~dst))
+    [ (1, 3); (2, 4); (3, 1); (4, 2) ];
+  (match W.run_until_idle net with
+  | `Idle -> ()
+  | `Deadlock -> Alcotest.fail "2 VCs must break the cycle"
+  | `Limit -> Alcotest.fail "unexpected timeout");
+  Alcotest.(check int) "all delivered" 4 (List.length (W.deliveries net));
+  Alcotest.(check int) "summary agrees" 4 (W.summary net).Stats.packets
+
+let test_wormhole_bad_args () =
+  let arch = line_arch_flow 1 in
+  Alcotest.check_raises "bad vcs" (Invalid_argument "Wormhole.create: num_vcs must be >= 1")
+    (fun () -> ignore (W.create ~config:{ W.num_vcs = 0; flit_bits = 8 } arch));
+  let net = W.create arch in
+  Alcotest.check_raises "no route" (Invalid_argument "Wormhole.inject: no route 2->1")
+    (fun () -> ignore (W.inject net ~src:2 ~dst:1))
+
+let qcheck_wormhole_always_terminates_acyclic =
+  QCheck.Test.make ~name:"wormhole always drains on acyclic-CDG meshes" ~count:20
+    QCheck.(pair small_int (int_range 1 4))
+    (fun (seed, flits) ->
+      let acg = Noc_aes.Distributed.acg () in
+      let arch = Syn.mesh ~rows:4 ~cols:4 acg in
+      let net = W.create arch in
+      let rng = Prng.create ~seed:(seed + 4000) in
+      let g = Noc_core.Acg.graph acg in
+      let edges = D.edges g in
+      for _ = 1 to 20 do
+        let u, v = List.nth edges (Prng.int rng (List.length edges)) in
+        ignore (W.inject ~size_flits:flits net ~src:u ~dst:v)
+      done;
+      match W.run_until_idle net with `Idle -> true | `Deadlock | `Limit -> false)
+
+(* Property: in an uncontended network, latency equals the analytic formula
+   router_delay*(h+1) + (link_delay + flits - 1)*h. *)
+let qcheck_uncontended_latency =
+  QCheck.Test.make ~name:"uncontended latency matches the pipeline formula" ~count:30
+    QCheck.(pair (int_range 1 3) (int_range 1 4))
+    (fun (rd, flits) ->
+      let acg = Acg.uniform ~volume:1 ~bandwidth:0.1 (D.of_edges [ (1, 4) ]) in
+      let arch = Syn.mesh ~rows:1 ~cols:4 acg in
+      let config = { Net.default_config with router_delay = rd } in
+      let net = Net.create ~config arch in
+      let _ = Net.inject ~size_flits:flits net ~src:1 ~dst:4 in
+      match Net.run_until_idle net with
+      | `Limit -> false
+      | `Idle -> (
+          match Net.deliveries net with
+          | [ { Net.delivered_at; _ } ] ->
+              let h = 3 in
+              delivered_at = (rd * (h + 1)) + ((1 + flits - 1) * h)
+          | _ -> false))
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "single packet latency" `Quick test_single_packet_latency;
+      Alcotest.test_case "multi hop latency" `Quick test_multi_hop_latency;
+      Alcotest.test_case "serialization delay" `Quick test_serialization_delay;
+      Alcotest.test_case "contention serializes" `Quick test_contention_serializes;
+      Alcotest.test_case "fifo channel order" `Quick test_fifo_order_on_channel;
+      Alcotest.test_case "inject without route" `Quick test_inject_no_route;
+      Alcotest.test_case "bad config rejected" `Quick test_bad_config;
+      Alcotest.test_case "drain deliveries" `Quick test_drain_deliveries;
+      Alcotest.test_case "activity counters" `Quick test_activity_counters;
+      Alcotest.test_case "payload and tag carried" `Quick test_payload_carried;
+      Alcotest.test_case "simulation deterministic" `Quick test_determinism;
+      Alcotest.test_case "empty summary" `Quick test_summary_empty;
+      Alcotest.test_case "summary fields" `Quick test_summary_fields;
+      Alcotest.test_case "energy accounting" `Quick test_energy_accounting;
+      Alcotest.test_case "buffer occupancy counted" `Quick test_buffer_occupancy_counted;
+      Alcotest.test_case "traffic uniform without bandwidth" `Quick
+        test_traffic_uniform_when_no_bandwidth;
+      Alcotest.test_case "wormhole empty summary" `Quick test_wormhole_empty_summary;
+      Alcotest.test_case "traffic rates" `Quick test_traffic_rates;
+      Alcotest.test_case "traffic run delivers" `Quick test_traffic_run_delivers;
+      Alcotest.test_case "fixed: route taken = planned" `Quick test_fixed_route_taken;
+      Alcotest.test_case "adaptive: minimal paths" `Quick test_adaptive_minimal;
+      Alcotest.test_case "adaptive: spreads load" `Quick test_adaptive_spreads_load;
+      Alcotest.test_case "adaptive: faster under contention" `Quick
+        test_adaptive_faster_under_contention;
+      Alcotest.test_case "oblivious: deterministic + minimal" `Quick
+        test_oblivious_deterministic_and_minimal;
+      Alcotest.test_case "adaptive on custom topology" `Quick test_adaptive_on_custom_topology;
+      Alcotest.test_case "traffic pattern structure" `Quick test_patterns_structure;
+      Alcotest.test_case "pattern to acg" `Quick test_pattern_acg;
+      Alcotest.test_case "latency vs load sweep" `Quick test_latency_vs_load;
+      Alcotest.test_case "saturation detection" `Quick test_saturation_detection;
+      Alcotest.test_case "wormhole: pipeline latency h+n" `Quick
+        test_wormhole_uncontended_latency;
+      Alcotest.test_case "wormhole beats store-and-forward" `Quick
+        test_wormhole_beats_store_and_forward;
+      Alcotest.test_case "wormhole: link time-sharing" `Quick test_wormhole_link_sharing;
+      Alcotest.test_case "wormhole: flit-hop accounting" `Quick test_wormhole_flit_hops;
+      Alcotest.test_case "wormhole: ring deadlocks with 1 VC" `Quick
+        test_wormhole_ring_deadlocks_with_one_vc;
+      Alcotest.test_case "wormhole: 2 VCs break the deadlock" `Quick
+        test_wormhole_ring_drains_with_two_vcs;
+      Alcotest.test_case "wormhole: argument validation" `Quick test_wormhole_bad_args;
+      QCheck_alcotest.to_alcotest qcheck_wormhole_always_terminates_acyclic;
+      QCheck_alcotest.to_alcotest qcheck_uncontended_latency;
+    ] )

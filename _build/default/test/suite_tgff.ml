@@ -1,0 +1,86 @@
+(* Tests for the TGFF-style task-graph generator (Fig. 4a's benchmark
+   source). *)
+
+module D = Noc_graph.Digraph
+module T = Noc_graph.Traversal
+module Tg = Noc_tgff.Tgff
+module Prng = Noc_util.Prng
+
+let gen ?(seed = 1) params = Tg.generate ~rng:(Prng.create ~seed) params
+
+let test_task_count () =
+  List.iter
+    (fun n ->
+      let tg = gen { Tg.default_params with tasks = n } in
+      Alcotest.(check int) (Printf.sprintf "%d tasks" n) n (D.num_vertices tg.Tg.graph))
+    [ 1; 2; 5; 12; 18; 40 ]
+
+let test_acyclic_and_connected () =
+  for seed = 1 to 20 do
+    let tg = gen ~seed { Tg.default_params with tasks = 15 } in
+    Alcotest.(check bool) "acyclic" true (T.is_acyclic tg.Tg.graph);
+    Alcotest.(check bool) "weakly connected" true (T.is_weakly_connected tg.Tg.graph)
+  done
+
+let test_rooted_at_one () =
+  for seed = 1 to 10 do
+    let tg = gen ~seed Tg.default_params in
+    (* vertex 1 is the unique source of the skeleton; with extra edges it
+       still has in-degree 0 because extras only go forward *)
+    Alcotest.(check int) "root in-degree" 0 (D.in_degree tg.Tg.graph 1)
+  done
+
+let test_edge_attributes_in_range () =
+  let p = { Tg.default_params with volume_range = (100, 200); bandwidth_range = (0.5, 0.9) } in
+  let tg = gen p in
+  D.iter_edges
+    (fun u v ->
+      let vol = D.Edge_map.find (u, v) tg.Tg.volume in
+      Alcotest.(check bool) "volume in range" true (vol >= 100 && vol <= 200);
+      let bw = D.Edge_map.find (u, v) tg.Tg.bandwidth in
+      Alcotest.(check bool) "bandwidth in range" true (bw >= 0.5 && bw <= 0.9))
+    tg.Tg.graph
+
+let test_every_edge_has_attributes () =
+  let tg = gen { Tg.default_params with tasks = 20; extra_edge_p = 0.1 } in
+  D.iter_edges
+    (fun u v ->
+      Alcotest.(check bool) "volume present" true (D.Edge_map.mem (u, v) tg.Tg.volume);
+      Alcotest.(check bool) "bandwidth present" true (D.Edge_map.mem (u, v) tg.Tg.bandwidth))
+    tg.Tg.graph
+
+let test_determinism () =
+  let a = gen ~seed:9 Tg.automotive and b = gen ~seed:9 Tg.automotive in
+  Alcotest.(check bool) "same graph" true (D.equal a.Tg.graph b.Tg.graph)
+
+let test_presets () =
+  Alcotest.(check int) "five presets" 5 (List.length Tg.presets);
+  let auto = List.assoc "automotive" Tg.presets in
+  Alcotest.(check int) "automotive has 18 tasks" 18 auto.Tg.tasks;
+  List.iter
+    (fun (name, p) ->
+      let tg = gen p in
+      Alcotest.(check int) name p.Tg.tasks (D.num_vertices tg.Tg.graph))
+    Tg.presets
+
+let qcheck_generator_wellformed =
+  QCheck.Test.make ~name:"tgff graphs are connected dags of the right size" ~count:50
+    QCheck.(pair small_int (int_range 2 30))
+    (fun (seed, n) ->
+      let tg = gen ~seed:(seed + 100) { Tg.default_params with tasks = n } in
+      D.num_vertices tg.Tg.graph = n
+      && T.is_acyclic tg.Tg.graph
+      && T.is_weakly_connected tg.Tg.graph)
+
+let suite =
+  ( "tgff",
+    [
+      Alcotest.test_case "task count" `Quick test_task_count;
+      Alcotest.test_case "acyclic and connected" `Quick test_acyclic_and_connected;
+      Alcotest.test_case "rooted at vertex 1" `Quick test_rooted_at_one;
+      Alcotest.test_case "edge attributes in range" `Quick test_edge_attributes_in_range;
+      Alcotest.test_case "every edge has attributes" `Quick test_every_edge_has_attributes;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "presets" `Quick test_presets;
+      QCheck_alcotest.to_alcotest qcheck_generator_wellformed;
+    ] )

@@ -1,0 +1,154 @@
+(* Tests for the noc_util substrate: deterministic PRNG and timing. *)
+
+module Prng = Noc_util.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 in
+  let b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create ~seed:1 in
+  let b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_replays () =
+  let a = Prng.create ~seed:7 in
+  let _ = Prng.bits64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_independent () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split differs" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_int_bounds () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_in_bounds () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int_in g (-5) 5 in
+    Alcotest.(check bool) "in range" true (x >= -5 && x <= 5)
+  done
+
+let test_int_invalid () =
+  let g = Prng.create ~seed:3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0));
+  Alcotest.check_raises "bad range" (Invalid_argument "Prng.int_in: hi < lo") (fun () ->
+      ignore (Prng.int_in g 3 2))
+
+let test_float_bounds () =
+  let g = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let x = Prng.float g 2.5 in
+    Alcotest.(check bool) "in range" true (x >= 0. && x < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let g = Prng.create ~seed:13 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Prng.bernoulli g 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always" true (Prng.bernoulli g 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let g = Prng.create ~seed:17 in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli g 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (rate > 0.27 && rate < 0.33)
+
+let test_shuffle_permutation () =
+  let g = Prng.create ~seed:19 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_choose () =
+  let g = Prng.create ~seed:23 in
+  for _ = 1 to 100 do
+    let x = Prng.choose g [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem x [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty list") (fun () ->
+      ignore (Prng.choose g []))
+
+let test_sample () =
+  let g = Prng.create ~seed:29 in
+  let xs = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let s = Prng.sample g 3 xs in
+  Alcotest.(check int) "size" 3 (List.length s);
+  Alcotest.(check int) "distinct" 3 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> Alcotest.(check bool) "member" true (List.mem x xs)) s;
+  Alcotest.(check int) "k >= n returns all" 8 (List.length (Prng.sample g 10 xs))
+
+let test_timer () =
+  let x, dt = Noc_util.Timer.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.);
+  let x, dt = Noc_util.Timer.time_median ~repeats:3 (fun () -> 7) in
+  Alcotest.(check int) "median result" 7 x;
+  Alcotest.(check bool) "median non-negative" true (dt >= 0.)
+
+let test_ascii_plot () =
+  let s =
+    Noc_util.Ascii_plot.render ~width:20 ~height:6 ~x_label:"load" ~y_label:"lat"
+      [ ("a", [ (0.0, 1.0); (1.0, 2.0) ]); ("b", [ (0.5, 1.5) ]) ]
+  in
+  Alcotest.(check bool) "has marks" true (String.contains s '*' && String.contains s '+');
+  Alcotest.(check bool) "has legend" true (String.contains s 'a' && String.contains s 'b');
+  Alcotest.(check bool) "has ranges" true (String.length s > 50);
+  Alcotest.(check string) "empty input" "(no data)\n" (Noc_util.Ascii_plot.render []);
+  (* single point: degenerate spans must not crash *)
+  let one = Noc_util.Ascii_plot.render [ ("p", [ (3.0, 3.0) ]) ] in
+  Alcotest.(check bool) "single point ok" true (String.contains one '*')
+
+let qcheck_int_uniformish =
+  QCheck.Test.make ~name:"prng int stays in bounds for random bounds" ~count:200
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let g = Prng.create ~seed in
+      let x = Prng.int g bound in
+      x >= 0 && x < bound)
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "prng determinism" `Quick test_determinism;
+      Alcotest.test_case "prng seeds differ" `Quick test_different_seeds;
+      Alcotest.test_case "prng copy replays" `Quick test_copy_replays;
+      Alcotest.test_case "prng split independent" `Quick test_split_independent;
+      Alcotest.test_case "prng int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "prng int_in bounds" `Quick test_int_in_bounds;
+      Alcotest.test_case "prng invalid args" `Quick test_int_invalid;
+      Alcotest.test_case "prng float bounds" `Quick test_float_bounds;
+      Alcotest.test_case "prng bernoulli extremes" `Quick test_bernoulli_extremes;
+      Alcotest.test_case "prng bernoulli rate" `Quick test_bernoulli_rate;
+      Alcotest.test_case "prng shuffle is a permutation" `Quick test_shuffle_permutation;
+      Alcotest.test_case "prng choose" `Quick test_choose;
+      Alcotest.test_case "prng sample" `Quick test_sample;
+      Alcotest.test_case "timer" `Quick test_timer;
+      Alcotest.test_case "ascii plot" `Quick test_ascii_plot;
+      QCheck_alcotest.to_alcotest qcheck_int_uniformish;
+    ] )

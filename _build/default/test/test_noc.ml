@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "noc"
+    [
+      Suite_util.suite;
+      Suite_graph.suite;
+      Suite_tgff.suite;
+      Suite_primitives.suite;
+      Suite_energy.suite;
+      Suite_core.suite;
+      Suite_sim.suite;
+      Suite_aes.suite;
+      Suite_apps.suite;
+    ]
