@@ -51,6 +51,14 @@ let timeout_arg =
     value & opt (some float) None
     & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget for the search.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains for the branch-and-bound search (1 = sequential). Root-level \
+              branches are fanned across domains with a shared incumbent bound; results \
+              are identical to the sequential search.")
+
 let cost_arg =
   let cost_enum = Arg.enum [ ("edge", `Edge); ("energy", `Energy) ] in
   Arg.(
@@ -144,11 +152,11 @@ let decompose_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics.")
   in
-  let run file lib cost tech beam timeout stats =
+  let run file lib cost tech beam timeout domains stats =
     let acg = Acg_io.read_file file in
     let library = resolve_library lib in
     let options = make_options ~cost ~tech ~acg ~beam ~timeout in
-    let d, st = Bb.decompose ~options ~library acg in
+    let d, st = Bb.decompose ~options ~domains ~library acg in
     Format.printf "%a" (Decomp.pp_with_cost options.Bb.cost acg) d;
     if st.Bb.timed_out then Format.printf "(search budget exhausted; best incumbent shown)@.";
     if stats then
@@ -159,7 +167,7 @@ let decompose_cmd =
     (Cmd.info "decompose" ~doc:"Decompose an ACG into communication primitives.")
     Term.(
       const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
-      $ stats_flag)
+      $ domains_arg $ stats_flag)
 
 (* ------------------------------------------------------------------ *)
 (* synth                                                                *)
@@ -175,11 +183,11 @@ let synth_cmd =
       value & flag
       & info [ "check" ] ~doc:"Check the technology's bandwidth and bisection constraints.")
   in
-  let run file lib cost tech beam timeout dot check =
+  let run file lib cost tech beam timeout domains dot check =
     let acg = Acg_io.read_file file in
     let library = resolve_library lib in
     let options = make_options ~cost ~tech ~acg ~beam ~timeout in
-    let d, stats = Bb.decompose ~options ~library acg in
+    let d, stats = Bb.decompose ~options ~domains ~library acg in
     let tech' = resolve_tech tech in
     let fp = grid_floorplan acg in
     let constraints =
@@ -202,7 +210,7 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthesize the customized architecture for an ACG.")
     Term.(
       const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
-      $ dot_out $ check_flag)
+      $ domains_arg $ dot_out $ check_flag)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)

@@ -1,6 +1,8 @@
 module D = Noc_graph.Digraph
+module C = Noc_graph.Compact
 module L = Noc_primitives.Library
 module P = Noc_primitives.Primitive
+module Timer = Noc_util.Timer
 
 type neutral_strategy = Branch | Greedy
 
@@ -50,14 +52,81 @@ type stats = {
   constraints_met : bool;
 }
 
+(* Everything the search shares across workers: immutable configuration,
+   the frozen ACG, plus two atomics — the node budget and the incumbent
+   cost used for cross-domain pruning. *)
+type env = {
+  opts : options;
+  acg : Acg.t;
+  library : L.t;
+  branchable : L.entry list;
+  compiled : Noc_graph.Multi_pattern.t;
+  frozen : (int, C.t) Hashtbl.t;  (** entry id -> frozen representation graph *)
+  min_ratio : float;
+  wall_deadline : float option;  (** absolute wall clock, for the Vf2 API *)
+  mono_deadline : Timer.Deadline.t;
+  nodes : int Atomic.t;
+  shared_best : float Atomic.t;
+}
+
+(* Worker-local search state.  In the sequential driver there is exactly one
+   of these and [local_best] mirrors [shared_best], reproducing the seed
+   engine's single global incumbent; in the parallel driver each root branch
+   gets a fresh one so its result is independent of scheduling. *)
+type wctx = {
+  env : env;
+  rng : Noc_util.Prng.t;
+  mutable local_best : float;
+  mutable local_decomp : Decomposition.t option;
+  mutable matches_tried : int;
+  mutable leaves : int;
+  mutable pruned : int;
+  mutable timed_out : bool;
+}
+
+let mk_ctx env rng =
+  {
+    env;
+    rng;
+    local_best = infinity;
+    local_decomp = None;
+    matches_tried = 0;
+    leaves = 0;
+    pruned = 0;
+    timed_out = false;
+  }
+
+let rec cas_min a x =
+  let cur = Atomic.get a in
+  if x < cur && not (Atomic.compare_and_set a cur x) then cas_min a x
+
+let budget_exhausted ctx =
+  if Atomic.get ctx.env.nodes >= ctx.env.opts.max_nodes then begin
+    ctx.timed_out <- true;
+    true
+  end
+  else if Timer.Deadline.expired ctx.env.mono_deadline then begin
+    ctx.timed_out <- true;
+    true
+  end
+  else false
+
+let int_set_of_list ids =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace tbl id ()) ids;
+  tbl
+
 (* Enumerate up to [max_matches_per_step] candidate matchings of [entry] in
    [remaining].  Without role awareness, one representative per
    covered-edge set (the remaining graph after subtraction only depends on
    that set); with role awareness the cheapest representative per set is
    kept, because under an energy cost the vertex roles decide which flows
    ride multi-hop routes. *)
-let candidate_matchings ~opts ~deadline ~acg entry remaining =
-  let pattern = entry.L.prim.P.repr in
+let candidate_matchings ~env entry remaining =
+  let opts = env.opts in
+  let deadline = env.wall_deadline in
+  let acg = env.acg in
+  let pattern = Hashtbl.find env.frozen entry.L.id in
   let cap = opts.max_matches_per_step in
   if opts.approx_missing > 0 then begin
     (* relaxed matching: dedup by realized edge set, keep discovery order *)
@@ -65,9 +134,9 @@ let candidate_matchings ~opts ~deadline ~acg entry remaining =
     let acc = ref [] in
     let count = ref 0 in
     let _ =
-      Noc_graph.Vf2.iter_approx ?deadline ~max_missing:opts.approx_missing ~pattern
-        ~target:remaining (fun a ->
-          let matching = Matching.of_approx entry ~target:remaining a in
+      Noc_graph.Vf2.iter_approx_view ?deadline ~max_missing:opts.approx_missing
+        ~pattern ~target:remaining (fun a ->
+          let matching = Matching.of_approx_view entry ~pattern ~target:remaining a in
           let key = matching.Matching.covered in
           if key = [] || Hashtbl.mem seen key then `Continue
           else begin
@@ -85,7 +154,7 @@ let candidate_matchings ~opts ~deadline ~acg entry remaining =
     let hard_cap = max 32 (cap * 16) in
     let count = ref 0 in
     let _ =
-      Noc_graph.Vf2.iter ?deadline ~pattern ~target:remaining (fun m ->
+      Noc_graph.Vf2.iter_view ?deadline ~pattern ~target:remaining (fun m ->
           let matching = Matching.of_vf2 entry m in
           let c = Matching.cost opts.cost acg matching in
           let key = matching.Matching.covered in
@@ -106,7 +175,7 @@ let candidate_matchings ~opts ~deadline ~acg entry remaining =
     take cap keys
   end
   else
-    Noc_graph.Vf2.find_distinct_images ?deadline ~max_matches:cap ~pattern
+    Noc_graph.Vf2.find_distinct_images_view ?deadline ~max_matches:cap ~pattern
       ~target:remaining ()
     |> List.map (fun m ->
            let matching = Matching.of_vf2 entry m in
@@ -129,84 +198,246 @@ let is_saver entry =
    dedicated links, and subtract it.  [compiled] holds the Messmer-Bunke
    style invariant screen (Section 5.1's decision-tree suggestion), so
    impossible patterns are rejected without any VF2 search. *)
-let greedy_finish ~opts ~deadline ~acg ~library ~compiled remaining =
+let greedy_finish ~env remaining =
+  let opts = env.opts in
   let rec go rem acc_rev acc_cost =
-    let alive = Noc_graph.Multi_pattern.survivors compiled rem in
+    let alive =
+      int_set_of_list (Noc_graph.Multi_pattern.survivors_view env.compiled rem)
+    in
     let next =
       List.find_map
         (fun entry ->
-          if List.mem entry.L.id alive then
+          if Hashtbl.mem alive entry.L.id then
             match
-              Noc_graph.Vf2.find_first ?deadline ~pattern:entry.L.prim.P.repr
-                ~target:rem ()
+              Noc_graph.Vf2.find_first_view ?deadline:env.wall_deadline
+                ~pattern:(Hashtbl.find env.frozen entry.L.id) ~target:rem ()
             with
             | Some m ->
                 let matching = Matching.of_vf2 entry m in
-                let c = Matching.cost opts.cost acg matching in
+                let c = Matching.cost opts.cost env.acg matching in
                 let direct =
-                  Cost.remainder_cost opts.cost acg
+                  Cost.remainder_cost opts.cost env.acg
                     (D.of_edges matching.Matching.covered)
                 in
                 if c <= direct +. 1e-9 then Some (matching, c) else None
             | None -> None
           else None)
-        library
+        env.library
     in
     match next with
     | Some (matching, c) ->
         go
-          (D.diff_edges rem matching.Matching.covered)
+          (C.delete_edges rem matching.Matching.covered)
           (matching :: acc_rev) (acc_cost +. c)
     | None -> (acc_rev, rem, acc_cost)
   in
   go remaining [] 0.0
 
-let decompose ?(options = default_options) ?rng ~library acg =
+let accept ctx matchings_rev rest_view total =
+  let d =
+    {
+      Decomposition.matchings = List.rev matchings_rev;
+      remainder = C.to_digraph rest_view;
+    }
+  in
+  let ok =
+    match ctx.env.opts.constraints with
+    | None -> true
+    | Some c ->
+        Constraints.satisfied ~rng:ctx.rng c ctx.env.acg
+          (Synthesis.of_decomposition ctx.env.acg d)
+  in
+  if ok then begin
+    ctx.local_decomp <- Some d;
+    ctx.local_best <- total;
+    cas_min ctx.env.shared_best total
+  end
+
+(* The leaf of a node: re-attach neutral primitives greedily and charge the
+   rest as dedicated links. *)
+let eval_leaf ctx remaining matchings_rev cost_so_far =
+  let env = ctx.env in
+  ctx.leaves <- ctx.leaves + 1;
+  let extra_rev, rest, extra_cost =
+    match env.opts.neutrals with
+    | Branch -> ([], remaining, 0.0)
+    | Greedy -> greedy_finish ~env remaining
+  in
+  let total = cost_so_far +. extra_cost +. Cost.remainder_cost_view env.opts.cost env.acg rest in
+  if total < ctx.local_best then accept ctx (extra_rev @ matchings_rev) rest total
+
+(* [min_id]: when canonical ordering is on, only primitives with id >=
+   min_id may be matched below this node.  Decompositions are multisets
+   of matchings, so exploring them in non-decreasing library order visits
+   each multiset once instead of once per permutation.
+
+   A branch is explored when its bound beats both the branch-local best
+   (strictly — preserving the seed engine's first-of-equal-cost tie-break)
+   and the cross-domain incumbent (non-strictly, so an equal-cost subtree
+   in an earlier canonical branch is never lost to a later worker's
+   publication).  In the sequential driver [local_best = shared_best]
+   always, and the rule collapses to the seed engine's [bound < best]. *)
+let rec explore ctx remaining matchings_rev cost_so_far min_id =
+  let env = ctx.env in
+  let opts = env.opts in
+  ignore (Atomic.fetch_and_add env.nodes 1);
+  if budget_exhausted ctx then ()
+  else begin
+    let alive =
+      int_set_of_list
+        (Noc_graph.Multi_pattern.survivors_view ~slack:opts.approx_missing
+           env.compiled remaining)
+    in
+    let matched_any = ref false in
+    List.iter
+      (fun entry ->
+        if
+          ((not opts.canonical_order) || entry.L.id >= min_id)
+          && Hashtbl.mem alive entry.L.id
+          && not (budget_exhausted ctx)
+        then begin
+          let cands = candidate_matchings ~env entry remaining in
+          List.iter
+            (fun (matching, c) ->
+              matched_any := true;
+              ctx.matches_tried <- ctx.matches_tried + 1;
+              if not (budget_exhausted ctx) then begin
+                let new_cost = cost_so_far +. c in
+                let rem' = C.delete_edges remaining matching.Matching.covered in
+                let lb =
+                  Cost.lower_bound_view opts.cost env.acg ~min_link_ratio:env.min_ratio
+                    rem'
+                in
+                let bound = new_cost +. lb in
+                if bound < ctx.local_best && bound <= Atomic.get env.shared_best then
+                  explore ctx rem' (matching :: matchings_rev) new_cost entry.L.id
+                else ctx.pruned <- ctx.pruned + 1
+              end)
+            cands
+        end)
+      env.branchable;
+    (* leaf: either nothing matched (the paper's rule) or early stop is
+       allowed; neutral primitives are re-attached greedily so loops,
+       paths and broadcasts still show up in the listing *)
+    if (not !matched_any) || opts.allow_early_remainder then
+      eval_leaf ctx remaining matchings_rev cost_so_far
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel driver: fan the root-level branches across domains.
+
+   The root's branches (one per library-entry x candidate-matching pair)
+   are enumerated sequentially — candidate enumeration never depends on the
+   incumbent, so every run sees the same branch array in the same canonical
+   order.  Workers claim branch indices from an atomic counter and search
+   each branch with a fresh branch-local incumbent, publishing
+   constraint-feasible costs to [shared_best]; cross-domain pruning only
+   cuts subtrees whose admissible bound is strictly above the shared
+   incumbent, so no subtree that could attain the global minimum is ever
+   cut, whatever the interleaving.  The reduction picks the minimum cost
+   and breaks ties by the smallest branch index (with the "stop at the
+   root" decomposition ordered last), which is exactly the decomposition
+   the sequential depth-first engine returns. *)
+
+type root_branch = {
+  br_entry : L.entry;
+  br_matching : Matching.t;
+  br_cost : float;
+}
+
+let run_parallel env root_view base_rng ~domains =
+  (* the root node itself *)
+  ignore (Atomic.fetch_and_add env.nodes 1);
+  let root_ctx = mk_ctx env base_rng in
+  let branches = ref [] in
+  if not (budget_exhausted root_ctx) then begin
+    let alive =
+      int_set_of_list
+        (Noc_graph.Multi_pattern.survivors_view ~slack:env.opts.approx_missing
+           env.compiled root_view)
+    in
+    List.iter
+      (fun entry ->
+        if Hashtbl.mem alive entry.L.id && not (budget_exhausted root_ctx) then
+          List.iter
+            (fun (matching, c) ->
+              root_ctx.matches_tried <- root_ctx.matches_tried + 1;
+              branches :=
+                { br_entry = entry; br_matching = matching; br_cost = c } :: !branches)
+            (candidate_matchings ~env entry root_view))
+      env.branchable
+  end;
+  let branch_arr = Array.of_list (List.rev !branches) in
+  let nb = Array.length branch_arr in
+  let include_root_leaf = env.opts.allow_early_remainder || nb = 0 in
+  let n_work = nb + if include_root_leaf then 1 else 0 in
+  (* one independent, deterministically derived rng per work item, so the
+     constraint checker's stream does not depend on which domain runs it *)
+  let rng_src = Noc_util.Prng.copy base_rng in
+  let rngs = Array.init n_work (fun _ -> Noc_util.Prng.split rng_src) in
+  let results = Array.make n_work (infinity, None) in
+  let ctxs = Array.make n_work None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n_work then continue := false
+      else begin
+        let ctx = mk_ctx env rngs.(i) in
+        ctxs.(i) <- Some ctx;
+        (if i < nb then begin
+           let b = branch_arr.(i) in
+           if not (budget_exhausted ctx) then begin
+             let rem' = C.delete_edges root_view b.br_matching.Matching.covered in
+             let lb =
+               Cost.lower_bound_view env.opts.cost env.acg
+                 ~min_link_ratio:env.min_ratio rem'
+             in
+             let bound = b.br_cost +. lb in
+             if bound < ctx.local_best && bound <= Atomic.get env.shared_best then
+               explore ctx rem' [ b.br_matching ] b.br_cost b.br_entry.L.id
+             else ctx.pruned <- ctx.pruned + 1
+           end
+         end
+         else if not (budget_exhausted ctx) then
+           (* the decomposition that stops at the root; evaluated last in
+              the canonical order, so it only wins on a strict improvement *)
+           eval_leaf ctx root_view [] 0.0);
+        results.(i) <- (ctx.local_best, ctx.local_decomp)
+      end
+    done
+  in
+  let n_dom = max 1 (min domains n_work) in
+  let doms = Array.init (n_dom - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join doms;
+  (* deterministic reduction: min cost, ties to the smallest branch index *)
+  let best = ref None and best_c = ref infinity in
+  Array.iter
+    (fun (c, d) ->
+      match d with
+      | Some d when c < !best_c ->
+          best := Some d;
+          best_c := c
+      | Some _ | None -> ())
+    results;
+  let merged = root_ctx :: List.filter_map Fun.id (Array.to_list ctxs) in
+  (!best, !best_c, merged)
+
+(* ------------------------------------------------------------------ *)
+
+let decompose ?(options = default_options) ?(domains = 1) ?rng ~library acg =
   let opts = options in
-  let rng =
+  let base_rng =
     match rng with Some r -> r | None -> Noc_util.Prng.create ~seed:0x5eed
   in
-  let t0 = Unix.gettimeofday () in
-  let deadline = Option.map (fun s -> t0 +. s) opts.timeout_s in
+  let t0 = Timer.now_mono_s () in
+  let wall_deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) opts.timeout_s
+  in
+  let mono_deadline = Timer.Deadline.after_opt opts.timeout_s in
   let min_ratio = Cost.min_link_ratio_of_library library in
-  let best = ref None in
-  let best_cost = ref infinity in
-  let nodes = ref 0 in
-  let matches_tried = ref 0 in
-  let leaves = ref 0 in
-  let pruned = ref 0 in
-  let timed_out = ref false in
-  let budget_exhausted () =
-    if !nodes >= opts.max_nodes then begin
-      timed_out := true;
-      true
-    end
-    else
-      match deadline with
-      | Some d when Unix.gettimeofday () > d ->
-          timed_out := true;
-          true
-      | Some _ | None -> false
-  in
-  let accept matchings_rev remaining total =
-    let d =
-      { Decomposition.matchings = List.rev matchings_rev; remainder = remaining }
-    in
-    let ok =
-      match opts.constraints with
-      | None -> true
-      | Some c ->
-          Constraints.satisfied ~rng c acg (Synthesis.of_decomposition acg d)
-    in
-    if ok then begin
-      best := Some d;
-      best_cost := total
-    end
-  in
-  (* [min_id]: when canonical ordering is on, only primitives with id >=
-     min_id may be matched below this node.  Decompositions are multisets
-     of matchings, so exploring them in non-decreasing library order visits
-     each multiset once instead of once per permutation. *)
   let branchable =
     match opts.neutrals with
     | Branch -> library
@@ -216,58 +447,39 @@ let decompose ?(options = default_options) ?rng ~library acg =
     Noc_graph.Multi_pattern.compile
       (List.map (fun e -> (e.L.id, e.L.prim.P.repr)) library)
   in
-  let rec go remaining matchings_rev cost_so_far min_id =
-    incr nodes;
-    if budget_exhausted () then ()
-    else begin
-      let alive =
-        Noc_graph.Multi_pattern.survivors ~slack:opts.approx_missing compiled remaining
-      in
-      let matched_any = ref false in
-      List.iter
-        (fun entry ->
-          if
-            ((not opts.canonical_order) || entry.L.id >= min_id)
-            && List.mem entry.L.id alive
-            && not (budget_exhausted ())
-          then begin
-            let cands = candidate_matchings ~opts ~deadline ~acg entry remaining in
-            List.iter
-              (fun (matching, c) ->
-                matched_any := true;
-                incr matches_tried;
-                if not (budget_exhausted ()) then begin
-                  let new_cost = cost_so_far +. c in
-                  let rem' = D.diff_edges remaining matching.Matching.covered in
-                  let lb = Cost.lower_bound opts.cost acg ~min_link_ratio:min_ratio rem' in
-                  if new_cost +. lb < !best_cost then
-                    go rem' (matching :: matchings_rev) new_cost entry.L.id
-                  else incr pruned
-                end)
-              cands
-          end)
-        branchable;
-      (* leaf: either nothing matched (the paper's rule) or early stop is
-         allowed; neutral primitives are re-attached greedily so loops,
-         paths and broadcasts still show up in the listing *)
-      if (not !matched_any) || opts.allow_early_remainder then begin
-        incr leaves;
-        let extra_rev, rest, extra_cost =
-          match opts.neutrals with
-          | Branch -> ([], remaining, 0.0)
-          | Greedy -> greedy_finish ~opts ~deadline ~acg ~library ~compiled remaining
-        in
-        let total =
-          cost_so_far +. extra_cost +. Cost.remainder_cost opts.cost acg rest
-        in
-        if total < !best_cost then accept (extra_rev @ matchings_rev) rest total
-      end
-    end
+  let frozen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem frozen e.L.id) then
+        Hashtbl.replace frozen e.L.id (C.freeze e.L.prim.P.repr))
+    library;
+  let env =
+    {
+      opts;
+      acg;
+      library;
+      branchable;
+      compiled;
+      frozen;
+      min_ratio;
+      wall_deadline;
+      mono_deadline;
+      nodes = Atomic.make 0;
+      shared_best = Atomic.make infinity;
+    }
   in
-  go (Acg.graph acg) [] 0.0 0;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let root_view = C.view (C.freeze (Acg.graph acg)) in
+  let best, best_cost, workers =
+    if domains <= 1 then begin
+      let ctx = mk_ctx env base_rng in
+      explore ctx root_view [] 0.0 0;
+      (ctx.local_decomp, ctx.local_best, [ ctx ])
+    end
+    else run_parallel env root_view base_rng ~domains
+  in
+  let elapsed = Timer.now_mono_s () -. t0 in
   let decomp, met =
-    match !best with
+    match best with
     | Some d -> (d, true)
     | None ->
         (* no complete decomposition was accepted (constraints rejected
@@ -280,21 +492,23 @@ let decompose ?(options = default_options) ?rng ~library acg =
           match opts.constraints with
           | None -> true
           | Some c ->
-              Constraints.satisfied ~rng c acg (Synthesis.of_decomposition acg d)
+              Constraints.satisfied ~rng:base_rng c acg
+                (Synthesis.of_decomposition acg d)
         in
         (d, met)
   in
+  let sum f = List.fold_left (fun acc w -> acc + f w) 0 workers in
   let stats =
     {
-      nodes = !nodes;
-      matches_tried = !matches_tried;
-      leaves = !leaves;
-      pruned = !pruned;
+      nodes = Atomic.get env.nodes;
+      matches_tried = sum (fun w -> w.matches_tried);
+      leaves = sum (fun w -> w.leaves);
+      pruned = sum (fun w -> w.pruned);
       elapsed_s = elapsed;
-      timed_out = !timed_out;
+      timed_out = List.exists (fun w -> w.timed_out) workers;
       best_cost =
-        (if !best = None then Cost.remainder_cost opts.cost acg (Acg.graph acg)
-         else !best_cost);
+        (if Option.is_none best then Cost.remainder_cost opts.cost acg (Acg.graph acg)
+         else best_cost);
       constraints_met = met;
     }
   in

@@ -89,6 +89,7 @@ type stats = {
 
 val decompose :
   ?options:options ->
+  ?domains:int ->
   ?rng:Noc_util.Prng.t ->
   library:Noc_primitives.Library.t ->
   Acg.t ->
@@ -96,4 +97,21 @@ val decompose :
 (** Runs the search.  [rng] seeds the constraint checker's bisection
     heuristic (default: a fixed seed, making the whole search
     deterministic).  The returned decomposition always satisfies
-    {!Decomposition.is_valid_for}. *)
+    {!Decomposition.is_valid_for}.
+
+    [domains] (default 1) fans the root-level branches — one per
+    library-entry × candidate-matching pair — across that many OCaml 5
+    domains.  Each branch is searched with a branch-local incumbent;
+    domains share a global incumbent cost through an atomic, and a subtree
+    is cut on the shared bound only when its admissible lower bound is
+    {e strictly} above it, so no subtree that could attain the global
+    minimum is ever lost to scheduling.  The reduction takes the minimum
+    cost with ties broken by canonical branch order, so the returned
+    decomposition and [best_cost] are identical to the sequential run's
+    whenever the constraint check is deterministic (in particular always
+    when [constraints = None]).  With randomized constraint checks each
+    work item draws from its own deterministically split rng stream, so
+    parallel runs are reproducible for a fixed [domains] but may accept
+    different (equally feasible) incumbents than the sequential engine.
+    Search statistics ([pruned], [leaves], ...) depend on timing and are
+    aggregated across domains. *)

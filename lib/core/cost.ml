@@ -15,6 +15,16 @@ let remainder_cost cost acg remaining =
           +. Em.edge_energy ~tech ~fp ~volume_bits:(Acg.volume acg u v) [ u; v ])
         remaining 0.0
 
+let remainder_cost_view cost acg remaining =
+  match cost with
+  | Edge_count -> float_of_int (Noc_graph.Compact.num_edges remaining)
+  | Energy { tech; fp } ->
+      Noc_graph.Compact.fold_edges
+        (fun u v acc ->
+          acc
+          +. Em.edge_energy ~tech ~fp ~volume_bits:(Acg.volume acg u v) [ u; v ])
+        remaining 0.0
+
 let route_cost cost acg ~src ~dst path =
   match cost with
   | Edge_count -> 0.0
@@ -26,6 +36,18 @@ let lower_bound cost acg ~min_link_ratio remaining =
   | Edge_count -> min_link_ratio *. float_of_int (D.num_edges remaining)
   | Energy { tech; fp } ->
       D.fold_edges
+        (fun u v acc ->
+          let direct = Fp.distance_mm fp u v in
+          let wire = tech.Tech.el_bit_per_mm *. direct in
+          let bit = (2.0 *. tech.Tech.es_bit) +. wire in
+          acc +. (float_of_int (Acg.volume acg u v) *. bit))
+        remaining 0.0
+
+let lower_bound_view cost acg ~min_link_ratio remaining =
+  match cost with
+  | Edge_count -> min_link_ratio *. float_of_int (Noc_graph.Compact.num_edges remaining)
+  | Energy { tech; fp } ->
+      Noc_graph.Compact.fold_edges
         (fun u v acc ->
           let direct = Fp.distance_mm fp u v in
           let wire = tech.Tech.el_bit_per_mm *. direct in

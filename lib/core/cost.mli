@@ -22,6 +22,11 @@ val remainder_cost : t -> Acg.t -> Noc_graph.Digraph.t -> float
     edges; [Energy] charges each edge volume × (2 routers + the direct
     link). *)
 
+val remainder_cost_view : t -> Acg.t -> Noc_graph.Compact.view -> float
+(** {!remainder_cost} evaluated directly on a CSR remainder view (original
+    vertex ids), avoiding the digraph materialization in the search's hot
+    path. *)
+
 val route_cost : t -> Acg.t -> src:int -> dst:int -> int list -> float
 (** Cost of transporting the ACG edge [src -> dst] along a vertex path in
     ACG coordinates ([Edge_count] gives 0; link counting is handled at the
@@ -40,6 +45,10 @@ val lower_bound : t -> Acg.t -> min_link_ratio:float -> Noc_graph.Digraph.t -> f
     volume × (2 routers + wire at direct Manhattan length, without
     repeaters) — any route visits ≥ 2 routers and, by the triangle
     inequality for Manhattan distance, total wire ≥ direct distance. *)
+
+val lower_bound_view :
+  t -> Acg.t -> min_link_ratio:float -> Noc_graph.Compact.view -> float
+(** {!lower_bound} evaluated directly on a CSR remainder view. *)
 
 val min_link_ratio_of_library : Noc_primitives.Library.t -> float
 (** min over entries of implementation links / representation edges,

@@ -20,6 +20,15 @@ val of_approx :
     covered; the implementation graph (and hence the wiring cost) is the
     full primitive. *)
 
+val of_approx_view :
+  Noc_primitives.Library.entry ->
+  pattern:Noc_graph.Compact.t ->
+  target:Noc_graph.Compact.view ->
+  Noc_graph.Vf2.approx ->
+  t
+(** {!of_approx} against a CSR remainder view; [pattern] must be the frozen
+    representation graph of [entry]. *)
+
 val primitive : t -> Noc_primitives.Primitive.t
 
 val impl_in_acg : t -> Noc_graph.Digraph.t

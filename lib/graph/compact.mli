@@ -1,0 +1,99 @@
+(** Immutable CSR snapshots of {!Digraph.t}, with an edge-deletion overlay.
+
+    The branch-and-bound decomposition spends essentially all of its time
+    probing adjacency: VF2 feasibility checks, degree look-aheads and the
+    [diff_edges] that produces each child's remaining graph.  On the
+    persistent {!Digraph} every one of those probes is an [O(log n)] map
+    lookup and every subtraction rebuilds adjacency maps.  This module
+    freezes a digraph once into a dense, int-array CSR form:
+
+    - vertices are renumbered densely [0..n-1] in increasing original-id
+      order (so iterating dense ids visits original ids in ascending order —
+      the VF2 kernel relies on this to enumerate matches in exactly the same
+      order as the map-based engine);
+    - successor/predecessor slices are sorted int arrays, degrees are O(1)
+      offset differences, [mem_edge] is a branch-free binary search — or a
+      single bit test when [n <= 64] (bitset adjacency matrix);
+    - a {!view} layers a set of {e deleted} edges over the frozen base, so
+      the search can subtract covered edges in [O(k log k)] array merging
+      without ever rebuilding maps.
+
+    The representation is exposed concretely: this is a low-level kernel
+    interface and the VF2 inner loop indexes the arrays directly. *)
+
+type t = {
+  n : int;  (** number of vertices *)
+  verts : int array;  (** dense id -> original id, strictly increasing *)
+  succ_off : int array;  (** length [n+1]; slice bounds into [succ_arr] *)
+  succ_arr : int array;  (** dense successor ids, ascending per slice *)
+  pred_off : int array;
+  pred_arr : int array;  (** dense predecessor ids, ascending per slice *)
+  adj : int64 array;
+      (** bitset adjacency rows when [n <= 64] ([adj.(u)] bit [v] = edge
+          [u -> v]); [[||]] otherwise *)
+  n_edges : int;
+}
+
+type view = {
+  base : t;
+  del : int array;  (** deleted edges as sorted packed codes [u * n + v] *)
+  del_bits : int64 array;
+      (** bitset of deleted edges when [n <= 64] and any deletion exists *)
+  del_out : int array;  (** per-vertex deleted out-degree; [[||]] if none *)
+  del_in : int array;
+}
+
+val freeze : Digraph.t -> t
+(** Snapshot a digraph.  O(V + E). *)
+
+val view : t -> view
+(** The identity overlay: the frozen graph with nothing deleted. *)
+
+(** {1 Vertex numbering} *)
+
+val vertex : t -> int -> int
+(** [vertex g i] is the original id of dense vertex [i]. *)
+
+val index : t -> int -> int
+(** [index g v] is the dense id of original vertex [v], or [-1] when [v] is
+    not a vertex of the frozen graph.  Binary search, O(log n). *)
+
+(** {1 Dense-id queries on a view} *)
+
+val out_degree_d : view -> int -> int
+val in_degree_d : view -> int -> int
+val mem_edge_d : view -> int -> int -> bool
+(** All O(1) when [n <= 64]; [mem_edge_d] is O(log degree) otherwise. *)
+
+val fold_succ_d : view -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Fold over the (non-deleted) dense successors of a dense vertex, in
+    ascending dense order. *)
+
+val fold_pred_d : view -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+(** {1 Original-id queries} *)
+
+val mem_edge : view -> int -> int -> bool
+(** By original vertex ids. *)
+
+val num_edges : view -> int
+val num_vertices : view -> int
+
+val fold_edges : (int -> int -> 'a -> 'a) -> view -> 'a -> 'a
+(** Fold over the surviving edges in lexicographic original-id order —
+    the same order as {!Digraph.fold_edges} on the equivalent digraph. *)
+
+val degree_profile : view -> int array * int array
+(** [(out_desc, in_desc)]: the view's out- and in-degree sequences sorted
+    descending, as consumed by the {!Multi_pattern} invariant screen. *)
+
+(** {1 Overlay updates} *)
+
+val delete_edges : view -> Digraph.Edge.t list -> view
+(** [delete_edges v es] removes the listed edges (original ids; edges not
+    present in the view are ignored, mirroring {!Digraph.diff_edges}).  The
+    base snapshot is shared; only the overlay arrays are copied. *)
+
+val to_digraph : view -> Digraph.t
+(** Materialize the view as a persistent digraph.  Every vertex of the
+    frozen base is kept, exactly like {!Digraph.diff_edges}. *)

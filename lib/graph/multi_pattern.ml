@@ -63,6 +63,19 @@ let survivors ?slack t target =
   let tprof = profile_of target in
   List.filter_map (fun e -> if passes ?slack e.prof tprof then Some e.id else None) t
 
+let profile_of_view v =
+  let out_desc, in_desc = Compact.degree_profile v in
+  {
+    n_vertices = Compact.num_vertices v;
+    n_edges = Compact.num_edges v;
+    out_desc;
+    in_desc;
+  }
+
+let survivors_view ?slack t target =
+  let tprof = profile_of_view target in
+  List.filter_map (fun e -> if passes ?slack e.prof tprof then Some e.id else None) t
+
 let screened_out ?slack t target =
   let tprof = profile_of target in
   List.filter_map (fun e -> if passes ?slack e.prof tprof then None else Some e.id) t

@@ -34,6 +34,11 @@ val survivors : ?slack:int -> t -> Digraph.t -> int list
     edges in the target must also survive, so the edge-count and
     degree-dominance tests are loosened by that amount. *)
 
+val survivors_view : ?slack:int -> t -> Compact.view -> int list
+(** {!survivors} against a {!Compact.view} target: the degree profile is
+    read straight off the CSR snapshot and its deletion overlay, without
+    materializing a digraph. *)
+
 val screened_out : ?slack:int -> t -> Digraph.t -> int list
 (** Complement of {!survivors}: patterns rejected without any search. *)
 

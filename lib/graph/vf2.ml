@@ -1,5 +1,5 @@
-module Vset = Digraph.Vset
 module Vmap = Digraph.Vmap
+module C = Compact
 
 type mapping = int Vmap.t
 
@@ -10,138 +10,208 @@ exception Stop_search of outcome
 (* How many search-tree nodes are expanded between deadline checks. *)
 let deadline_check_period = 256
 
+(* The one deadline helper shared by the exact and approximate kernels: the
+   absolute wall-clock deadline of the public API is converted to a
+   monotonic target once, and the monotonic clock is polled every
+   [deadline_check_period] expansions. *)
+let deadline_checker deadline =
+  let dl = Noc_util.Timer.Deadline.of_wall_opt deadline in
+  let ticks = ref 0 in
+  fun () ->
+    incr ticks;
+    if !ticks mod deadline_check_period = 0 && Noc_util.Timer.Deadline.expired dl
+    then raise (Stop_search Timed_out)
+
 (* Pattern vertices are matched in a connectivity-aware static order: start
    from a vertex of maximum degree, then repeatedly pick the unmatched vertex
-   with the most already-ordered neighbors (ties broken by degree).  This is
-   the classic VF2 ordering heuristic and keeps the frontier connected for
-   connected patterns. *)
-let pattern_order pattern =
-  let verts = Digraph.vertex_list pattern in
-  match verts with
-  | [] -> [||]
-  | _ ->
-      let n = List.length verts in
-      let chosen = Hashtbl.create n in
-      let order = ref [] in
-      let neighbor_count v =
-        let nbrs = Vset.union (Digraph.succ pattern v) (Digraph.pred pattern v) in
-        Vset.fold (fun w acc -> if Hashtbl.mem chosen w then acc + 1 else acc) nbrs 0
+   with the most already-ordered neighbors (ties broken by degree, then by
+   lowest id).  This is the classic VF2 ordering heuristic and keeps the
+   frontier connected for connected patterns.  Dense ids are assigned in
+   ascending original-id order, so the tie-breaks agree with the map-based
+   reference engine. *)
+let pattern_order (p : C.t) =
+  let n = p.C.n in
+  let chosen = Array.make n false in
+  let order = Array.make n 0 in
+  (* members of succ(v) ∪ pred(v) already chosen: merge two sorted slices
+     so a vertex that is both successor and predecessor counts once *)
+  let chosen_nbrs v =
+    let sa = p.C.succ_arr and se = p.C.succ_off.(v + 1) in
+    let pa = p.C.pred_arr and pe = p.C.pred_off.(v + 1) in
+    let i = ref p.C.succ_off.(v) and j = ref p.C.pred_off.(v) and cnt = ref 0 in
+    while !i < se || !j < pe do
+      let w =
+        if !i >= se then begin
+          let w = pa.(!j) in
+          incr j;
+          w
+        end
+        else if !j >= pe then begin
+          let w = sa.(!i) in
+          incr i;
+          w
+        end
+        else begin
+          let wi = sa.(!i) and wj = pa.(!j) in
+          if wi < wj then begin
+            incr i;
+            wi
+          end
+          else if wj < wi then begin
+            incr j;
+            wj
+          end
+          else begin
+            incr i;
+            incr j;
+            wi
+          end
+        end
       in
-      for _ = 1 to n do
-        let best = ref None in
-        List.iter
-          (fun v ->
-            if not (Hashtbl.mem chosen v) then begin
-              let key = (neighbor_count v, Digraph.degree pattern v) in
-              match !best with
-              | None -> best := Some (v, key)
-              | Some (_, bkey) -> if key > bkey then best := Some (v, key)
-            end)
-          verts;
-        match !best with
-        | None -> ()
-        | Some (v, _) ->
-            Hashtbl.replace chosen v true;
-            order := v :: !order
+      if chosen.(w) then incr cnt
+    done;
+    !cnt
+  in
+  for k = 0 to n - 1 do
+    let best = ref (-1) and bnc = ref (-1) and bdeg = ref (-1) in
+    for v = 0 to n - 1 do
+      if not chosen.(v) then begin
+        let nc = chosen_nbrs v in
+        let deg =
+          p.C.succ_off.(v + 1) - p.C.succ_off.(v) + p.C.pred_off.(v + 1)
+          - p.C.pred_off.(v)
+        in
+        if nc > !bnc || (nc = !bnc && deg > !bdeg) then begin
+          best := v;
+          bnc := nc;
+          bdeg := deg
+        end
+      end
+    done;
+    chosen.(!best) <- true;
+    order.(k) <- !best
+  done;
+  order
+
+let iter_view ?deadline ~(pattern : C.t) ~(target : C.view) f =
+  let np = pattern.C.n in
+  let tb = target.C.base in
+  let nt = tb.C.n in
+  if np = 0 then Exhausted
+  else if np > nt || pattern.C.n_edges > C.num_edges target then Exhausted
+  else begin
+    let order = pattern_order pattern in
+    let check_deadline = deadline_checker deadline in
+    (* core: pattern dense -> target dense (-1 unmapped); used: target dense *)
+    let core = Array.make np (-1) in
+    let used = Bytes.make nt '\000' in
+    let ps_off = pattern.C.succ_off and ps = pattern.C.succ_arr in
+    let pp_off = pattern.C.pred_off and pp = pattern.C.pred_arr in
+    let feasible u v =
+      (* degree look-ahead, then: every already-mapped pattern neighbor of u
+         must have the corresponding target edge (this also re-checks the
+         deletion overlay, so candidates can be drawn from base slices) *)
+      C.out_degree_d target v >= ps_off.(u + 1) - ps_off.(u)
+      && C.in_degree_d target v >= pp_off.(u + 1) - pp_off.(u)
+      &&
+      let ok = ref true in
+      let i = ref ps_off.(u) in
+      while !ok && !i < ps_off.(u + 1) do
+        let w' = core.(ps.(!i)) in
+        if w' >= 0 && not (C.mem_edge_d target v w') then ok := false;
+        incr i
       done;
-      Array.of_list (List.rev !order)
+      let j = ref pp_off.(u) in
+      while !ok && !j < pp_off.(u + 1) do
+        let w' = core.(pp.(!j)) in
+        if w' >= 0 && not (C.mem_edge_d target w' v) then ok := false;
+        incr j
+      done;
+      !ok
+    in
+    let emit () =
+      let m = ref Vmap.empty in
+      for u = 0 to np - 1 do
+        m := Vmap.add pattern.C.verts.(u) tb.C.verts.(core.(u)) !m
+      done;
+      match f !m with `Continue -> () | `Stop -> raise (Stop_search Stopped)
+    in
+    let rec extend depth =
+      if depth = np then emit ()
+      else begin
+        check_deadline ();
+        let u = order.(depth) in
+        (* If u has an already-mapped predecessor/successor, candidates come
+           from the smallest corresponding target adjacency slice (feasible
+           re-checks every mapped neighbor, so one slice suffices);
+           otherwise all unused target vertices. *)
+        let best_len = ref (-1) and best_arr = ref ps and best_off = ref 0 in
+        for i = pp_off.(u) to pp_off.(u + 1) - 1 do
+          let w' = core.(pp.(i)) in
+          if w' >= 0 then begin
+            let off = tb.C.succ_off.(w') in
+            let len = tb.C.succ_off.(w' + 1) - off in
+            if !best_len < 0 || len < !best_len then begin
+              best_len := len;
+              best_arr := tb.C.succ_arr;
+              best_off := off
+            end
+          end
+        done;
+        for i = ps_off.(u) to ps_off.(u + 1) - 1 do
+          let w' = core.(ps.(i)) in
+          if w' >= 0 then begin
+            let off = tb.C.pred_off.(w') in
+            let len = tb.C.pred_off.(w' + 1) - off in
+            if !best_len < 0 || len < !best_len then begin
+              best_len := len;
+              best_arr := tb.C.pred_arr;
+              best_off := off
+            end
+          end
+        done;
+        let try_candidate v =
+          if Bytes.unsafe_get used v = '\000' && feasible u v then begin
+            core.(u) <- v;
+            Bytes.unsafe_set used v '\001';
+            extend (depth + 1);
+            core.(u) <- -1;
+            Bytes.unsafe_set used v '\000'
+          end
+        in
+        if !best_len >= 0 then begin
+          let arr = !best_arr and off = !best_off and len = !best_len in
+          for i = off to off + len - 1 do
+            try_candidate (Array.unsafe_get arr i)
+          done
+        end
+        else
+          for v = 0 to nt - 1 do
+            try_candidate v
+          done
+      end
+    in
+    match extend 0 with () -> Exhausted | exception Stop_search o -> o
+  end
 
 let iter ?deadline ~pattern ~target f =
-  let order = pattern_order pattern in
-  let np = Array.length order in
-  let nodes_expanded = ref 0 in
-  let check_deadline () =
-    incr nodes_expanded;
-    match deadline with
-    | Some d when !nodes_expanded mod deadline_check_period = 0 ->
-        if Unix.gettimeofday () > d then raise (Stop_search Timed_out)
-    | Some _ | None -> ()
-  in
-  (* core: pattern -> target; used_t: target vertices already used *)
-  let core = Hashtbl.create np in
-  let used_t = Hashtbl.create np in
-  let feasible u v =
-    (* degree look-ahead *)
-    Digraph.out_degree target v >= Digraph.out_degree pattern u
-    && Digraph.in_degree target v >= Digraph.in_degree pattern u
-    && (* every already-mapped pattern neighbor of u must have the
-          corresponding target edge *)
-    Vset.for_all
-      (fun w ->
-        match Hashtbl.find_opt core w with
-        | Some w' -> Digraph.mem_edge target v w'
-        | None -> true)
-      (Digraph.succ pattern u)
-    && Vset.for_all
-         (fun w ->
-           match Hashtbl.find_opt core w with
-           | Some w' -> Digraph.mem_edge target w' v
-           | None -> true)
-         (Digraph.pred pattern u)
-  in
-  let candidates u =
-    (* If u has an already-mapped predecessor/successor, restrict candidates
-       to the corresponding target adjacency; otherwise all unused target
-       vertices. *)
-    let from_mapped_neighbors =
-      let via_pred =
-        Vset.fold
-          (fun w acc ->
-            match Hashtbl.find_opt core w with
-            | Some w' -> Some (match acc with
-                | None -> Digraph.succ target w'
-                | Some s -> Vset.inter s (Digraph.succ target w'))
-            | None -> acc)
-          (Digraph.pred pattern u) None
-      in
-      Vset.fold
-        (fun w acc ->
-          match Hashtbl.find_opt core w with
-          | Some w' -> Some (match acc with
-              | None -> Digraph.pred target w'
-              | Some s -> Vset.inter s (Digraph.pred target w'))
-          | None -> acc)
-        (Digraph.succ pattern u) via_pred
-    in
-    match from_mapped_neighbors with
-    | Some s -> Vset.filter (fun v -> not (Hashtbl.mem used_t v)) s
-    | None -> Vset.filter (fun v -> not (Hashtbl.mem used_t v)) (Digraph.vertices target)
-  in
-  let rec extend depth =
-    if depth = np then begin
-      let m = Hashtbl.fold (fun u v acc -> Vmap.add u v acc) core Vmap.empty in
-      match f m with `Continue -> () | `Stop -> raise (Stop_search Stopped)
-    end
-    else begin
-      check_deadline ();
-      let u = order.(depth) in
-      Vset.iter
-        (fun v ->
-          if feasible u v then begin
-            Hashtbl.replace core u v;
-            Hashtbl.replace used_t v true;
-            extend (depth + 1);
-            Hashtbl.remove core u;
-            Hashtbl.remove used_t v
-          end)
-        (candidates u)
-    end
-  in
-  if np = 0 then Exhausted
-  else if np > Digraph.num_vertices target
-          || Digraph.num_edges pattern > Digraph.num_edges target
-  then Exhausted
-  else
-    match extend 0 with () -> Exhausted | exception Stop_search o -> o
+  iter_view ?deadline ~pattern:(C.freeze pattern)
+    ~target:(C.view (C.freeze target))
+    f
 
-let find_first ?deadline ~pattern ~target () =
+let find_first_view ?deadline ~pattern ~target () =
   let result = ref None in
   let _ =
-    iter ?deadline ~pattern ~target (fun m ->
+    iter_view ?deadline ~pattern ~target (fun m ->
         result := Some m;
         `Stop)
   in
   !result
+
+let find_first ?deadline ~pattern ~target () =
+  find_first_view ?deadline ~pattern:(C.freeze pattern)
+    ~target:(C.view (C.freeze target))
+    ()
 
 let exists ?deadline ~pattern ~target () =
   match find_first ?deadline ~pattern ~target () with Some _ -> true | None -> false
@@ -165,13 +235,25 @@ let edge_image ~pattern m =
     pattern []
   |> List.sort Digraph.Edge.compare
 
-let find_distinct_images ?deadline ?max_matches ~pattern ~target () =
+(* [edge_image] of a compact pattern: pattern edges in original ids, images
+   sorted. *)
+let edge_image_c ~(pattern : C.t) m =
+  let acc = ref [] in
+  for u = 0 to pattern.C.n - 1 do
+    for i = pattern.C.succ_off.(u) to pattern.C.succ_off.(u + 1) - 1 do
+      let v = pattern.C.succ_arr.(i) in
+      acc := (Vmap.find pattern.C.verts.(u) m, Vmap.find pattern.C.verts.(v) m) :: !acc
+    done
+  done;
+  List.sort Digraph.Edge.compare !acc
+
+let find_distinct_images_view ?deadline ?max_matches ~pattern ~target () =
   let seen = Hashtbl.create 64 in
   let acc = ref [] in
   let count = ref 0 in
   let _ =
-    iter ?deadline ~pattern ~target (fun m ->
-        let key = edge_image ~pattern m in
+    iter_view ?deadline ~pattern ~target (fun m ->
+        let key = edge_image_c ~pattern m in
         if Hashtbl.mem seen key then `Continue
         else begin
           Hashtbl.replace seen key true;
@@ -184,13 +266,18 @@ let find_distinct_images ?deadline ?max_matches ~pattern ~target () =
   in
   List.rev !acc
 
+let find_distinct_images ?deadline ?max_matches ~pattern ~target () =
+  find_distinct_images_view ?deadline ?max_matches ~pattern:(C.freeze pattern)
+    ~target:(C.view (C.freeze target))
+    ()
+
 let is_monomorphism ~pattern ~target m =
   let injective =
     let images = Vmap.fold (fun _ v acc -> v :: acc) m [] in
     List.length (List.sort_uniq Int.compare images) = List.length images
   in
   let total =
-    Vset.for_all (fun u -> Vmap.mem u m) (Digraph.vertices pattern)
+    Digraph.Vset.for_all (fun u -> Vmap.mem u m) (Digraph.vertices pattern)
   in
   injective && total
   && Digraph.fold_edges
@@ -204,84 +291,90 @@ type approx = {
   missing : Digraph.Edge.t list;
 }
 
-let iter_approx ?deadline ~max_missing ~pattern ~target f =
+let iter_approx_view ?deadline ~max_missing ~(pattern : C.t) ~(target : C.view) f =
   if max_missing < 0 then invalid_arg "Vf2.iter_approx: negative budget";
-  let order = pattern_order pattern in
-  let np = Array.length order in
-  let nodes_expanded = ref 0 in
-  let check_deadline () =
-    incr nodes_expanded;
-    match deadline with
-    | Some d when !nodes_expanded mod deadline_check_period = 0 ->
-        if Unix.gettimeofday () > d then raise (Stop_search Timed_out)
-    | Some _ | None -> ()
-  in
-  let core = Hashtbl.create np in
-  let used_t = Hashtbl.create np in
-  (* number of pattern edges between mapped vertices with no target image *)
-  let misses u v =
-    let count = ref 0 in
-    Vset.iter
-      (fun w ->
-        match Hashtbl.find_opt core w with
-        | Some w' -> if not (Digraph.mem_edge target v w') then incr count
-        | None -> ())
-      (Digraph.succ pattern u);
-    Vset.iter
-      (fun w ->
-        match Hashtbl.find_opt core w with
-        | Some w' -> if not (Digraph.mem_edge target w' v) then incr count
-        | None -> ())
-      (Digraph.pred pattern u);
-    !count
-  in
-  let rec extend depth missing_so_far =
-    if depth = np then begin
-      let m = Hashtbl.fold (fun u v acc -> Vmap.add u v acc) core Vmap.empty in
-      let missing =
-        Digraph.fold_edges
-          (fun u v acc ->
-            if Digraph.mem_edge target (Vmap.find u m) (Vmap.find v m) then acc
-            else (u, v) :: acc)
-          pattern []
-        |> List.sort Digraph.Edge.compare
-      in
-      match f { approx_mapping = m; missing } with
+  let np = pattern.C.n in
+  let tb = target.C.base in
+  let nt = tb.C.n in
+  if np = 0 then Exhausted
+  else if np > nt then Exhausted
+  else if pattern.C.n_edges - max_missing > C.num_edges target then Exhausted
+  else begin
+    let order = pattern_order pattern in
+    let check_deadline = deadline_checker deadline in
+    let core = Array.make np (-1) in
+    let used = Bytes.make nt '\000' in
+    let ps_off = pattern.C.succ_off and ps = pattern.C.succ_arr in
+    let pp_off = pattern.C.pred_off and pp = pattern.C.pred_arr in
+    (* number of pattern edges between mapped vertices with no target image *)
+    let misses u v =
+      let count = ref 0 in
+      for i = ps_off.(u) to ps_off.(u + 1) - 1 do
+        let w' = core.(ps.(i)) in
+        if w' >= 0 && not (C.mem_edge_d target v w') then incr count
+      done;
+      for i = pp_off.(u) to pp_off.(u + 1) - 1 do
+        let w' = core.(pp.(i)) in
+        if w' >= 0 && not (C.mem_edge_d target w' v) then incr count
+      done;
+      !count
+    in
+    let emit () =
+      let m = ref Vmap.empty in
+      for u = 0 to np - 1 do
+        m := Vmap.add pattern.C.verts.(u) tb.C.verts.(core.(u)) !m
+      done;
+      (* pattern dense edges iterate in lexicographic original order, so the
+         missing list is born sorted by Edge.compare *)
+      let missing = ref [] in
+      for u = np - 1 downto 0 do
+        for i = ps_off.(u + 1) - 1 downto ps_off.(u) do
+          let v = ps.(i) in
+          if not (C.mem_edge_d target core.(u) core.(v)) then
+            missing := (pattern.C.verts.(u), pattern.C.verts.(v)) :: !missing
+        done
+      done;
+      match f { approx_mapping = !m; missing = !missing } with
       | `Continue -> ()
       | `Stop -> raise (Stop_search Stopped)
-    end
-    else begin
-      check_deadline ();
-      let u = order.(depth) in
-      let budget = max_missing - missing_so_far in
-      Vset.iter
-        (fun v ->
-          if not (Hashtbl.mem used_t v) then begin
+    in
+    let rec extend depth missing_so_far =
+      if depth = np then emit ()
+      else begin
+        check_deadline ();
+        let u = order.(depth) in
+        let budget = max_missing - missing_so_far in
+        let out_p = ps_off.(u + 1) - ps_off.(u) in
+        let in_p = pp_off.(u + 1) - pp_off.(u) in
+        for v = 0 to nt - 1 do
+          if Bytes.unsafe_get used v = '\000' then begin
             (* relaxed degree look-ahead: missing edges may absorb the
                degree deficit *)
             let deg_ok =
-              Digraph.out_degree target v >= Digraph.out_degree pattern u - budget
-              && Digraph.in_degree target v >= Digraph.in_degree pattern u - budget
+              C.out_degree_d target v >= out_p - budget
+              && C.in_degree_d target v >= in_p - budget
             in
             if deg_ok then begin
               let miss = misses u v in
               if miss <= budget then begin
-                Hashtbl.replace core u v;
-                Hashtbl.replace used_t v true;
+                core.(u) <- v;
+                Bytes.unsafe_set used v '\001';
                 extend (depth + 1) (missing_so_far + miss);
-                Hashtbl.remove core u;
-                Hashtbl.remove used_t v
+                core.(u) <- -1;
+                Bytes.unsafe_set used v '\000'
               end
             end
-          end)
-        (Digraph.vertices target)
-    end
-  in
-  if np = 0 then Exhausted
-  else if np > Digraph.num_vertices target then Exhausted
-  else if Digraph.num_edges pattern - max_missing > Digraph.num_edges target then Exhausted
-  else
+          end
+        done
+      end
+    in
     match extend 0 0 with () -> Exhausted | exception Stop_search o -> o
+  end
+
+let iter_approx ?deadline ~max_missing ~pattern ~target f =
+  iter_approx_view ?deadline ~max_missing ~pattern:(C.freeze pattern)
+    ~target:(C.view (C.freeze target))
+    f
 
 let find_first_approx ?deadline ~max_missing ~pattern ~target () =
   let result = ref None in
@@ -312,3 +405,14 @@ let covered_edge_image ~pattern ~target m =
       if Digraph.mem_edge target u' v' then (u', v') :: acc else acc)
     pattern []
   |> List.sort Digraph.Edge.compare
+
+let covered_edge_image_view ~(pattern : C.t) ~(target : C.view) m =
+  let acc = ref [] in
+  for u = 0 to pattern.C.n - 1 do
+    for i = pattern.C.succ_off.(u) to pattern.C.succ_off.(u + 1) - 1 do
+      let v = pattern.C.succ_arr.(i) in
+      let u' = Vmap.find pattern.C.verts.(u) m and v' = Vmap.find pattern.C.verts.(v) m in
+      if C.mem_edge target u' v' then acc := (u', v') :: !acc
+    done
+  done;
+  List.sort Digraph.Edge.compare !acc

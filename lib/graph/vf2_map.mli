@@ -1,31 +1,13 @@
-(** VF2-style subgraph isomorphism for directed graphs.
+(** Reference map-based VF2 engine (the original implementation).
 
-    Implements the matching semantics of Definition 3 of the paper: an
-    injective map [f] from the pattern's vertices into the target's vertices
-    such that every pattern edge maps to a target edge ({e subgraph
-    monomorphism} — the matched subgraph need not be induced, because
-    Definition 2 subtracts only the matched {e edges} from the remaining
-    graph).
-
-    The search uses the VF2 state-space construction (Cordella et al., IEEE
-    TPAMI 2004, the same engine the paper calls from Matlab): vertices are
-    added to the partial mapping in a connectivity-aware order, candidate
-    target vertices are drawn from the frontier of the current mapping, and
-    in/out-degree look-ahead prunes infeasible states.  The paper notes
-    (Section 5.1) that isomorphism search should be cut off after a time-out
-    rather than exhausting all permutations; {!val-iter} takes an optional
-    deadline for exactly this purpose.
-
-    The engine runs on the {!Compact} CSR kernel: int-array search state,
-    O(1) degree look-ahead, bitset/binary-search adjacency probes, and no
-    allocation in the inner loop (mappings are materialized as [Vmap]s only
-    at the callback boundary).  The [Digraph]-typed entry points freeze
-    their arguments on the way in; the [_view] entry points accept frozen
-    graphs directly so the branch-and-bound search can reuse one snapshot
-    across the whole tree.  Matches are enumerated in exactly the same
-    order as the map-based reference engine ({!Vf2_map}): dense ids are
-    assigned in ascending original-id order, ties in the pattern ordering
-    and candidate enumeration resolve identically. *)
+    This is the straightforward {!Digraph}-native VF2: [Hashtbl] search
+    state, [Set]-based candidate intersection, [O(log n)] adjacency probes.
+    The production engine ({!Vf2}) runs the same search on the {!Compact}
+    CSR kernel and enumerates matchings in exactly the same order; this
+    module is retained as the {e executable specification} — the qcheck
+    differential suites check the compact engine against it on random
+    graphs, and the [micro] benchmark section reports the speedup of the
+    compact kernel over this baseline.  It sees no production traffic. *)
 
 type mapping = int Digraph.Vmap.t
 (** Pattern vertex [->] target vertex. *)
@@ -127,40 +109,3 @@ val find_all_approx :
 val covered_edge_image : pattern:Digraph.t -> target:Digraph.t -> mapping -> Digraph.Edge.t list
 (** Target edges actually realized by a (possibly approximate) mapping:
     images of pattern edges that exist in the target, sorted. *)
-
-(** {1 Compact-kernel entry points}
-
-    Same semantics and enumeration order as the functions above, but
-    operating on pre-frozen {!Compact} snapshots: the pattern is a frozen
-    base, the target an edge-deletion {!Compact.view}.  Mappings and missing
-    edges are still expressed in {e original} vertex ids, so the results are
-    interchangeable with the [Digraph] API. *)
-
-val iter_view :
-  ?deadline:float ->
-  pattern:Compact.t ->
-  target:Compact.view ->
-  (mapping -> [ `Continue | `Stop ]) ->
-  outcome
-
-val find_first_view :
-  ?deadline:float -> pattern:Compact.t -> target:Compact.view -> unit -> mapping option
-
-val find_distinct_images_view :
-  ?deadline:float ->
-  ?max_matches:int ->
-  pattern:Compact.t ->
-  target:Compact.view ->
-  unit ->
-  mapping list
-
-val iter_approx_view :
-  ?deadline:float ->
-  max_missing:int ->
-  pattern:Compact.t ->
-  target:Compact.view ->
-  (approx -> [ `Continue | `Stop ]) ->
-  outcome
-
-val covered_edge_image_view :
-  pattern:Compact.t -> target:Compact.view -> mapping -> Digraph.Edge.t list

@@ -18,3 +18,21 @@ let time_median ~repeats f =
   match !result with
   | Some x -> (x, median)
   | None -> assert false
+
+(* CLOCK_MONOTONIC via the bechamel stub: an unboxed, noalloc int64 of
+   nanoseconds, immune to wall-clock adjustments. *)
+let now_mono_ns () = Monotonic_clock.now ()
+let now_mono_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+module Deadline = struct
+  type t = float (* monotonic seconds; infinity = no deadline *)
+
+  let none = infinity
+
+  let of_wall abs = now_mono_s () +. (abs -. Unix.gettimeofday ())
+  let of_wall_opt = function None -> none | Some abs -> of_wall abs
+  let after s = now_mono_s () +. s
+  let after_opt = function None -> none | Some s -> after s
+
+  let expired t = t <> infinity && now_mono_s () > t
+end

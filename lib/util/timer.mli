@@ -1,4 +1,5 @@
-(** Wall-clock timing helpers for the run-time experiments (Fig. 4). *)
+(** Wall-clock timing helpers for the run-time experiments (Fig. 4), plus a
+    monotonic clock and deadline abstraction shared by the search kernels. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with the elapsed
@@ -7,3 +8,35 @@ val time : (unit -> 'a) -> 'a * float
 val time_median : repeats:int -> (unit -> 'a) -> 'a * float
 (** [time_median ~repeats f] runs [f] [repeats] times (at least once) and
     returns the last result with the median elapsed time. *)
+
+val now_mono_ns : unit -> int64
+(** Monotonic clock reading in nanoseconds (arbitrary epoch).  Cheap
+    (noalloc C stub) and immune to wall-clock adjustments — this is what
+    every search deadline should be measured against. *)
+
+val now_mono_s : unit -> float
+(** {!now_mono_ns} in seconds. *)
+
+(** Absolute deadlines on the monotonic clock.
+
+    The public search APIs historically take absolute wall-clock deadlines
+    (as given by [Unix.gettimeofday]); {!Deadline.of_wall} converts such a
+    deadline into a monotonic target {e once}, so the hot loops only ever
+    touch the monotonic clock. *)
+module Deadline : sig
+  type t
+
+  val none : t
+  (** Never expires. *)
+
+  val of_wall : float -> t
+  (** [of_wall abs] converts an absolute wall-clock deadline (seconds, as
+      given by [Unix.gettimeofday]) into a monotonic target. *)
+
+  val of_wall_opt : float option -> t
+  val after : float -> t
+  (** [after s] expires [s] seconds from now. *)
+
+  val after_opt : float option -> t
+  val expired : t -> bool
+end

@@ -884,6 +884,63 @@ let qcheck_cost_never_exceeds_all_remainder =
       let _, stats = Bb.decompose ~library:(lib ()) acg in
       stats.Bb.best_cost <= float_of_int (D.num_edges g) +. 1e-9)
 
+(* -------------------------------------------------------------------- *)
+(* Parallel decomposition: domains > 1 must reproduce the sequential      *)
+(* search bit for bit (deterministic constraint checks)                   *)
+
+(* the bench's reconstruction of the paper's Fig. 2 input: K4 on {1..4},
+   a 4-loop on {5..8}, 8 stray edges *)
+let fig2_acg () =
+  let g = G.complete 4 in
+  let g =
+    List.fold_left (fun g (u, v) -> D.add_edge g u v) g
+      [ (5, 6); (6, 7); (7, 8); (8, 5) ]
+  in
+  let g =
+    List.fold_left (fun g (u, v) -> D.add_edge g u v) g
+      [ (1, 5); (5, 1); (2, 6); (6, 2); (3, 7); (7, 3); (4, 8); (8, 4) ]
+  in
+  Acg.uniform ~volume:16 ~bandwidth:0.1 g
+
+let render_decomp acg d = Format.asprintf "%a" (Decomp.pp_with_cost edge_count acg) d
+
+let check_parallel_equals_sequential ?options acg =
+  let d1, s1 = Bb.decompose ?options ~library:(lib ()) acg in
+  let d4, s4 = Bb.decompose ?options ~domains:4 ~library:(lib ()) acg in
+  s1.Bb.best_cost = s4.Bb.best_cost
+  && s1.Bb.constraints_met = s4.Bb.constraints_met
+  && render_decomp acg d1 = render_decomp acg d4
+
+let test_parallel_fig2 () =
+  Alcotest.(check bool) "fig2: 4 domains = sequential" true
+    (check_parallel_equals_sequential (fig2_acg ()));
+  let d, stats = Bb.decompose ~domains:4 ~library:(lib ()) (fig2_acg ()) in
+  Alcotest.(check (float 1e-9)) "fig2 cost is the paper's 16" 16.0 stats.Bb.best_cost;
+  Alcotest.(check bool) "valid" true (Decomp.is_valid_for (fig2_acg ()) d)
+
+let qcheck_parallel_equals_sequential =
+  QCheck.Test.make ~name:"decompose with 4 domains = sequential on random ACGs"
+    ~count:20
+    QCheck.(pair small_int (int_range 6 14))
+    (fun (seed, n) ->
+      let rng = Prng.create ~seed:(seed + 3100) in
+      let g = G.erdos_renyi ~rng ~n ~p:(3.0 /. float_of_int (n - 1)) in
+      let acg = Acg.uniform ~volume:8 ~bandwidth:0.05 g in
+      check_parallel_equals_sequential acg)
+
+let qcheck_parallel_equals_sequential_beam =
+  QCheck.Test.make
+    ~name:"decompose with 4 domains = sequential (beam 2, literal branching)" ~count:8
+    QCheck.(pair small_int (int_range 5 9))
+    (fun (seed, n) ->
+      let rng = Prng.create ~seed:(seed + 6400) in
+      let g = G.erdos_renyi ~rng ~n ~p:0.35 in
+      let acg = Acg.uniform ~volume:4 ~bandwidth:0.02 g in
+      let options =
+        { Bb.default_options with max_matches_per_step = 2; neutrals = Bb.Branch }
+      in
+      check_parallel_equals_sequential ~options acg)
+
 let suite =
   ( "core",
     [
@@ -966,4 +1023,7 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_decomposition_always_valid;
       QCheck_alcotest.to_alcotest qcheck_synthesis_routes_valid;
       QCheck_alcotest.to_alcotest qcheck_cost_never_exceeds_all_remainder;
+      Alcotest.test_case "parallel decompose: Fig. 2" `Quick test_parallel_fig2;
+      QCheck_alcotest.to_alcotest qcheck_parallel_equals_sequential;
+      QCheck_alcotest.to_alcotest qcheck_parallel_equals_sequential_beam;
     ] )

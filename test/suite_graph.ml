@@ -487,6 +487,108 @@ let qcheck_approx_budget_respected =
       V.find_all_approx ~max_missing:budget ~max_matches:20 ~pattern ~target ()
       |> List.for_all (fun a -> List.length a.V.missing <= budget))
 
+(* -------------------------------------------------------------------- *)
+(* Compact CSR snapshots and the compact VF2 engine                      *)
+
+module C = Noc_graph.Compact
+module Vm = Noc_graph.Vf2_map
+
+let random_digraph rng ~n ~p =
+  (* sparse vertex ids, so dense renumbering is actually exercised *)
+  G.erdos_renyi ~rng ~n ~p |> D.map_vertices (fun v -> (v * 3) + 7)
+
+let test_compact_basics () =
+  let g = D.of_edges [ (10, 20); (10, 30); (20, 30); (30, 10) ] in
+  let c = C.freeze g in
+  let v = C.view c in
+  Alcotest.(check int) "vertices" 3 (C.num_vertices v);
+  Alcotest.(check int) "edges" 4 (C.num_edges v);
+  Alcotest.(check bool) "mem" true (C.mem_edge v 10 20);
+  Alcotest.(check bool) "absent" false (C.mem_edge v 20 10);
+  Alcotest.(check bool) "foreign vertex" false (C.mem_edge v 10 99);
+  Alcotest.(check dg) "roundtrip" g (C.to_digraph v);
+  let v' = C.delete_edges v [ (10, 20); (30, 10) ] in
+  Alcotest.(check int) "edges after delete" 2 (C.num_edges v');
+  Alcotest.(check bool) "deleted" false (C.mem_edge v' 10 20);
+  Alcotest.(check bool) "survivor" true (C.mem_edge v' 20 30);
+  Alcotest.(check dg) "delete = diff_edges" (D.diff_edges g [ (10, 20); (30, 10) ])
+    (C.to_digraph v');
+  (* the base view is unaffected *)
+  Alcotest.(check int) "base intact" 4 (C.num_edges v)
+
+let qcheck_compact_matches_digraph =
+  QCheck.Test.make ~name:"compact view agrees with the digraph algebra" ~count:100
+    QCheck.(pair small_int (int_range 2 20))
+    (fun (seed, n) ->
+      let rng = Prng.create ~seed:(seed + 7100) in
+      let g = random_digraph rng ~n ~p:0.3 in
+      let v = C.view (C.freeze g) in
+      (* delete a pseudo-random half of the edges, in two rounds so the
+         overlay merge path is exercised *)
+      let doomed = List.filteri (fun i _ -> i mod 2 = 0) (D.edges g) in
+      let d1 = List.filteri (fun i _ -> i mod 4 = 0) (D.edges g) in
+      let v' = C.delete_edges (C.delete_edges v d1) doomed in
+      let g' = D.diff_edges g doomed in
+      D.equal (C.to_digraph v) g
+      && D.equal (C.to_digraph v') g'
+      && C.num_edges v' = D.num_edges g'
+      && D.fold_vertices
+           (fun u acc ->
+             acc
+             && D.fold_vertices
+                  (fun w acc -> acc && C.mem_edge v' u w = D.mem_edge g' u w)
+                  g true)
+           g true)
+
+let vmap_bindings m = D.Vmap.bindings m
+
+let qcheck_vf2_compact_equals_map =
+  QCheck.Test.make
+    ~name:"compact VF2 enumerates exactly the map-based engine's matches" ~count:60
+    QCheck.(triple small_int (int_range 2 8) (int_range 4 16))
+    (fun (seed, np, nt) ->
+      let rng = Prng.create ~seed:(seed + 4600) in
+      let pattern = G.erdos_renyi ~rng ~n:np ~p:0.5 in
+      let target = random_digraph rng ~n:nt ~p:0.35 in
+      let all_c =
+        Noc_graph.Vf2.find_all ~max_matches:200 ~pattern ~target ()
+        |> List.map vmap_bindings
+      in
+      let all_m =
+        Vm.find_all ~max_matches:200 ~pattern ~target () |> List.map vmap_bindings
+      in
+      let img_c =
+        Noc_graph.Vf2.find_distinct_images ~max_matches:50 ~pattern ~target ()
+        |> List.map (fun m -> Noc_graph.Vf2.edge_image ~pattern m)
+      in
+      let img_m =
+        Vm.find_distinct_images ~max_matches:50 ~pattern ~target ()
+        |> List.map (fun m -> Vm.edge_image ~pattern m)
+      in
+      all_c = all_m && img_c = img_m)
+
+let qcheck_vf2_approx_compact_equals_map =
+  QCheck.Test.make
+    ~name:"compact approximate VF2 matches the map-based engine" ~count:40
+    QCheck.(triple small_int (int_range 2 6) (int_range 4 12))
+    (fun (seed, np, nt) ->
+      let rng = Prng.create ~seed:(seed + 8200) in
+      let pattern = G.erdos_renyi ~rng ~n:np ~p:0.6 in
+      let target = random_digraph rng ~n:nt ~p:0.3 in
+      let norm (a : Noc_graph.Vf2.approx) =
+        (vmap_bindings a.Noc_graph.Vf2.approx_mapping, a.Noc_graph.Vf2.missing)
+      in
+      let norm_m (a : Vm.approx) = (vmap_bindings a.Vm.approx_mapping, a.Vm.missing) in
+      let ac =
+        Noc_graph.Vf2.find_all_approx ~max_matches:100 ~max_missing:1 ~pattern ~target ()
+        |> List.map norm
+      in
+      let am =
+        Vm.find_all_approx ~max_matches:100 ~max_missing:1 ~pattern ~target ()
+        |> List.map norm_m
+      in
+      ac = am)
+
 let suite =
   ( "graph",
     [
@@ -537,4 +639,8 @@ let suite =
       QCheck_alcotest.to_alcotest qcheck_approx_budget_respected;
       QCheck_alcotest.to_alcotest qcheck_vf2_planted;
       QCheck_alcotest.to_alcotest qcheck_vf2_subtract;
+      Alcotest.test_case "compact snapshot basics" `Quick test_compact_basics;
+      QCheck_alcotest.to_alcotest qcheck_compact_matches_digraph;
+      QCheck_alcotest.to_alcotest qcheck_vf2_compact_equals_map;
+      QCheck_alcotest.to_alcotest qcheck_vf2_approx_compact_equals_map;
     ] )
