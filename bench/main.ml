@@ -93,21 +93,26 @@ let runtime_row ?(timeout = 5.0) acgs =
   let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
   let measure options =
     List.fold_left
-      (fun (ts, to_) acg ->
+      (fun (ts, to_, nodes, pruned) acg ->
         let _, stats, wall = decompose_timed ~options acg in
-        (wall :: ts, to_ + if stats.Bb.timed_out then 1 else 0))
-      ([], 0) acgs
+        ( wall :: ts,
+          (to_ + if stats.Bb.timed_out then 1 else 0),
+          nodes + stats.Bb.nodes,
+          pruned + stats.Bb.pruned ))
+      ([], 0, 0, 0) acgs
   in
-  let lit_t, lit_to =
+  let lit_t, lit_to, _, _ =
     measure { Bb.default_options with neutrals = Bb.Branch; timeout_s = Some timeout }
   in
-  let grd_t, _ = measure Bb.default_options in
-  (avg lit_t, List.fold_left max 0. lit_t, lit_to, avg grd_t)
+  let grd_t, _, grd_nodes, grd_pruned = measure Bb.default_options in
+  let n = List.length acgs in
+  (avg lit_t, List.fold_left max 0. lit_t, lit_to, avg grd_t, grd_nodes / n, grd_pruned / n)
 
 let fig4a () =
   section "Fig. 4a - decomposition run time, TGFF-style task graphs";
-  Printf.printf "%8s  %30s  %14s\n" "" "paper-literal branching" "saver-driven";
-  Printf.printf "%8s %10s %10s %8s %14s\n" "nodes" "avg (s)" "max (s)" "timeouts" "avg (s)";
+  Printf.printf "%8s  %30s  %34s\n" "" "paper-literal branching" "saver-driven";
+  Printf.printf "%8s %10s %10s %8s %14s %9s %9s\n" "nodes" "avg (s)" "max (s)" "timeouts"
+    "avg (s)" "avg tree" "avg prune";
   List.iter
     (fun n ->
       let acgs =
@@ -118,8 +123,9 @@ let fig4a () =
               (Noc_tgff.Tgff.generate ~rng { Noc_tgff.Tgff.default_params with tasks = n }))
           [ 1; 2; 3; 4; 5 ]
       in
-      let lit_avg, lit_max, lit_to, grd_avg = runtime_row acgs in
-      Printf.printf "%8d %10.4f %10.4f %8d %14.4f\n" n lit_avg lit_max lit_to grd_avg)
+      let lit_avg, lit_max, lit_to, grd_avg, grd_nodes, grd_pruned = runtime_row acgs in
+      Printf.printf "%8d %10.4f %10.4f %8d %14.4f %9d %9d\n" n lit_avg lit_max lit_to
+        grd_avg grd_nodes grd_pruned)
     [ 5; 8; 10; 12; 15; 18 ];
   Printf.printf "\npresets (the paper's 18-node automotive benchmark took 0.3 s in Matlab):\n";
   List.iter
@@ -127,8 +133,8 @@ let fig4a () =
       let rng = Prng.create ~seed:11 in
       let acg = Acg.of_tgff (Noc_tgff.Tgff.generate ~rng params) in
       let _, stats, wall = decompose_timed acg in
-      Printf.printf "  %-12s %2d nodes  %8.4f s  cost %.0f\n" name (Acg.num_cores acg) wall
-        stats.Bb.best_cost)
+      Printf.printf "  %-12s %2d nodes  %8.4f s  cost %.0f  tree=%d pruned=%d\n" name
+        (Acg.num_cores acg) wall stats.Bb.best_cost stats.Bb.nodes stats.Bb.pruned)
     Noc_tgff.Tgff.presets
 
 (* ------------------------------------------------------------------ *)
@@ -136,8 +142,9 @@ let fig4a () =
 
 let fig4b () =
   section "Fig. 4b - decomposition run time, random graphs (Pajek substitute)";
-  Printf.printf "%8s  %30s  %14s\n" "" "paper-literal branching" "saver-driven";
-  Printf.printf "%8s %10s %10s %8s %14s\n" "nodes" "avg (s)" "max (s)" "timeouts" "avg (s)";
+  Printf.printf "%8s  %30s  %34s\n" "" "paper-literal branching" "saver-driven";
+  Printf.printf "%8s %10s %10s %8s %14s %9s %9s\n" "nodes" "avg (s)" "max (s)" "timeouts"
+    "avg (s)" "avg tree" "avg prune";
   List.iter
     (fun n ->
       (* Pajek-era random networks: sparse, average degree ~ 3 *)
@@ -149,8 +156,9 @@ let fig4b () =
             Acg.uniform ~volume:16 ~bandwidth:0.1 (G.erdos_renyi ~rng ~n ~p))
           [ 1; 2; 3; 4; 5 ]
       in
-      let lit_avg, lit_max, lit_to, grd_avg = runtime_row acgs in
-      Printf.printf "%8d %10.4f %10.4f %8d %14.4f\n" n lit_avg lit_max lit_to grd_avg)
+      let lit_avg, lit_max, lit_to, grd_avg, grd_nodes, grd_pruned = runtime_row acgs in
+      Printf.printf "%8d %10.4f %10.4f %8d %14.4f %9d %9d\n" n lit_avg lit_max lit_to
+        grd_avg grd_nodes grd_pruned)
     [ 10; 15; 20; 25; 30; 35; 40 ];
   Printf.printf
     "(paper: a 40-node graph decomposes in < 3 min in Matlab + C++ VF2; timeouts are\n\
@@ -200,9 +208,11 @@ let fig5 () =
 let fig6 () =
   section "Fig. 6 - AES ACG decomposition (paper output: COST 28)";
   let acg = Dist.acg () in
-  let d, _, wall = decompose_timed acg in
+  let d, stats, wall = decompose_timed acg in
   Format.printf "%a@." (Decomp.pp_with_cost Noc_core.Cost.Edge_count acg) d;
-  Printf.printf "elapsed %.4f s (paper: 0.58 s)\n" wall
+  Printf.printf "elapsed %.4f s (paper: 0.58 s)\n" wall;
+  Printf.printf "search tree: %d nodes, %d matchings, %d pruned, %d incumbent(s)\n"
+    stats.Bb.nodes stats.Bb.matches_tried stats.Bb.pruned stats.Bb.incumbents
 
 let aes_table () =
   section "Section 5.2 - prototype performance and energy comparison";

@@ -5,7 +5,11 @@
      nocsynth decompose ...  run the branch-and-bound decomposition
      nocsynth synth ...      decompose + glue + deadlock report (+ DOT)
      nocsynth simulate ...   customized vs mesh under random traffic
-     nocsynth aes            the paper's Section 5.2 experiment *)
+     nocsynth aes            the paper's Section 5.2 experiment
+
+   All diagnostics go through Logs to stderr; stdout carries only data
+   (listings, reports, ACG text, and the --metrics JSON), so outputs can
+   be piped.  Unreadable or malformed ACG files exit with code 2. *)
 
 open Cmdliner
 
@@ -17,6 +21,20 @@ module Syn = Noc_core.Synthesis
 module L = Noc_primitives.Library
 module Fp = Noc_energy.Floorplan
 module Tech = Noc_energy.Technology
+module Obs = Noc_obs.Obs
+
+let setup_logs () =
+  Logs.set_reporter
+    (Logs.format_reporter ~app:Format.err_formatter ~dst:Format.err_formatter ());
+  Logs.set_level (Some Logs.Info)
+
+(* exit code 2: input problems, as distinct from cmdliner's 124/125 *)
+let load_acg file =
+  match Acg_io.load file with
+  | Ok acg -> acg
+  | Error (`Msg m) ->
+      Logs.err (fun k -> k "%s" m);
+      exit 2
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                     *)
@@ -51,6 +69,11 @@ let timeout_arg =
     value & opt (some float) None
     & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget for the search.")
 
+let max_nodes_arg =
+  Arg.(
+    value & opt int Bb.Budget.default.Bb.Budget.max_nodes
+    & info [ "max-nodes" ] ~docv:"N" ~doc:"Search-tree node budget (backstop).")
+
 let domains_arg =
   Arg.(
     value & opt int 1
@@ -58,6 +81,19 @@ let domains_arg =
         ~doc:"Worker domains for the branch-and-bound search (1 = sequential). Root-level \
               branches are fanned across domains with a shared incumbent bound; results \
               are identical to the sequential search.")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON file of the run (load it in Perfetto or \
+              about://tracing).")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print a JSON metrics summary on stdout (human output moves to stderr).")
 
 let cost_arg =
   let cost_enum = Arg.enum [ ("edge", `Edge); ("energy", `Energy) ] in
@@ -81,7 +117,7 @@ let resolve_tech name =
   | Some t -> t
   | None -> failwith (Printf.sprintf "unknown technology %S" name)
 
-let make_options ~cost ~tech ~acg ~beam ~timeout =
+let make_options ~cost ~tech ~acg ~beam =
   let cost_fn =
     match cost with
     | `Edge -> Noc_core.Cost.Edge_count
@@ -91,9 +127,23 @@ let make_options ~cost ~tech ~acg ~beam ~timeout =
     Bb.default_options with
     cost = cost_fn;
     max_matches_per_step = beam;
-    timeout_s = timeout;
     role_aware = (match cost with `Energy -> true | `Edge -> false);
   }
+
+let make_budget ~timeout ~max_nodes ~domains =
+  Bb.Budget.(
+    default |> with_timeout_s timeout |> with_max_nodes max_nodes |> with_domains domains)
+
+let make_observer ~trace ~metrics =
+  if trace <> None || metrics then Obs.create () else Obs.disabled
+
+let write_trace observe = function
+  | None -> ()
+  | Some path ->
+      Obs.Trace.write observe ~path;
+      Logs.info (fun k -> k "wrote trace %s" path)
+
+let float_metrics kvs = List.map (fun (k, v) -> (k, Obs.Json.Float v)) kvs
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                             *)
@@ -137,8 +187,8 @@ let generate_cmd =
     match out with
     | Some path ->
         Acg_io.write_file ~path acg;
-        Printf.printf "wrote %s (%d cores, %d flows)\n" path (Acg.num_cores acg)
-          (Acg.num_flows acg)
+        Logs.app (fun k ->
+            k "wrote %s (%d cores, %d flows)" path (Acg.num_cores acg) (Acg.num_flows acg))
     | None -> print_string (Acg_io.to_string acg)
   in
   Cmd.v
@@ -152,22 +202,41 @@ let decompose_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics.")
   in
-  let run file lib cost tech beam timeout domains stats =
-    let acg = Acg_io.read_file file in
+  let run file lib cost tech beam timeout max_nodes domains stats trace metrics =
+    let acg = load_acg file in
     let library = resolve_library lib in
-    let options = make_options ~cost ~tech ~acg ~beam ~timeout in
-    let d, st = Bb.decompose ~options ~domains ~library acg in
-    Format.printf "%a" (Decomp.pp_with_cost options.Bb.cost acg) d;
-    if st.Bb.timed_out then Format.printf "(search budget exhausted; best incumbent shown)@.";
-    if stats then
-      Format.printf "nodes=%d matches=%d leaves=%d pruned=%d elapsed=%.3fs@." st.Bb.nodes
-        st.Bb.matches_tried st.Bb.leaves st.Bb.pruned st.Bb.elapsed_s
+    let options = make_options ~cost ~tech ~acg ~beam in
+    let budget = make_budget ~timeout ~max_nodes ~domains in
+    let observe = make_observer ~trace ~metrics in
+    let d, st = Bb.decompose ~options ~budget ~observe ~library acg in
+    let listing = Format.asprintf "%a" (Decomp.pp_with_cost options.Bb.cost acg) d in
+    (* with --metrics, stdout is reserved for the JSON *)
+    if metrics then Logs.app (fun k -> k "%s" listing) else print_string listing;
+    if st.Bb.timed_out then
+      Logs.warn (fun k -> k "search budget exhausted; best incumbent shown");
+    if stats then begin
+      let line =
+        Printf.sprintf "nodes=%d matches=%d leaves=%d pruned=%d incumbents=%d elapsed=%.3fs"
+          st.Bb.nodes st.Bb.matches_tried st.Bb.leaves st.Bb.pruned st.Bb.incumbents
+          st.Bb.elapsed_s
+      in
+      if metrics then Logs.app (fun k -> k "%s" line) else print_endline line
+    end;
+    write_trace observe trace;
+    if metrics then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("search", Bb.stats_to_json st);
+                ("observer", Obs.Json.Obj (Obs.metrics observe));
+              ]))
   in
   Cmd.v
     (Cmd.info "decompose" ~doc:"Decompose an ACG into communication primitives.")
     Term.(
       const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
-      $ domains_arg $ stats_flag)
+      $ max_nodes_arg $ domains_arg $ stats_flag $ trace_arg $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* synth                                                                *)
@@ -183,34 +252,40 @@ let synth_cmd =
       value & flag
       & info [ "check" ] ~doc:"Check the technology's bandwidth and bisection constraints.")
   in
-  let run file lib cost tech beam timeout domains dot check =
-    let acg = Acg_io.read_file file in
+  let run file lib cost tech beam timeout max_nodes domains dot check trace metrics =
+    let acg = load_acg file in
     let library = resolve_library lib in
-    let options = make_options ~cost ~tech ~acg ~beam ~timeout in
-    let d, stats = Bb.decompose ~options ~domains ~library acg in
+    let options = make_options ~cost ~tech ~acg ~beam in
+    let budget = make_budget ~timeout ~max_nodes ~domains in
+    let observe = make_observer ~trace ~metrics in
+    let d, stats = Bb.decompose ~options ~budget ~observe ~library acg in
     let tech' = resolve_tech tech in
     let fp = grid_floorplan acg in
     let constraints =
       if check then Some (Noc_core.Constraints.of_technology tech') else None
     in
     let report =
-      Noc_core.Report.build ~tech:tech' ~fp ?constraints ~cost:options.Bb.cost ~acg
-        ~decomposition:d ~stats ()
+      Obs.span observe ~cat:"synth" "build-report" (fun () ->
+          Noc_core.Report.build ~tech:tech' ~fp ?constraints ~cost:options.Bb.cost ~acg
+            ~decomposition:d ~stats ())
     in
-    Format.printf "%a@." Noc_core.Report.pp report;
-    match dot with
+    if metrics then Logs.app (fun k -> k "%s" (Noc_core.Report.to_string report))
+    else Format.printf "%a@." Noc_core.Report.pp report;
+    (match dot with
     | Some path ->
         let arch = Syn.custom acg d in
         Noc_graph.Dot.write_file ~path
           (Noc_graph.Dot.to_dot ~name:"topology" ~undirected:true arch.Syn.topology);
-        Format.printf "wrote %s@." path
-    | None -> ()
+        Logs.app (fun k -> k "wrote %s" path)
+    | None -> ());
+    write_trace observe trace;
+    if metrics then print_endline (Obs.Json.to_string (Noc_core.Report.to_json report))
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize the customized architecture for an ACG.")
     Term.(
       const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
-      $ domains_arg $ dot_out $ check_flag)
+      $ max_nodes_arg $ domains_arg $ dot_out $ check_flag $ trace_arg $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -232,10 +307,11 @@ let simulate_cmd =
       value & opt policy_enum `Fixed
       & info [ "policy" ] ~docv:"POLICY" ~doc:"Routing policy: fixed, adaptive or oblivious.")
   in
-  let run file lib tech rows cols cycles rate policy seed =
-    let acg = Acg_io.read_file file in
+  let run file lib tech rows cols cycles rate policy seed trace metrics =
+    let acg = load_acg file in
     let library = resolve_library lib in
-    let d, _ = Bb.decompose ~library acg in
+    let observe = make_observer ~trace ~metrics in
+    let d, _ = Bb.decompose ~observe ~library acg in
     let tech' = resolve_tech tech in
     (* the floorplan must place every mesh tile: routes may pass through
        tiles that host no core *)
@@ -249,26 +325,53 @@ let simulate_cmd =
       | `Adaptive -> Noc_sim.Network.Adaptive
       | `Oblivious -> Noc_sim.Network.Oblivious (Noc_util.Prng.create ~seed:(seed + 1))
     in
-    Format.printf "%-12s %8s %10s %10s %12s %10s@." "arch" "packets" "avg lat" "thpt"
-      "energy (pJ)" "power(mW)";
-    List.iter
-      (fun (name, arch) ->
-        let net = Noc_sim.Network.create ~policy:(mk_policy ()) arch in
-        let rng = Noc_util.Prng.create ~seed in
-        let flows = Noc_sim.Traffic.flows_of_acg ~rate_scale:rate acg in
-        let ds = Noc_sim.Traffic.run ~rng ~net ~flows ~cycles () in
-        let s = Noc_sim.Stats.summarize ds in
-        Format.printf "%-12s %8d %10.2f %10.3f %12.1f %10.2f@." name s.Noc_sim.Stats.packets
-          s.Noc_sim.Stats.avg_latency s.Noc_sim.Stats.throughput
-          (Noc_sim.Stats.total_energy_pj ~tech:tech' ~fp net)
-          (Noc_sim.Stats.avg_power_mw ~tech:tech' ~fp net))
-      [ ("customized", Syn.custom acg d); ("mesh", Syn.mesh ~rows ~cols acg) ]
+    let header =
+      Printf.sprintf "%-12s %8s %10s %10s %12s %10s" "arch" "packets" "avg lat" "thpt"
+        "energy (pJ)" "power(mW)"
+    in
+    if metrics then Logs.app (fun k -> k "%s" header) else print_endline header;
+    let arch_metrics =
+      List.map
+        (fun (name, arch) ->
+          let net = Noc_sim.Network.create ~policy:(mk_policy ()) arch in
+          let rng = Noc_util.Prng.create ~seed in
+          let flows = Noc_sim.Traffic.flows_of_acg ~rate_scale:rate acg in
+          let ds =
+            Obs.span observe ~cat:"sim" name (fun () ->
+                Noc_sim.Traffic.run ~rng ~net ~flows ~cycles ())
+          in
+          let s = Noc_sim.Stats.summarize ds in
+          let row =
+            Printf.sprintf "%-12s %8d %10.2f %10.3f %12.1f %10.2f" name
+              s.Noc_sim.Stats.packets s.Noc_sim.Stats.avg_latency
+              s.Noc_sim.Stats.throughput
+              (Noc_sim.Stats.total_energy_pj ~tech:tech' ~fp net)
+              (Noc_sim.Stats.avg_power_mw ~tech:tech' ~fp net)
+          in
+          if metrics then Logs.app (fun k -> k "%s" row) else print_endline row;
+          (* surface the per-router/per-link activity as observer counters
+             so they land in the trace too *)
+          if Obs.enabled observe then
+            List.iter
+              (fun (key, v) ->
+                Obs.Gauge.set (Obs.gauge observe (Printf.sprintf "%s.%s" name key)) v)
+              (Noc_sim.Network.metrics net);
+          ( name,
+            Obs.Json.Obj
+              (float_metrics
+                 (Noc_sim.Stats.summary_metrics s
+                 @ Noc_sim.Network.metrics net
+                 @ Noc_sim.Stats.energy_metrics ~tech:tech' ~fp net)) ))
+        [ ("customized", Syn.custom acg d); ("mesh", Syn.mesh ~rows ~cols acg) ]
+    in
+    write_trace observe trace;
+    if metrics then print_endline (Obs.Json.to_string (Obs.Json.Obj arch_metrics))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate random ACG traffic on customized vs mesh.")
     Term.(
       const run $ acg_file_arg $ library_arg $ tech_arg $ rows $ cols $ cycles $ rate
-      $ policy_arg $ seed_arg)
+      $ policy_arg $ seed_arg $ trace_arg $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* codesign                                                             *)
@@ -278,7 +381,7 @@ let codesign_cmd =
     Arg.(value & opt int 4 & info [ "rounds" ] ~docv:"N" ~doc:"Co-design rounds.")
   in
   let run file lib tech rounds seed =
-    let acg = Acg_io.read_file file in
+    let acg = load_acg file in
     let library = resolve_library lib in
     let tech' = resolve_tech tech in
     let fp = grid_floorplan acg in
@@ -340,4 +443,6 @@ let main =
        ~doc:"Energy- and performance-driven NoC communication architecture synthesis")
     [ generate_cmd; decompose_cmd; synth_cmd; simulate_cmd; codesign_cmd; aes_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  setup_logs ();
+  exit (Cmd.eval main)

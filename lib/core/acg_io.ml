@@ -15,48 +15,101 @@ let to_string acg =
     (Acg.graph acg);
   Buffer.contents buf
 
-let of_string s =
-  let lines = String.split_on_char '\n' s in
-  let quads = ref [] in
-  let verts = ref [] in
-  List.iteri
-    (fun lineno line ->
-      let line = String.trim line in
-      if line = "" || line.[0] = '#' then ()
-      else
-        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
-        | [ "vertex"; v ] -> (
+exception Parse_error of string
+
+let err lineno col fmt =
+  Printf.ksprintf
+    (fun m -> raise (Parse_error (Printf.sprintf "line %d, column %d: %s" lineno col m)))
+    fmt
+
+(* Tokens of a line with their 1-based starting columns, so errors point at
+   the offending field rather than just the line. *)
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done;
+    if !i < n then begin
+      let start = !i in
+      while !i < n && line.[!i] <> ' ' && line.[!i] <> '\t' do incr i done;
+      toks := (String.sub line start (!i - start), start + 1) :: !toks
+    end
+  done;
+  List.rev !toks
+
+let parse s =
+  try
+    let lines = String.split_on_char '\n' s in
+    let quads = ref [] in
+    let verts = ref [] in
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        match tokenize line with
+        | [] -> ()
+        | (t, _) :: _ when String.length t > 0 && t.[0] = '#' -> ()
+        | [ ("vertex", _); (v, vcol) ] -> (
             match int_of_string_opt v with
             | Some v -> verts := v :: !verts
-            | None ->
-                invalid_arg
-                  (Printf.sprintf "Acg_io.of_string: bad vertex id on line %d" (lineno + 1)))
-        | [ u; v; vol; bw ] -> (
-            match
-              (int_of_string_opt u, int_of_string_opt v, int_of_string_opt vol,
-               float_of_string_opt bw)
-            with
-            | Some u, Some v, Some vol, Some bw -> quads := (u, v, vol, bw) :: !quads
-            | _ ->
-                invalid_arg
-                  (Printf.sprintf "Acg_io.of_string: bad edge on line %d" (lineno + 1)))
-        | _ ->
-            invalid_arg
-              (Printf.sprintf "Acg_io.of_string: expected 'src dst volume bandwidth' on line %d"
-                 (lineno + 1)))
-    lines;
-  let acg = Acg.of_weighted_edges (List.rev !quads) in
-  let graph = List.fold_left D.add_vertex (Acg.graph acg) !verts in
-  Acg.make ~graph
-    ~volume:
-      (List.fold_left
-         (fun m (u, v, vol, _) -> D.Edge_map.add (u, v) vol m)
-         D.Edge_map.empty (List.rev !quads))
-    ~bandwidth:
-      (List.fold_left
-         (fun m (u, v, _, bw) -> D.Edge_map.add (u, v) bw m)
-         D.Edge_map.empty (List.rev !quads))
-    ()
+            | None -> err lineno vcol "bad vertex id '%s'" v)
+        | [ (u, ucol); (v, vcol); (vol, volcol); (bw, bwcol) ] ->
+            let u' =
+              match int_of_string_opt u with
+              | Some x -> x
+              | None -> err lineno ucol "bad source vertex '%s'" u
+            in
+            let v' =
+              match int_of_string_opt v with
+              | Some x -> x
+              | None -> err lineno vcol "bad destination vertex '%s'" v
+            in
+            let vol' =
+              match int_of_string_opt vol with
+              | Some x -> x
+              | None -> err lineno volcol "bad volume '%s'" vol
+            in
+            let bw' =
+              match float_of_string_opt bw with
+              | Some x -> x
+              | None -> err lineno bwcol "bad bandwidth '%s'" bw
+            in
+            quads := (u', v', vol', bw') :: !quads
+        | (_, col) :: _ ->
+            err lineno col "expected 'src dst volume bandwidth' or 'vertex <id>'")
+      lines;
+    let acg = Acg.of_weighted_edges (List.rev !quads) in
+    let graph = List.fold_left D.add_vertex (Acg.graph acg) !verts in
+    Ok
+      (Acg.make ~graph
+         ~volume:
+           (List.fold_left
+              (fun m (u, v, vol, _) -> D.Edge_map.add (u, v) vol m)
+              D.Edge_map.empty (List.rev !quads))
+         ~bandwidth:
+           (List.fold_left
+              (fun m (u, v, _, bw) -> D.Edge_map.add (u, v) bw m)
+              D.Edge_map.empty (List.rev !quads))
+         ())
+  with Parse_error m -> Error (`Msg m)
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error (`Msg m)
+  | s -> (
+      match parse s with
+      | Ok acg -> Ok acg
+      | Error (`Msg m) -> Error (`Msg (Printf.sprintf "%s: %s" path m)))
+
+let of_string s =
+  match parse s with
+  | Ok acg -> acg
+  | Error (`Msg m) -> invalid_arg ("Acg_io.of_string: " ^ m)
 
 let write_file ~path acg =
   let oc = open_out path in

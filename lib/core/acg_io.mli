@@ -3,15 +3,31 @@
     Format: one directed edge per line, [src dst volume bandwidth]
     (vertex ids and volume are integers, bandwidth a float); blank lines
     and lines starting with [#] are ignored.  Isolated vertices can be
-    declared with [vertex <id>]. *)
+    declared with [vertex <id>].
+
+    The loaders are Result-typed: malformed input yields
+    [Error (`Msg m)] where [m] pinpoints the failure as
+    ["line <l>, column <c>: <what>"].  The exception-raising entry points
+    remain only as a legacy surface. *)
 
 val to_string : Acg.t -> string
 
-val of_string : string -> Acg.t
-(** @raise Invalid_argument on malformed input, with a line number. *)
+val parse : string -> (Acg.t, [ `Msg of string ]) result
+(** Parse an ACG from a string.  Errors carry the 1-based line and column
+    of the offending token. *)
+
+val load : string -> (Acg.t, [ `Msg of string ]) result
+(** Read and parse a file.  Parse errors are prefixed with the path;
+    unreadable files become [Error (`Msg ...)] too (no exceptions
+    escape). *)
 
 val write_file : path:string -> Acg.t -> unit
 
+val of_string : string -> Acg.t
+(** @deprecated use {!parse}.
+    @raise Invalid_argument on malformed input. *)
+
 val read_file : string -> Acg.t
-(** @raise Sys_error if the file cannot be read, [Invalid_argument] on
+(** @deprecated use {!load}.
+    @raise Sys_error if the file cannot be read, [Invalid_argument] on
     malformed content. *)

@@ -3,8 +3,18 @@ module C = Noc_graph.Compact
 module L = Noc_primitives.Library
 module P = Noc_primitives.Primitive
 module Timer = Noc_util.Timer
+module Obs = Noc_obs.Obs
 
 type neutral_strategy = Branch | Greedy
+
+module Budget = struct
+  type t = { timeout_s : float option; max_nodes : int; domains : int }
+
+  let default = { timeout_s = None; max_nodes = 200_000; domains = 1 }
+  let with_timeout_s timeout_s t = { t with timeout_s }
+  let with_max_nodes max_nodes t = { t with max_nodes }
+  let with_domains domains t = { t with domains }
+end
 
 type options = {
   cost : Cost.t;
@@ -41,22 +51,61 @@ let energy_options ~tech ~fp =
     role_aware = true;
   }
 
+type prim_stats = { attempts : int; hits : int }
+
+type vf2_stats = { probes : int; backtracks : int }
+
 type stats = {
   nodes : int;
   matches_tried : int;
   leaves : int;
   pruned : int;
+  incumbents : int;
   elapsed_s : float;
   timed_out : bool;
   best_cost : float;
   constraints_met : bool;
+  per_primitive : (string * prim_stats) list;
+  vf2 : vf2_stats;
 }
+
+let stats_to_json st =
+  Obs.Json.Obj
+    [
+      ("nodes", Obs.Json.Int st.nodes);
+      ("matches_tried", Obs.Json.Int st.matches_tried);
+      ("leaves", Obs.Json.Int st.leaves);
+      ("pruned", Obs.Json.Int st.pruned);
+      ("incumbents", Obs.Json.Int st.incumbents);
+      ("elapsed_s", Obs.Json.Float st.elapsed_s);
+      ("timed_out", Obs.Json.Bool st.timed_out);
+      ("best_cost", Obs.Json.Float st.best_cost);
+      ("constraints_met", Obs.Json.Bool st.constraints_met);
+      ( "vf2",
+        Obs.Json.Obj
+          [
+            ("probes", Obs.Json.Int st.vf2.probes);
+            ("backtracks", Obs.Json.Int st.vf2.backtracks);
+          ] );
+      ( "per_primitive",
+        Obs.Json.Obj
+          (List.map
+             (fun (name, p) ->
+               ( name,
+                 Obs.Json.Obj
+                   [
+                     ("attempts", Obs.Json.Int p.attempts);
+                     ("hits", Obs.Json.Int p.hits);
+                   ] ))
+             st.per_primitive) );
+    ]
 
 (* Everything the search shares across workers: immutable configuration,
    the frozen ACG, plus two atomics — the node budget and the incumbent
    cost used for cross-domain pruning. *)
 type env = {
   opts : options;
+  budget : Budget.t;
   acg : Acg.t;
   library : L.t;
   branchable : L.entry list;
@@ -67,6 +116,9 @@ type env = {
   mono_deadline : Timer.Deadline.t;
   nodes : int Atomic.t;
   shared_best : float Atomic.t;
+  obs : Obs.t;
+  instr : Noc_graph.Vf2.Instr.t option;  (** present iff [obs] is enabled *)
+  prim_slots : int;  (** 1 + max library entry id, for per-primitive arrays *)
 }
 
 (* Worker-local search state.  In the sequential driver there is exactly one
@@ -81,7 +133,10 @@ type wctx = {
   mutable matches_tried : int;
   mutable leaves : int;
   mutable pruned : int;
+  mutable incumbents : int;
   mutable timed_out : bool;
+  attempts : int array;  (** per library entry id: candidate enumerations *)
+  hits : int array;  (** per library entry id: matchings instantiated *)
 }
 
 let mk_ctx env rng =
@@ -93,7 +148,10 @@ let mk_ctx env rng =
     matches_tried = 0;
     leaves = 0;
     pruned = 0;
+    incumbents = 0;
     timed_out = false;
+    attempts = Array.make env.prim_slots 0;
+    hits = Array.make env.prim_slots 0;
   }
 
 let rec cas_min a x =
@@ -101,7 +159,7 @@ let rec cas_min a x =
   if x < cur && not (Atomic.compare_and_set a cur x) then cas_min a x
 
 let budget_exhausted ctx =
-  if Atomic.get ctx.env.nodes >= ctx.env.opts.max_nodes then begin
+  if Atomic.get ctx.env.nodes >= ctx.env.budget.Budget.max_nodes then begin
     ctx.timed_out <- true;
     true
   end
@@ -125,6 +183,7 @@ let int_set_of_list ids =
 let candidate_matchings ~env entry remaining =
   let opts = env.opts in
   let deadline = env.wall_deadline in
+  let instr = env.instr in
   let acg = env.acg in
   let pattern = Hashtbl.find env.frozen entry.L.id in
   let cap = opts.max_matches_per_step in
@@ -134,8 +193,8 @@ let candidate_matchings ~env entry remaining =
     let acc = ref [] in
     let count = ref 0 in
     let _ =
-      Noc_graph.Vf2.iter_approx_view ?deadline ~max_missing:opts.approx_missing
-        ~pattern ~target:remaining (fun a ->
+      Noc_graph.Vf2.iter_approx_view ?deadline ?instr
+        ~max_missing:opts.approx_missing ~pattern ~target:remaining (fun a ->
           let matching = Matching.of_approx_view entry ~pattern ~target:remaining a in
           let key = matching.Matching.covered in
           if key = [] || Hashtbl.mem seen key then `Continue
@@ -154,7 +213,7 @@ let candidate_matchings ~env entry remaining =
     let hard_cap = max 32 (cap * 16) in
     let count = ref 0 in
     let _ =
-      Noc_graph.Vf2.iter_view ?deadline ~pattern ~target:remaining (fun m ->
+      Noc_graph.Vf2.iter_view ?deadline ?instr ~pattern ~target:remaining (fun m ->
           let matching = Matching.of_vf2 entry m in
           let c = Matching.cost opts.cost acg matching in
           let key = matching.Matching.covered in
@@ -175,8 +234,8 @@ let candidate_matchings ~env entry remaining =
     take cap keys
   end
   else
-    Noc_graph.Vf2.find_distinct_images_view ?deadline ~max_matches:cap ~pattern
-      ~target:remaining ()
+    Noc_graph.Vf2.find_distinct_images_view ?deadline ?instr ~max_matches:cap
+      ~pattern ~target:remaining ()
     |> List.map (fun m ->
            let matching = Matching.of_vf2 entry m in
            (matching, Matching.cost opts.cost acg matching))
@@ -210,6 +269,7 @@ let greedy_finish ~env remaining =
           if Hashtbl.mem alive entry.L.id then
             match
               Noc_graph.Vf2.find_first_view ?deadline:env.wall_deadline
+                ?instr:env.instr
                 ~pattern:(Hashtbl.find env.frozen entry.L.id) ~target:rem ()
             with
             | Some m ->
@@ -250,7 +310,17 @@ let accept ctx matchings_rev rest_view total =
   if ok then begin
     ctx.local_decomp <- Some d;
     ctx.local_best <- total;
-    cas_min ctx.env.shared_best total
+    ctx.incumbents <- ctx.incumbents + 1;
+    cas_min ctx.env.shared_best total;
+    (* the incumbent timeline: one instant event per accepted improvement *)
+    if Obs.enabled ctx.env.obs then
+      Obs.instant ctx.env.obs "incumbent"
+        ~args:
+          [
+            ("cost", Obs.Json.Float total);
+            ("nodes", Obs.Json.Int (Atomic.get ctx.env.nodes));
+            ("matchings", Obs.Json.Int (List.length matchings_rev));
+          ]
   end
 
 (* The leaf of a node: re-attach neutral primitives greedily and charge the
@@ -297,6 +367,8 @@ let rec explore ctx remaining matchings_rev cost_so_far min_id =
           && not (budget_exhausted ctx)
         then begin
           let cands = candidate_matchings ~env entry remaining in
+          ctx.attempts.(entry.L.id) <- ctx.attempts.(entry.L.id) + 1;
+          ctx.hits.(entry.L.id) <- ctx.hits.(entry.L.id) + List.length cands;
           List.iter
             (fun (matching, c) ->
               matched_any := true;
@@ -358,13 +430,17 @@ let run_parallel env root_view base_rng ~domains =
     in
     List.iter
       (fun entry ->
-        if Hashtbl.mem alive entry.L.id && not (budget_exhausted root_ctx) then
+        if Hashtbl.mem alive entry.L.id && not (budget_exhausted root_ctx) then begin
+          let cands = candidate_matchings ~env entry root_view in
+          root_ctx.attempts.(entry.L.id) <- root_ctx.attempts.(entry.L.id) + 1;
+          root_ctx.hits.(entry.L.id) <- root_ctx.hits.(entry.L.id) + List.length cands;
           List.iter
             (fun (matching, c) ->
               root_ctx.matches_tried <- root_ctx.matches_tried + 1;
               branches :=
                 { br_entry = entry; br_matching = matching; br_cost = c } :: !branches)
-            (candidate_matchings ~env entry root_view))
+            cands
+        end)
       env.branchable
   end;
   let branch_arr = Array.of_list (List.rev !branches) in
@@ -378,7 +454,30 @@ let run_parallel env root_view base_rng ~domains =
   let results = Array.make n_work (infinity, None) in
   let ctxs = Array.make n_work None in
   let next = Atomic.make 0 in
-  let worker () =
+  let n_dom = max 1 (min domains n_work) in
+  let busy_s = Array.make n_dom 0.0 in
+  let work i ctx =
+    if i < nb then begin
+      let b = branch_arr.(i) in
+      if not (budget_exhausted ctx) then begin
+        let rem' = C.delete_edges root_view b.br_matching.Matching.covered in
+        let lb =
+          Cost.lower_bound_view env.opts.cost env.acg ~min_link_ratio:env.min_ratio
+            rem'
+        in
+        let bound = b.br_cost +. lb in
+        if bound < ctx.local_best && bound <= Atomic.get env.shared_best then
+          explore ctx rem' [ b.br_matching ] b.br_cost b.br_entry.L.id
+        else ctx.pruned <- ctx.pruned + 1
+      end
+    end
+    else if not (budget_exhausted ctx) then
+      (* the decomposition that stops at the root; evaluated last in
+         the canonical order, so it only wins on a strict improvement *)
+      eval_leaf ctx root_view [] 0.0
+  in
+  let worker slot () =
+    let t_start = Timer.now_mono_s () in
     let continue = ref true in
     while !continue do
       let i = Atomic.fetch_and_add next 1 in
@@ -386,32 +485,31 @@ let run_parallel env root_view base_rng ~domains =
       else begin
         let ctx = mk_ctx env rngs.(i) in
         ctxs.(i) <- Some ctx;
-        (if i < nb then begin
-           let b = branch_arr.(i) in
-           if not (budget_exhausted ctx) then begin
-             let rem' = C.delete_edges root_view b.br_matching.Matching.covered in
-             let lb =
-               Cost.lower_bound_view env.opts.cost env.acg
-                 ~min_link_ratio:env.min_ratio rem'
-             in
-             let bound = b.br_cost +. lb in
-             if bound < ctx.local_best && bound <= Atomic.get env.shared_best then
-               explore ctx rem' [ b.br_matching ] b.br_cost b.br_entry.L.id
-             else ctx.pruned <- ctx.pruned + 1
-           end
-         end
-         else if not (budget_exhausted ctx) then
-           (* the decomposition that stops at the root; evaluated last in
-              the canonical order, so it only wins on a strict improvement *)
-           eval_leaf ctx root_view [] 0.0);
+        (if Obs.enabled env.obs then
+           let label =
+             if i < nb then
+               Printf.sprintf "branch %d: %s" i
+                 branch_arr.(i).br_entry.L.prim.P.name
+             else Printf.sprintf "branch %d: root leaf" i
+           in
+           Obs.span env.obs ~cat:"search" label (fun () -> work i ctx)
+         else work i ctx);
         results.(i) <- (ctx.local_best, ctx.local_decomp)
       end
-    done
+    done;
+    busy_s.(slot) <- Timer.now_mono_s () -. t_start
   in
-  let n_dom = max 1 (min domains n_work) in
-  let doms = Array.init (n_dom - 1) (fun _ -> Domain.spawn worker) in
-  worker ();
+  let doms = Array.init (n_dom - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+  worker 0 ();
   Array.iter Domain.join doms;
+  (* per-domain utilization for the observer: busy seconds per worker *)
+  if Obs.enabled env.obs then begin
+    Obs.Gauge.set (Obs.gauge env.obs "search.domains") (float_of_int n_dom);
+    Array.iteri
+      (fun k b ->
+        Obs.Gauge.set (Obs.gauge env.obs (Printf.sprintf "search.domain.%d.busy_s" k)) b)
+      busy_s
+  end;
   (* deterministic reduction: min cost, ties to the smallest branch index *)
   let best = ref None and best_c = ref infinity in
   Array.iter
@@ -427,35 +525,55 @@ let run_parallel env root_view base_rng ~domains =
 
 (* ------------------------------------------------------------------ *)
 
-let decompose ?(options = default_options) ?(domains = 1) ?rng ~library acg =
+let decompose ?(options = default_options) ?budget ?domains ?(observe = Obs.disabled)
+    ?rng ~library acg =
   let opts = options in
+  let budget =
+    match budget with
+    | Some b -> { b with Budget.domains = max 1 b.Budget.domains }
+    | None ->
+        (* legacy surface: the deprecated [options] fields and [?domains] *)
+        {
+          Budget.timeout_s = opts.timeout_s;
+          max_nodes = opts.max_nodes;
+          domains = max 1 (Option.value ~default:1 domains);
+        }
+  in
   let base_rng =
     match rng with Some r -> r | None -> Noc_util.Prng.create ~seed:0x5eed
   in
   let t0 = Timer.now_mono_s () in
   let wall_deadline =
-    Option.map (fun s -> Unix.gettimeofday () +. s) opts.timeout_s
+    Option.map (fun s -> Unix.gettimeofday () +. s) budget.Budget.timeout_s
   in
-  let mono_deadline = Timer.Deadline.after_opt opts.timeout_s in
+  let mono_deadline = Timer.Deadline.after_opt budget.Budget.timeout_s in
   let min_ratio = Cost.min_link_ratio_of_library library in
   let branchable =
     match opts.neutrals with
     | Branch -> library
     | Greedy -> List.filter is_saver library
   in
-  let compiled =
-    Noc_graph.Multi_pattern.compile
-      (List.map (fun e -> (e.L.id, e.L.prim.P.repr)) library)
+  let compiled, frozen =
+    Obs.span observe ~cat:"setup" "compile-library" (fun () ->
+        let compiled =
+          Noc_graph.Multi_pattern.compile
+            (List.map (fun e -> (e.L.id, e.L.prim.P.repr)) library)
+        in
+        let frozen = Hashtbl.create 16 in
+        List.iter
+          (fun e ->
+            if not (Hashtbl.mem frozen e.L.id) then
+              Hashtbl.replace frozen e.L.id (C.freeze e.L.prim.P.repr))
+          library;
+        (compiled, frozen))
   in
-  let frozen = Hashtbl.create 16 in
-  List.iter
-    (fun e ->
-      if not (Hashtbl.mem frozen e.L.id) then
-        Hashtbl.replace frozen e.L.id (C.freeze e.L.prim.P.repr))
-    library;
+  let instr =
+    if Obs.enabled observe then Some (Noc_graph.Vf2.Instr.create ()) else None
+  in
   let env =
     {
       opts;
+      budget;
       acg;
       library;
       branchable;
@@ -466,16 +584,22 @@ let decompose ?(options = default_options) ?(domains = 1) ?rng ~library acg =
       mono_deadline;
       nodes = Atomic.make 0;
       shared_best = Atomic.make infinity;
+      obs = observe;
+      instr;
+      prim_slots = 1 + List.fold_left (fun m e -> max m e.L.id) 0 library;
     }
   in
   let root_view = C.view (C.freeze (Acg.graph acg)) in
   let best, best_cost, workers =
-    if domains <= 1 then begin
-      let ctx = mk_ctx env base_rng in
-      explore ctx root_view [] 0.0 0;
-      (ctx.local_decomp, ctx.local_best, [ ctx ])
-    end
-    else run_parallel env root_view base_rng ~domains
+    Obs.span observe ~cat:"search" "branch-and-bound"
+      ~args:[ ("domains", Obs.Json.Int budget.Budget.domains) ]
+      (fun () ->
+        if budget.Budget.domains <= 1 then begin
+          let ctx = mk_ctx env base_rng in
+          explore ctx root_view [] 0.0 0;
+          (ctx.local_decomp, ctx.local_best, [ ctx ])
+        end
+        else run_parallel env root_view base_rng ~domains:budget.Budget.domains)
   in
   let elapsed = Timer.now_mono_s () -. t0 in
   let decomp, met =
@@ -498,18 +622,62 @@ let decompose ?(options = default_options) ?(domains = 1) ?rng ~library acg =
         (d, met)
   in
   let sum f = List.fold_left (fun acc w -> acc + f w) 0 workers in
+  let seen = Hashtbl.create 8 in
+  let per_primitive =
+    List.filter_map
+      (fun e ->
+        if Hashtbl.mem seen e.L.id then None
+        else begin
+          Hashtbl.replace seen e.L.id ();
+          Some
+            ( e.L.prim.P.name,
+              {
+                attempts = sum (fun w -> w.attempts.(e.L.id));
+                hits = sum (fun w -> w.hits.(e.L.id));
+              } )
+        end)
+      library
+  in
   let stats =
     {
       nodes = Atomic.get env.nodes;
       matches_tried = sum (fun w -> w.matches_tried);
       leaves = sum (fun w -> w.leaves);
       pruned = sum (fun w -> w.pruned);
+      incumbents = sum (fun w -> w.incumbents);
       elapsed_s = elapsed;
       timed_out = List.exists (fun w -> w.timed_out) workers;
       best_cost =
         (if Option.is_none best then Cost.remainder_cost opts.cost acg (Acg.graph acg)
          else best_cost);
       constraints_met = met;
+      per_primitive;
+      vf2 =
+        (match instr with
+        | Some i ->
+            {
+              probes = Noc_graph.Vf2.Instr.probes i;
+              backtracks = Noc_graph.Vf2.Instr.backtracks i;
+            }
+        | None -> { probes = 0; backtracks = 0 });
     }
   in
+  (* mirror the final search counters into the observer so traces and
+     metric dumps carry them without a second aggregation pass *)
+  if Obs.enabled observe then begin
+    let put name v = Obs.Counter.add (Obs.counter observe name) v in
+    put "search.nodes" stats.nodes;
+    put "search.matches_tried" stats.matches_tried;
+    put "search.leaves" stats.leaves;
+    put "search.pruned" stats.pruned;
+    put "search.incumbents" stats.incumbents;
+    put "vf2.probes" stats.vf2.probes;
+    put "vf2.backtracks" stats.vf2.backtracks;
+    List.iter
+      (fun (name, (p : prim_stats)) ->
+        put (Printf.sprintf "match.%s.attempts" name) p.attempts;
+        put (Printf.sprintf "match.%s.hits" name) p.hits)
+      stats.per_primitive;
+    Obs.Gauge.set (Obs.gauge observe "search.best_cost") stats.best_cost
+  end;
   (decomp, stats)

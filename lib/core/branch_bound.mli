@@ -28,6 +28,29 @@ type neutral_strategy =
           deterministic greedy pass at each leaf.  Same optimal cost, same
           style of listing, dramatically smaller search tree. *)
 
+(** The search budget: every resource limit of one [decompose] call in a
+    single record.
+
+    Build one from {!Budget.default} with the [with_*] narrowing
+    functions:
+    {[
+      Branch_bound.Budget.(default |> with_timeout_s (Some 5.) |> with_domains 4)
+    ]} *)
+module Budget : sig
+  type t = {
+    timeout_s : float option;  (** wall-clock budget for the whole search *)
+    max_nodes : int;  (** search-tree node budget (backstop) *)
+    domains : int;  (** OCaml 5 domains fanned over root branches *)
+  }
+
+  val default : t
+  (** No timeout, 200k nodes, 1 domain. *)
+
+  val with_timeout_s : float option -> t -> t
+  val with_max_nodes : int -> t -> t
+  val with_domains : int -> t -> t
+end
+
 type options = {
   cost : Cost.t;
   constraints : Constraints.t option;
@@ -37,8 +60,12 @@ type options = {
           are expanded at one tree node.  The paper's Fig. 2 tree branches
           on one isomorphism per library graph per node, which is the
           default (1); larger values widen the search *)
-  timeout_s : float option;  (** wall-clock budget for the whole search *)
-  max_nodes : int;  (** search-tree node budget (backstop; default 200k) *)
+  timeout_s : float option;
+      (** @deprecated superseded by {!Budget.t.timeout_s}; still honoured
+          when no [?budget] is passed to {!decompose} *)
+  max_nodes : int;
+      (** @deprecated superseded by {!Budget.t.max_nodes}; still honoured
+          when no [?budget] is passed to {!decompose} (default 200k) *)
   allow_early_remainder : bool;
       (** also consider stopping the decomposition at inner nodes (leaving
           a matchable graph as remainder).  A strict generalization of the
@@ -74,22 +101,45 @@ val energy_options :
 (** Energy cost with role-aware matching, constraints from the
     technology. *)
 
+type prim_stats = {
+  attempts : int;  (** candidate enumerations run for this primitive *)
+  hits : int;  (** matchings those enumerations produced *)
+}
+
+type vf2_stats = {
+  probes : int;  (** candidate vertex-pair feasibility tests *)
+  backtracks : int;  (** VF2 states popped after exploration *)
+}
+
 type stats = {
   nodes : int;  (** search-tree nodes expanded *)
   matches_tried : int;  (** matchings instantiated as branches *)
   leaves : int;  (** complete decompositions evaluated *)
   pruned : int;  (** branches cut by the lower bound *)
+  incumbents : int;  (** accepted incumbent improvements *)
   elapsed_s : float;
   timed_out : bool;  (** wall-clock or node budget exhausted *)
   best_cost : float;
   constraints_met : bool;
       (** false when every complete decomposition violated constraints and
           the all-remainder fallback was returned *)
+  per_primitive : (string * prim_stats) list;
+      (** match attempts/hits per library primitive, in library order *)
+  vf2 : vf2_stats;
+      (** isomorphism-engine counters; all zero unless an enabled observer
+          was passed (the hook is off by default so the inner loop stays
+          uninstrumented) *)
 }
+
+val stats_to_json : stats -> Noc_obs.Obs.Json.t
+(** The whole record as a JSON object (used by [--metrics] and the
+    report). *)
 
 val decompose :
   ?options:options ->
+  ?budget:Budget.t ->
   ?domains:int ->
+  ?observe:Noc_obs.Obs.t ->
   ?rng:Noc_util.Prng.t ->
   library:Noc_primitives.Library.t ->
   Acg.t ->
@@ -98,6 +148,22 @@ val decompose :
     heuristic (default: a fixed seed, making the whole search
     deterministic).  The returned decomposition always satisfies
     {!Decomposition.is_valid_for}.
+
+    [budget] gathers every resource limit; when present it wins over the
+    deprecated [options.timeout_s], [options.max_nodes] and [?domains],
+    which remain only as a legacy surface (when [budget] is absent, a
+    budget is assembled from them).
+
+    [observe] (default {!Noc_obs.Obs.disabled}) attaches an observer:
+    setup and search phases become trace spans, each root branch of the
+    parallel driver becomes a span on its worker's domain, every accepted
+    incumbent emits an instant event, and the final counters
+    ([search.nodes], [search.pruned], [vf2.probes],
+    [match.<primitive>.attempts/hits], per-domain busy-time gauges, ...)
+    are published into the observer's registry.  With the observer
+    disabled the search runs the exact same code path as before the hook
+    existed — the differential tests assert bit-identical decompositions,
+    costs and listings either way.
 
     [domains] (default 1) fans the root-level branches — one per
     library-entry × candidate-matching pair — across that many OCaml 5

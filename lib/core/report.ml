@@ -79,11 +79,32 @@ let pp ppf t =
   | Some e -> Format.fprintf ppf "Eq. 5 energy: %.1f pJ@," e
   | None -> ());
   Format.fprintf ppf
-    "search: %d nodes, %d matchings, %d leaves, %d pruned, %.3f s%s@,"
+    "search: %d nodes, %d matchings, %d leaves, %d pruned, %d incumbent(s), %.3f s%s@,"
     t.search.Branch_bound.nodes t.search.Branch_bound.matches_tried
     t.search.Branch_bound.leaves t.search.Branch_bound.pruned
-    t.search.Branch_bound.elapsed_s
+    t.search.Branch_bound.incumbents t.search.Branch_bound.elapsed_s
     (if t.search.Branch_bound.timed_out then " (budget exhausted)" else "");
   Format.fprintf ppf "@]"
 
 let to_string t = Format.asprintf "%a" pp t
+
+let to_json t =
+  let module J = Noc_obs.Obs.Json in
+  J.Obj
+    [
+      ("acg_cores", J.Int t.acg_cores);
+      ("acg_flows", J.Int t.acg_flows);
+      ("total_volume", J.Int t.total_volume);
+      ( "primitives",
+        J.Obj (List.map (fun (n, k) -> (n, J.Int k)) t.histogram) );
+      ("remainder_edges", J.Int t.remainder_edges);
+      ("links", J.Int t.links);
+      ("max_hops", J.Int t.max_hops);
+      ("avg_hops", J.Float t.avg_hops);
+      ("deadlock_free", J.Bool t.deadlock_free);
+      ("vcs_needed", J.Int t.vcs_needed);
+      ("violations", J.List (List.map (fun v -> J.Str v) t.violations));
+      ( "energy_pj",
+        match t.energy_pj with Some e -> J.Float e | None -> J.Null );
+      ("search", Branch_bound.stats_to_json t.search);
+    ]

@@ -39,3 +39,7 @@ val build :
 val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Noc_obs.Obs.Json.t
+(** The report as one JSON object ([search] nests
+    {!Branch_bound.stats_to_json}); what [nocsynth --metrics] prints. *)

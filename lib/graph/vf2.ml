@@ -5,6 +5,21 @@ type mapping = int Vmap.t
 
 type outcome = Exhausted | Stopped | Timed_out
 
+module Instr = struct
+  type t = { probes : int Atomic.t; backtracks : int Atomic.t }
+
+  let create () = { probes = Atomic.make 0; backtracks = Atomic.make 0 }
+  let probes i = Atomic.get i.probes
+  let backtracks i = Atomic.get i.backtracks
+
+  (* Engines accumulate in plain local ints (an [incr] per candidate, cheap
+     enough to leave unconditional) and publish once per search, so domains
+     never contend on the atomics inside the inner loop. *)
+  let flush i ~probes ~backtracks =
+    ignore (Atomic.fetch_and_add i.probes probes);
+    ignore (Atomic.fetch_and_add i.backtracks backtracks)
+end
+
 exception Stop_search of outcome
 
 (* How many search-tree nodes are expanded between deadline checks. *)
@@ -93,7 +108,7 @@ let pattern_order (p : C.t) =
   done;
   order
 
-let iter_view ?deadline ~(pattern : C.t) ~(target : C.view) f =
+let iter_view ?deadline ?instr ~(pattern : C.t) ~(target : C.view) f =
   let np = pattern.C.n in
   let tb = target.C.base in
   let nt = tb.C.n in
@@ -102,6 +117,10 @@ let iter_view ?deadline ~(pattern : C.t) ~(target : C.view) f =
   else begin
     let order = pattern_order pattern in
     let check_deadline = deadline_checker deadline in
+    (* counting is hoisted so the disabled path pays one predictable branch
+       per probe instead of two ref writes in the innermost loop *)
+    let counting = instr <> None in
+    let n_probes = ref 0 and n_backtracks = ref 0 in
     (* core: pattern dense -> target dense (-1 unmapped); used: target dense *)
     let core = Array.make np (-1) in
     let used = Bytes.make nt '\000' in
@@ -128,6 +147,21 @@ let iter_view ?deadline ~(pattern : C.t) ~(target : C.view) f =
         incr j
       done;
       !ok
+    in
+    (* Instrumentation wraps [feasible] instead of sprinkling the hot path
+       with checks: with no [?instr] the search runs the exact uncounted
+       closure, and [try_candidate] never captures the counters (it is a
+       fresh closure per [extend] call, so that would grow every node).
+       A feasible probe is always followed by exactly one extend+backtrack,
+       so counting successes here equals counting backtracks at the call
+       site. *)
+    let feasible =
+      if not counting then feasible
+      else fun u v ->
+        incr n_probes;
+        let ok = feasible u v in
+        if ok then incr n_backtracks;
+        ok
     in
     let emit () =
       let m = ref Vmap.empty in
@@ -171,13 +205,14 @@ let iter_view ?deadline ~(pattern : C.t) ~(target : C.view) f =
           end
         done;
         let try_candidate v =
-          if Bytes.unsafe_get used v = '\000' && feasible u v then begin
-            core.(u) <- v;
-            Bytes.unsafe_set used v '\001';
-            extend (depth + 1);
-            core.(u) <- -1;
-            Bytes.unsafe_set used v '\000'
-          end
+          if Bytes.unsafe_get used v = '\000' then
+            if feasible u v then begin
+              core.(u) <- v;
+              Bytes.unsafe_set used v '\001';
+              extend (depth + 1);
+              core.(u) <- -1;
+              Bytes.unsafe_set used v '\000'
+            end
         in
         if !best_len >= 0 then begin
           let arr = !best_arr and off = !best_off and len = !best_len in
@@ -191,18 +226,29 @@ let iter_view ?deadline ~(pattern : C.t) ~(target : C.view) f =
           done
       end
     in
-    match extend 0 with () -> Exhausted | exception Stop_search o -> o
+    let flush () =
+      match instr with
+      | Some i -> Instr.flush i ~probes:!n_probes ~backtracks:!n_backtracks
+      | None -> ()
+    in
+    match extend 0 with
+    | () ->
+        flush ();
+        Exhausted
+    | exception Stop_search o ->
+        flush ();
+        o
   end
 
-let iter ?deadline ~pattern ~target f =
-  iter_view ?deadline ~pattern:(C.freeze pattern)
+let iter ?deadline ?instr ~pattern ~target f =
+  iter_view ?deadline ?instr ~pattern:(C.freeze pattern)
     ~target:(C.view (C.freeze target))
     f
 
-let find_first_view ?deadline ~pattern ~target () =
+let find_first_view ?deadline ?instr ~pattern ~target () =
   let result = ref None in
   let _ =
-    iter_view ?deadline ~pattern ~target (fun m ->
+    iter_view ?deadline ?instr ~pattern ~target (fun m ->
         result := Some m;
         `Stop)
   in
@@ -247,12 +293,12 @@ let edge_image_c ~(pattern : C.t) m =
   done;
   List.sort Digraph.Edge.compare !acc
 
-let find_distinct_images_view ?deadline ?max_matches ~pattern ~target () =
+let find_distinct_images_view ?deadline ?instr ?max_matches ~pattern ~target () =
   let seen = Hashtbl.create 64 in
   let acc = ref [] in
   let count = ref 0 in
   let _ =
-    iter_view ?deadline ~pattern ~target (fun m ->
+    iter_view ?deadline ?instr ~pattern ~target (fun m ->
         let key = edge_image_c ~pattern m in
         if Hashtbl.mem seen key then `Continue
         else begin
@@ -291,7 +337,7 @@ type approx = {
   missing : Digraph.Edge.t list;
 }
 
-let iter_approx_view ?deadline ~max_missing ~(pattern : C.t) ~(target : C.view) f =
+let iter_approx_view ?deadline ?instr ~max_missing ~(pattern : C.t) ~(target : C.view) f =
   if max_missing < 0 then invalid_arg "Vf2.iter_approx: negative budget";
   let np = pattern.C.n in
   let tb = target.C.base in
@@ -302,6 +348,8 @@ let iter_approx_view ?deadline ~max_missing ~(pattern : C.t) ~(target : C.view) 
   else begin
     let order = pattern_order pattern in
     let check_deadline = deadline_checker deadline in
+    let counting = instr <> None in
+    let n_probes = ref 0 and n_backtracks = ref 0 in
     let core = Array.make np (-1) in
     let used = Bytes.make nt '\000' in
     let ps_off = pattern.C.succ_off and ps = pattern.C.succ_arr in
@@ -348,6 +396,7 @@ let iter_approx_view ?deadline ~max_missing ~(pattern : C.t) ~(target : C.view) 
         let in_p = pp_off.(u + 1) - pp_off.(u) in
         for v = 0 to nt - 1 do
           if Bytes.unsafe_get used v = '\000' then begin
+            if counting then incr n_probes;
             (* relaxed degree look-ahead: missing edges may absorb the
                degree deficit *)
             let deg_ok =
@@ -360,6 +409,7 @@ let iter_approx_view ?deadline ~max_missing ~(pattern : C.t) ~(target : C.view) 
                 core.(u) <- v;
                 Bytes.unsafe_set used v '\001';
                 extend (depth + 1) (missing_so_far + miss);
+                if counting then incr n_backtracks;
                 core.(u) <- -1;
                 Bytes.unsafe_set used v '\000'
               end
@@ -368,11 +418,22 @@ let iter_approx_view ?deadline ~max_missing ~(pattern : C.t) ~(target : C.view) 
         done
       end
     in
-    match extend 0 0 with () -> Exhausted | exception Stop_search o -> o
+    let flush () =
+      match instr with
+      | Some i -> Instr.flush i ~probes:!n_probes ~backtracks:!n_backtracks
+      | None -> ()
+    in
+    match extend 0 0 with
+    | () ->
+        flush ();
+        Exhausted
+    | exception Stop_search o ->
+        flush ();
+        o
   end
 
-let iter_approx ?deadline ~max_missing ~pattern ~target f =
-  iter_approx_view ?deadline ~max_missing ~pattern:(C.freeze pattern)
+let iter_approx ?deadline ?instr ~max_missing ~pattern ~target f =
+  iter_approx_view ?deadline ?instr ~max_missing ~pattern:(C.freeze pattern)
     ~target:(C.view (C.freeze target))
     f
 

@@ -35,8 +35,33 @@ type outcome =
   | Stopped  (** the callback requested an early stop *)
   | Timed_out  (** the deadline expired *)
 
+(** Optional search instrumentation (the observability hook).
+
+    When an [Instr.t] is passed, the engine counts candidate feasibility
+    probes and backtracks in local registers and publishes them into the
+    record's atomics once per search, so the same record can be shared by
+    concurrent searches across domains.  Instrumentation never changes
+    which matches are found or their enumeration order, and costs nothing
+    beyond two register increments per candidate when absent. *)
+module Instr : sig
+  type t = { probes : int Atomic.t; backtracks : int Atomic.t }
+
+  val create : unit -> t
+
+  val probes : t -> int
+  (** Candidate (pattern vertex, target vertex) pairs tested for
+      feasibility. *)
+
+  val backtracks : t -> int
+  (** Search states popped after exploring an extension. *)
+
+  val flush : t -> probes:int -> backtracks:int -> unit
+  (** Adds locally-accumulated counts; used by the engines themselves. *)
+end
+
 val iter :
   ?deadline:float ->
+  ?instr:Instr.t ->
   pattern:Digraph.t ->
   target:Digraph.t ->
   (mapping -> [ `Continue | `Stop ]) ->
@@ -98,6 +123,7 @@ type approx = {
 
 val iter_approx :
   ?deadline:float ->
+  ?instr:Instr.t ->
   max_missing:int ->
   pattern:Digraph.t ->
   target:Digraph.t ->
@@ -138,16 +164,23 @@ val covered_edge_image : pattern:Digraph.t -> target:Digraph.t -> mapping -> Dig
 
 val iter_view :
   ?deadline:float ->
+  ?instr:Instr.t ->
   pattern:Compact.t ->
   target:Compact.view ->
   (mapping -> [ `Continue | `Stop ]) ->
   outcome
 
 val find_first_view :
-  ?deadline:float -> pattern:Compact.t -> target:Compact.view -> unit -> mapping option
+  ?deadline:float ->
+  ?instr:Instr.t ->
+  pattern:Compact.t ->
+  target:Compact.view ->
+  unit ->
+  mapping option
 
 val find_distinct_images_view :
   ?deadline:float ->
+  ?instr:Instr.t ->
   ?max_matches:int ->
   pattern:Compact.t ->
   target:Compact.view ->
@@ -156,6 +189,7 @@ val find_distinct_images_view :
 
 val iter_approx_view :
   ?deadline:float ->
+  ?instr:Instr.t ->
   max_missing:int ->
   pattern:Compact.t ->
   target:Compact.view ->

@@ -1,0 +1,275 @@
+module Timer = Noc_util.Timer
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let float_str f =
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.12g" f
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_str f)
+    | Str s -> escape buf s
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            escape buf k;
+            Buffer.add_char buf ':';
+            emit buf v)
+          kvs;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    emit buf t;
+    Buffer.contents buf
+
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+
+module Counter = struct
+  type t = { name : string; cell : int Atomic.t }
+
+  let make name = { name; cell = Atomic.make 0 }
+  let name c = c.name
+  let incr c = Atomic.incr c.cell
+  let add c n = ignore (Atomic.fetch_and_add c.cell n)
+  let get c = Atomic.get c.cell
+end
+
+module Gauge = struct
+  type t = { name : string; cell : float Atomic.t }
+
+  let make name = { name; cell = Atomic.make 0.0 }
+  let name g = g.name
+  let set g v = Atomic.set g.cell v
+  let get g = Atomic.get g.cell
+end
+
+(* ------------------------------------------------------------------ *)
+(* Observer                                                            *)
+
+type event = {
+  ph : char;  (* 'X' complete, 'i' instant, 'C' counter sample *)
+  ev_name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;  (* meaningful for 'X' only *)
+  tid : int;
+  eargs : (string * Json.t) list;
+}
+
+type t = {
+  on : bool;
+  t0 : float;  (* monotonic epoch, seconds *)
+  lock : Mutex.t;
+  counters : (string, Counter.t) Hashtbl.t;
+  gauges : (string, Gauge.t) Hashtbl.t;
+  mutable events_rev : event list;
+  mutable n_events : int;
+}
+
+let mk on =
+  {
+    on;
+    t0 = (if on then Timer.now_mono_s () else 0.0);
+    lock = Mutex.create ();
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    events_rev = [];
+    n_events = 0;
+  }
+
+let disabled = mk false
+let create () = mk true
+let enabled t = t.on
+let elapsed_s t = if t.on then Timer.now_mono_s () -. t.t0 else 0.0
+let now_us t = (Timer.now_mono_s () -. t.t0) *. 1e6
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let counter t name =
+  if not t.on then Counter.make name
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.counters name with
+        | Some c -> c
+        | None ->
+            let c = Counter.make name in
+            Hashtbl.replace t.counters name c;
+            c)
+
+let gauge t name =
+  if not t.on then Gauge.make name
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.gauges name with
+        | Some g -> g
+        | None ->
+            let g = Gauge.make name in
+            Hashtbl.replace t.gauges name g;
+            g)
+
+let self_tid () = (Domain.self () :> int)
+
+let record t ev =
+  locked t (fun () ->
+      t.events_rev <- ev :: t.events_rev;
+      t.n_events <- t.n_events + 1)
+
+let span t ?(cat = "") ?(args = []) name f =
+  if not t.on then f ()
+  else begin
+    let ts = now_us t in
+    let tid = self_tid () in
+    Fun.protect
+      ~finally:(fun () ->
+        record t
+          { ph = 'X'; ev_name = name; cat; ts_us = ts; dur_us = now_us t -. ts; tid;
+            eargs = args })
+      f
+  end
+
+let instant t ?(args = []) name =
+  if t.on then
+    record t
+      { ph = 'i'; ev_name = name; cat = ""; ts_us = now_us t; dur_us = 0.0;
+        tid = self_tid (); eargs = args }
+
+let sample t name v =
+  if t.on then
+    record t
+      { ph = 'C'; ev_name = name; cat = ""; ts_us = now_us t; dur_us = 0.0;
+        tid = self_tid (); eargs = [ ("value", Json.Float v) ] }
+
+let sorted_counters t =
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.counters []
+  |> List.sort (fun a b -> String.compare (Counter.name a) (Counter.name b))
+
+let sorted_gauges t =
+  Hashtbl.fold (fun _ g acc -> g :: acc) t.gauges []
+  |> List.sort (fun a b -> String.compare (Gauge.name a) (Gauge.name b))
+
+let metrics t =
+  if not t.on then []
+  else
+    locked t (fun () ->
+        List.map (fun c -> (Counter.name c, Json.Int (Counter.get c))) (sorted_counters t)
+        @ List.map (fun g -> (Gauge.name g, Json.Float (Gauge.get g))) (sorted_gauges t))
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+module Trace = struct
+  let event_json e =
+    let base =
+      [
+        ("name", Json.Str e.ev_name);
+        ("cat", Json.Str (if e.cat = "" then "app" else e.cat));
+        ("ph", Json.Str (String.make 1 e.ph));
+        ("ts", Json.Float e.ts_us);
+        ("pid", Json.Int 0);
+        ("tid", Json.Int e.tid);
+      ]
+    in
+    let base = if e.ph = 'X' then base @ [ ("dur", Json.Float e.dur_us) ] else base in
+    let base = if e.ph = 'i' then base @ [ ("s", Json.Str "g") ] else base in
+    let base = if e.eargs = [] then base else base @ [ ("args", Json.Obj e.eargs) ] in
+    Json.Obj base
+
+  let to_json t =
+    if not t.on then Json.Obj [ ("traceEvents", Json.List []) ]
+    else
+      locked t (fun () ->
+          let ts = now_us t in
+          let tid = self_tid () in
+          (* final value of every scalar, so counters show in the viewer *)
+          let finals =
+            List.map
+              (fun c ->
+                { ph = 'C'; ev_name = Counter.name c; cat = ""; ts_us = ts; dur_us = 0.0;
+                  tid; eargs = [ ("value", Json.Float (float_of_int (Counter.get c))) ] })
+              (sorted_counters t)
+            @ List.map
+                (fun g ->
+                  { ph = 'C'; ev_name = Gauge.name g; cat = ""; ts_us = ts; dur_us = 0.0;
+                    tid; eargs = [ ("value", Json.Float (Gauge.get g)) ] })
+                (sorted_gauges t)
+          in
+          let events = List.rev_append t.events_rev finals in
+          Json.Obj
+            [
+              ("traceEvents", Json.List (List.map event_json events));
+              ("displayTimeUnit", Json.Str "ms");
+            ])
+
+  let to_string t = Json.to_string (to_json t)
+
+  let write t ~path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string t))
+end
+
+module Progress = struct
+  let pp_summary ppf t =
+    if not t.on then Format.fprintf ppf "observability disabled@."
+    else begin
+      let counters, gauges, n_events =
+        locked t (fun () -> (sorted_counters t, sorted_gauges t, t.n_events))
+      in
+      Format.fprintf ppf "observed %.3f s, %d trace event(s)@." (elapsed_s t) n_events;
+      List.iter
+        (fun c -> Format.fprintf ppf "  %-32s %d@." (Counter.name c) (Counter.get c))
+        counters;
+      List.iter
+        (fun g -> Format.fprintf ppf "  %-32s %g@." (Gauge.name g) (Gauge.get g))
+        gauges
+    end
+end

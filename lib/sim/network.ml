@@ -49,6 +49,7 @@ type t = {
   mutable switch_flits : int Vmap.t;
   mutable buffer_flit_cycles : int;
   mutable queued_flits : int;
+  mutable contention_events : int;
 }
 
 let create ?(config = default_config) ?(policy = Fixed) arch =
@@ -79,6 +80,7 @@ let create ?(config = default_config) ?(policy = Fixed) arch =
     switch_flits = Vmap.empty;
     buffer_flit_cycles = 0;
     queued_flits = 0;
+    contention_events = 0;
   }
 
 let now t = t.cycle
@@ -170,6 +172,10 @@ let route_or_deliver t inf =
     in
     match Hashtbl.find_opt t.channels (inf.node, next) with
     | Some ch ->
+        (* the channel is either mid-transmission or already has queued
+           packets: this packet will stall at least one cycle *)
+        if ch.busy_until > t.cycle || not (Queue.is_empty ch.waiting) then
+          t.contention_events <- t.contention_events + 1;
         Queue.add inf ch.waiting;
         t.queued_flits <- t.queued_flits + inf.packet.Packet.size_flits
     | None ->
@@ -271,3 +277,35 @@ let flit_hops t = t.flit_hops
 let link_flits t = t.link_flits
 
 let switch_flits t = t.switch_flits
+
+let contention_events t = t.contention_events
+
+let delivered_count t = List.length t.delivered_rev
+
+let metrics t =
+  let base =
+    [
+      ("cycles", float_of_int t.cycle);
+      ("injected", float_of_int t.next_id);
+      ("delivered", float_of_int (delivered_count t));
+      ("in_network", float_of_int t.in_network);
+      ("flit_hops", float_of_int t.flit_hops);
+      ("buffer_flit_cycles", float_of_int t.buffer_flit_cycles);
+      ("queued_flits", float_of_int t.queued_flits);
+      ("contention_events", float_of_int t.contention_events);
+    ]
+  in
+  let routers =
+    Vmap.fold
+      (fun v n acc -> (Printf.sprintf "router.%d.flits" v, float_of_int n) :: acc)
+      t.switch_flits []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let links =
+    Edge_map.fold
+      (fun (u, v) n acc ->
+        (Printf.sprintf "link.%d-%d.flits" u v, float_of_int n) :: acc)
+      t.link_flits []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  base @ routers @ links

@@ -104,3 +104,19 @@ val link_flits : t -> int Noc_graph.Digraph.Edge_map.t
 val switch_flits : t -> int Noc_graph.Digraph.Vmap.t
 (** Flits processed per router (arrivals and injections count; each packet
     visit contributes [size_flits]). *)
+
+val contention_events : t -> int
+(** Times a packet requested an output channel that was mid-transmission
+    or already had waiting packets — i.e. guaranteed to stall at least one
+    cycle.  The simulator's congestion signal. *)
+
+val delivered_count : t -> int
+(** Packets delivered so far. *)
+
+val metrics : t -> (string * float) list
+(** Every activity counter as a flat metric list: scalar counters
+    ([cycles], [injected], [delivered], [in_network], [flit_hops],
+    [buffer_flit_cycles], [queued_flits], [contention_events]) followed by
+    per-router [router.<v>.flits] and per-link [link.<u>-<v>.flits]
+    entries, each group sorted by name.  Feeds [nocsynth simulate
+    --metrics] and the observability layer. *)

@@ -107,6 +107,27 @@ let avg_power_mw ~tech ~fp ?(static_mw = 0.0) net =
     (e_pj *. 1e-9 /. time_s) +. static_mw
   end
 
+let energy_metrics ~tech ~fp net =
+  [
+    ("dynamic_energy_pj", dynamic_energy_pj ~tech ~fp net);
+    ("buffer_energy_pj", buffer_energy_pj ~tech net);
+    ("clock_energy_pj", clock_energy_pj ~tech net);
+    ("total_energy_pj", total_energy_pj ~tech ~fp net);
+    ("avg_power_mw", avg_power_mw ~tech ~fp net);
+  ]
+
+let summary_metrics s =
+  [
+    ("packets", float_of_int s.packets);
+    ("flits", float_of_int s.flits);
+    ("avg_latency", s.avg_latency);
+    ("min_latency", float_of_int s.min_latency);
+    ("max_latency", float_of_int s.max_latency);
+    ("avg_hops", s.avg_hops);
+    ("makespan", float_of_int s.makespan);
+    ("throughput", s.throughput);
+  ]
+
 let pp_summary ppf s =
   Format.fprintf ppf
     "packets=%d flits=%d avg_lat=%.2f lat=[%d,%d] avg_hops=%.2f makespan=%d thpt=%.3f \

@@ -51,4 +51,15 @@ val avg_power_mw :
 (** Total energy divided by elapsed time at the technology's clock, plus
     an optional extra static floor.  0 before any cycle has elapsed. *)
 
+val energy_metrics :
+  tech:Noc_energy.Technology.t ->
+  fp:Noc_energy.Floorplan.t ->
+  Network.t ->
+  (string * float) list
+(** The four energy components plus [avg_power_mw], as named metrics (what
+    [nocsynth simulate --metrics] merges with {!Network.metrics}). *)
+
+val summary_metrics : summary -> (string * float) list
+(** The summary record as named metrics, in declaration order. *)
+
 val pp_summary : Format.formatter -> summary -> unit

@@ -607,17 +607,56 @@ let test_acg_io_comments_and_blanks () =
 " in
   Alcotest.(check int) "two flows" 2 (Acg.num_flows acg)
 
+let check_parse_error name expected input =
+  match Io.parse input with
+  | Ok _ -> Alcotest.failf "%s: parse unexpectedly succeeded" name
+  | Error (`Msg m) -> Alcotest.(check string) name expected m
+
 let test_acg_io_errors () =
-  Alcotest.check_raises "garbage"
-    (Invalid_argument "Acg_io.of_string: expected 'src dst volume bandwidth' on line 1")
-    (fun () -> ignore (Io.of_string "what is this"));
-  Alcotest.check_raises "bad number"
-    (Invalid_argument "Acg_io.of_string: bad edge on line 2") (fun () ->
-      ignore (Io.of_string "1 2 64 0.5
-1 x 64 0.5"));
-  Alcotest.check_raises "bad vertex"
-    (Invalid_argument "Acg_io.of_string: bad vertex id on line 1") (fun () ->
-      ignore (Io.of_string "vertex abc"))
+  check_parse_error "garbage"
+    "line 1, column 1: expected 'src dst volume bandwidth' or 'vertex <id>'"
+    "what is this";
+  check_parse_error "bad destination" "line 2, column 3: bad destination vertex 'x'"
+    "1 2 64 0.5\n1 x 64 0.5";
+  check_parse_error "bad bandwidth" "line 1, column 8: bad bandwidth 'fast'"
+    "1 2 64 fast";
+  check_parse_error "bad vertex" "line 1, column 8: bad vertex id 'abc'" "vertex abc";
+  (* the deprecated exception surface still reports the same message *)
+  Alcotest.check_raises "of_string raises"
+    (Invalid_argument "Acg_io.of_string: line 1, column 8: bad vertex id 'abc'")
+    (fun () -> ignore (Io.of_string "vertex abc"))
+
+let test_acg_io_load () =
+  let acg = aes_acg () in
+  let path = Filename.temp_file "acg_load" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Io.write_file ~path acg;
+      match Io.load path with
+      | Ok acg' -> Alcotest.(check int) "flows" (Acg.num_flows acg) (Acg.num_flows acg')
+      | Error (`Msg m) -> Alcotest.failf "load failed: %s" m);
+  (match Io.load "/nonexistent/definitely-missing.acg" with
+  | Ok _ -> Alcotest.fail "load of a missing file succeeded"
+  | Error (`Msg _) -> ());
+  let bad = Filename.temp_file "acg_bad" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove bad)
+    (fun () ->
+      let oc = open_out bad in
+      output_string oc "1 2 64 0.5\noops\n";
+      close_out oc;
+      match Io.load bad with
+      | Ok _ -> Alcotest.fail "load of malformed file succeeded"
+      | Error (`Msg m) ->
+          Alcotest.(check bool) "message carries the path" true
+            (String.length m > String.length bad
+            && String.sub m 0 (String.length bad) = bad);
+          Alcotest.(check bool) "message carries line/column" true
+            (let rec contains i =
+               i + 6 <= String.length m && (String.sub m i 6 = "line 2" || contains (i + 1))
+             in
+             contains 0))
 
 let test_acg_io_file_roundtrip () =
   let acg = aes_acg () in
@@ -1001,6 +1040,7 @@ let suite =
       Alcotest.test_case "acg io isolated vertices" `Quick test_acg_io_isolated_vertices;
       Alcotest.test_case "acg io comments" `Quick test_acg_io_comments_and_blanks;
       Alcotest.test_case "acg io errors" `Quick test_acg_io_errors;
+      Alcotest.test_case "acg io result-typed load" `Quick test_acg_io_load;
       Alcotest.test_case "acg io file roundtrip" `Quick test_acg_io_file_roundtrip;
       Alcotest.test_case "report contents" `Quick test_report_contents;
       Alcotest.test_case "report without optionals" `Quick test_report_without_optionals;

@@ -7,6 +7,7 @@ let () =
       Suite_primitives.suite;
       Suite_energy.suite;
       Suite_core.suite;
+      Suite_obs.suite;
       Suite_sim.suite;
       Suite_aes.suite;
       Suite_apps.suite;
