@@ -1,0 +1,59 @@
+(* Diffs two persisted benchmark records and gates on regressions.
+
+     compare.exe BASELINE.json CURRENT.json [--time-threshold PCT] [--threshold PCT]
+
+   Exit codes: 0 = no regression, 1 = regression (or gated metric missing),
+   2 = unreadable/invalid input.  The thresholds are percentages of the
+   baseline value: --time-threshold applies to wall-clock metrics (default
+   10), --threshold to everything else (default 2; non-timing corpus
+   metrics are deterministic, so keep it tight). *)
+
+module Record = Noc_benchkit.Record
+module Regress = Noc_benchkit.Regress
+
+let usage code =
+  prerr_endline
+    "usage: compare BASELINE.json CURRENT.json [--time-threshold PCT] [--threshold PCT]";
+  exit code
+
+let die m =
+  prerr_endline ("compare: " ^ m);
+  exit 2
+
+let () =
+  let time_limit = ref 10.0 in
+  let limit = ref 2.0 in
+  let files = ref [] in
+  let float_arg name v =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> f
+    | _ -> die (Printf.sprintf "%s expects a non-negative number, got %S" name v)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--time-threshold" :: v :: rest ->
+        time_limit := float_arg "--time-threshold" v;
+        parse rest
+    | "--threshold" :: v :: rest ->
+        limit := float_arg "--threshold" v;
+        parse rest
+    | ("--help" | "-h") :: _ -> usage 0
+    | f :: rest ->
+        if String.length f > 1 && f.[0] = '-' then
+          die (Printf.sprintf "unknown option %S" f)
+        else files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let base_file, cur_file =
+    match List.rev !files with [ b; c ] -> (b, c) | _ -> usage 2
+  in
+  let load f = match Record.load f with Ok j -> j | Error (`Msg m) -> die m in
+  let base = load base_file and cur = load cur_file in
+  match Regress.compare_records ~time_limit_pct:!time_limit ~limit_pct:!limit ~base ~cur ()
+  with
+  | Error (`Msg m) -> die m
+  | Ok report ->
+      Format.printf "%s -> %s@." base_file cur_file;
+      Format.printf "%a" Regress.pp_report report;
+      if Regress.ok report then exit 0 else exit 1

@@ -7,6 +7,8 @@
      fig6   - the AES ACG decomposition listing (Fig. 6 / Section 5.2)
      aes    - the prototype comparison table (Section 5.2 prose)
      ablate - library / beam ablations (design choices called out in DESIGN.md)
+     corpus - the persisted benchmark corpus (smoke settings; `corpus-full`
+              for the record settings — see lib/benchkit and `nocsynth bench`)
      micro  - Bechamel micro-benchmarks of the matching and search kernels
 
    Run all sections:        dune exec bench/main.exe
@@ -37,26 +39,9 @@ let decompose_timed ?options acg =
 (* ------------------------------------------------------------------ *)
 (* Fig. 2: the decomposition-tree example                               *)
 
-(* The paper's Fig. 2 input (drawn, not enumerated) contains one gossip
-   group, one loop and some unmatched traffic; its leftmost branch
-   MGG4 -> L4 -> remainder has cost 16 = 4 + 4 + 8.  We reconstruct an
-   input with exactly that structure: K4 on {1..4}, a 4-loop on {5..8},
-   and 8 stray edges that match nothing in the library. *)
-let fig2_acg () =
-  let g = G.complete 4 in
-  let g =
-    List.fold_left
-      (fun g (u, v) -> D.add_edge g u v)
-      g
-      [ (5, 6); (6, 7); (7, 8); (8, 5) ]
-  in
-  let g =
-    List.fold_left
-      (fun g (u, v) -> D.add_edge g u v)
-      g
-      [ (1, 5); (5, 1); (2, 6); (6, 2); (3, 7); (7, 3); (4, 8); (8, 4) ]
-  in
-  Acg.uniform ~volume:16 ~bandwidth:0.1 g
+(* The reconstructed Fig. 2 input lives in the benchmark corpus now (it is
+   one of the persisted scenarios); see Noc_benchkit.Corpus. *)
+let fig2_acg = Noc_benchkit.Corpus.fig2_acg
 
 let fig2 () =
   section "Fig. 2 - decomposition tree example (reconstructed input)";
@@ -167,27 +152,9 @@ let fig4b () =
 (* ------------------------------------------------------------------ *)
 (* Fig. 5: the example random benchmark                                 *)
 
-(* The paper prints the full decomposition of its Fig. 5 input, which lets
-   us reconstruct the input ACG exactly as the union of the matched
-   primitives: MGG4 on (1 2 5 6), G123 rooted at 3 -> {2,5,6} and at
-   7 -> {3,5,6}, G124 rooted at 8 -> {1,3,6,7} and G123 rooted at
-   4 -> {5,6,7}; no remainder. *)
-let fig5_acg () =
-  let gossip vs g =
-    List.fold_left
-      (fun g u -> List.fold_left (fun g v -> if u <> v then D.add_edge g u v else g) g vs)
-      g vs
-  in
-  let star root leaves g = List.fold_left (fun g v -> D.add_edge g root v) g leaves in
-  let g =
-    D.empty
-    |> gossip [ 1; 2; 5; 6 ]
-    |> star 3 [ 2; 5; 6 ]
-    |> star 7 [ 3; 5; 6 ]
-    |> star 8 [ 1; 3; 6; 7 ]
-    |> star 4 [ 5; 6; 7 ]
-  in
-  Acg.uniform ~volume:32 ~bandwidth:0.1 g
+(* Reconstructed from the paper's printed decomposition; lives in the
+   corpus (Noc_benchkit.Corpus) as the "fig5" scenario. *)
+let fig5_acg = Noc_benchkit.Corpus.fig5_acg
 
 let fig5 () =
   section "Fig. 5 - customized synthesis for the paper's random benchmark";
@@ -658,6 +625,18 @@ let library () =
     baseline.Noc_core.Library_design.total_remainder
 
 (* ------------------------------------------------------------------ *)
+(* Benchmark corpus (the persisted-record scenarios)                    *)
+
+let corpus ?(settings = Noc_benchkit.Runner.smoke) () =
+  section "Corpus - persisted benchmark scenarios (see `nocsynth bench`)";
+  Format.printf "%a@." Noc_benchkit.Runner.pp_header ();
+  List.iter
+    (fun sc ->
+      let r = Noc_benchkit.Runner.run ~settings sc in
+      Format.printf "%a@." Noc_benchkit.Runner.pp_row r)
+    (Noc_benchkit.Corpus.default ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                            *)
 
 let micro ?(quota = 0.5) () =
@@ -797,6 +776,8 @@ let sections =
     ("apps", apps);
     ("mapping", mapping);
     ("library", library);
+    ("corpus", fun () -> corpus ());
+    ("corpus-full", fun () -> corpus ~settings:Noc_benchkit.Runner.full ());
     ("micro", fun () -> micro ());
     (* a seconds-long variant for the bench-smoke alias: same rows, tiny
        measurement quota *)

@@ -6,6 +6,7 @@
      nocsynth synth ...      decompose + glue + deadlock report (+ DOT)
      nocsynth simulate ...   customized vs mesh under random traffic
      nocsynth aes            the paper's Section 5.2 experiment
+     nocsynth bench ...      run the benchmark corpus, write BENCH_<rev>.json
 
    All diagnostics go through Logs to stderr; stdout carries only data
    (listings, reports, ACG text, and the --metrics JSON), so outputs can
@@ -437,11 +438,83 @@ let aes_cmd =
     (Cmd.info "aes" ~doc:"Run the distributed-AES prototype comparison (Section 5.2).")
     Term.(const run $ tech_arg)
 
+(* ------------------------------------------------------------------ *)
+(* bench                                                                *)
+
+let resolve_rev = function
+  | Some r -> r
+  | None -> (
+      match Sys.getenv_opt "NOCSYNTH_REV" with
+      | Some r when r <> "" -> r
+      | _ -> (
+          (* best effort: outside a git checkout (or a sandboxed build) the
+             record is simply stamped "dev" *)
+          try
+            let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+            let line = try input_line ic with End_of_file -> "" in
+            match Unix.close_process_in ic with
+            | Unix.WEXITED 0 when line <> "" -> line
+            | _ -> "dev"
+          with _ -> "dev"))
+
+let bench_cmd =
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI settings: single domain, short sweeps — seconds for the whole corpus.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Record file to write (default BENCH_<rev>.json).")
+  in
+  let rev_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "rev" ] ~docv:"REV"
+          ~doc:"Revision stamp for the record (default: \\$NOCSYNTH_REV, then git, then \
+                'dev').")
+  in
+  let run smoke out rev lib trace metrics =
+    let settings =
+      if smoke then Noc_benchkit.Runner.smoke else Noc_benchkit.Runner.full
+    in
+    let library = resolve_library lib in
+    let observe = make_observer ~trace ~metrics in
+    let rev = resolve_rev rev in
+    let mode = if smoke then "smoke" else "full" in
+    let say s = if metrics then Logs.app (fun k -> k "%s" s) else print_endline s in
+    say (Format.asprintf "%a" Noc_benchkit.Runner.pp_header ());
+    let results =
+      List.map
+        (fun sc ->
+          let r = Noc_benchkit.Runner.run ~observe ~library ~settings sc in
+          say (Format.asprintf "%a" Noc_benchkit.Runner.pp_row r);
+          r)
+        (Noc_benchkit.Corpus.default ())
+    in
+    let record = Noc_benchkit.Record.to_json ~rev ~mode results in
+    let path = Option.value out ~default:(Printf.sprintf "BENCH_%s.json" rev) in
+    Noc_benchkit.Record.write ~path record;
+    Logs.info (fun k -> k "wrote %s (%d scenarios)" path (List.length results));
+    write_trace observe trace;
+    if metrics then print_endline (Obs.Json.to_string record)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the benchmark corpus (decompose, synth, deadlock check, wormhole \
+          simulation, load sweep) and persist a BENCH_<rev>.json record; compare two \
+          records with bench/compare.exe.")
+    Term.(const run $ smoke_flag $ out $ rev_arg $ library_arg $ trace_arg $ metrics_flag)
+
 let main =
   Cmd.group
     (Cmd.info "nocsynth" ~version:"1.0.0"
        ~doc:"Energy- and performance-driven NoC communication architecture synthesis")
-    [ generate_cmd; decompose_cmd; synth_cmd; simulate_cmd; codesign_cmd; aes_cmd ]
+    [ generate_cmd; decompose_cmd; synth_cmd; simulate_cmd; codesign_cmd; aes_cmd; bench_cmd ]
 
 let () =
   setup_logs ();

@@ -1,0 +1,86 @@
+module D = Noc_graph.Digraph
+module G = Noc_graph.Generators
+module Acg = Noc_core.Acg
+module Prng = Noc_util.Prng
+
+type scenario = { name : string; kind : string; acg : Acg.t }
+
+let scenario ~name ~kind acg = { name; kind; acg }
+
+(* ------------------------------------------------------------------ *)
+(* Paper cases (Fig. 2 and Fig. 5 inputs, reconstructed)               *)
+
+(* The paper's Fig. 2 input (drawn, not enumerated) contains one gossip
+   group, one loop and some unmatched traffic; its leftmost branch
+   MGG4 -> L4 -> remainder has cost 16 = 4 + 4 + 8.  We reconstruct an
+   input with exactly that structure: K4 on {1..4}, a 4-loop on {5..8},
+   and 8 stray edges that match nothing in the library. *)
+let fig2_acg () =
+  let g = G.complete 4 in
+  let g =
+    List.fold_left
+      (fun g (u, v) -> D.add_edge g u v)
+      g
+      [ (5, 6); (6, 7); (7, 8); (8, 5) ]
+  in
+  let g =
+    List.fold_left
+      (fun g (u, v) -> D.add_edge g u v)
+      g
+      [ (1, 5); (5, 1); (2, 6); (6, 2); (3, 7); (7, 3); (4, 8); (8, 4) ]
+  in
+  Acg.uniform ~volume:16 ~bandwidth:0.1 g
+
+(* The paper prints the full decomposition of its Fig. 5 input, which lets
+   us reconstruct the input ACG exactly as the union of the matched
+   primitives: MGG4 on (1 2 5 6), G123 rooted at 3 -> {2,5,6} and at
+   7 -> {3,5,6}, G124 rooted at 8 -> {1,3,6,7} and G123 rooted at
+   4 -> {5,6,7}; no remainder. *)
+let fig5_acg () =
+  let gossip vs g =
+    List.fold_left
+      (fun g u -> List.fold_left (fun g v -> if u <> v then D.add_edge g u v else g) g vs)
+      g vs
+  in
+  let star root leaves g = List.fold_left (fun g v -> D.add_edge g root v) g leaves in
+  let g =
+    D.empty
+    |> gossip [ 1; 2; 5; 6 ]
+    |> star 3 [ 2; 5; 6 ]
+    |> star 7 [ 3; 5; 6 ]
+    |> star 8 [ 1; 3; 6; 7 ]
+    |> star 4 [ 5; 6; 7 ]
+  in
+  Acg.uniform ~volume:32 ~bandwidth:0.1 g
+
+(* ------------------------------------------------------------------ *)
+(* Seeded generator cases                                              *)
+
+let tgff ~seed params =
+  Acg.of_tgff (Noc_tgff.Tgff.generate ~rng:(Prng.create ~seed) params)
+
+(* Pajek-era random networks: sparse, average degree ~ 3, as in Fig. 4b *)
+let random ~seed ~n =
+  let p = 3.0 /. float_of_int (n - 1) in
+  Acg.uniform ~volume:16 ~bandwidth:0.1 (G.erdos_renyi ~rng:(Prng.create ~seed) ~n ~p)
+
+(* ------------------------------------------------------------------ *)
+
+let default () =
+  [
+    scenario ~name:"fig2" ~kind:"paper" (fig2_acg ());
+    scenario ~name:"fig5" ~kind:"paper" (fig5_acg ());
+    scenario ~name:"aes" ~kind:"paper" (Noc_aes.Distributed.acg ());
+    scenario ~name:"vopd" ~kind:"app" (Noc_apps.Multimedia.vopd ());
+    scenario ~name:"mpeg4" ~kind:"app" (Noc_apps.Multimedia.mpeg4 ());
+    scenario ~name:"fft16" ~kind:"app" (Noc_apps.Fft.acg ());
+    scenario ~name:"tgff-automotive-s11" ~kind:"tgff"
+      (tgff ~seed:11 Noc_tgff.Tgff.automotive);
+    scenario ~name:"tgff-telecom-s7" ~kind:"tgff" (tgff ~seed:7 Noc_tgff.Tgff.telecom);
+    scenario ~name:"tgff-12-s3" ~kind:"tgff" (tgff ~seed:3 (Noc_tgff.Tgff.sized 12));
+    scenario ~name:"tgff-16-s5" ~kind:"tgff" (tgff ~seed:5 (Noc_tgff.Tgff.sized 16));
+    scenario ~name:"rand-12-s1" ~kind:"random" (random ~seed:1 ~n:12);
+    scenario ~name:"rand-16-s2" ~kind:"random" (random ~seed:2 ~n:16);
+  ]
+
+let find name scenarios = List.find_opt (fun s -> s.name = name) scenarios

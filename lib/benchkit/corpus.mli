@@ -1,0 +1,37 @@
+(** The benchmark scenario corpus.
+
+    Related NoC-synthesis work evaluates over scenario corpora rather than
+    single applications; this module fixes a reproducible set — the paper's
+    own cases (Fig. 2, Fig. 5, the AES prototype), the application
+    workloads (VOPD, MPEG-4, distributed FFT), and seeded TGFF-style and
+    Pajek-style random graphs — so performance can be tracked PR over PR
+    (see [Runner] and [Record]). *)
+
+type scenario = {
+  name : string;  (** unique, stable across revisions: the record key *)
+  kind : string;  (** "paper", "app", "tgff" or "random" *)
+  acg : Noc_core.Acg.t;
+}
+
+val scenario : name:string -> kind:string -> Noc_core.Acg.t -> scenario
+
+val fig2_acg : unit -> Noc_core.Acg.t
+(** The reconstructed Fig. 2 input: K4 + directed 4-loop + 8 stray edges
+    (leftmost decomposition branch costs 16, as in the paper). *)
+
+val fig5_acg : unit -> Noc_core.Acg.t
+(** The Fig. 5 random benchmark, reconstructed exactly from the paper's
+    printed decomposition (1x MGG4, 3x G123, 1x G124, no remainder). *)
+
+val tgff : seed:int -> Noc_tgff.Tgff.params -> Noc_core.Acg.t
+(** Seeded TGFF-style task-graph ACG. *)
+
+val random : seed:int -> n:int -> Noc_core.Acg.t
+(** Seeded sparse random ACG (average degree ~3, Fig. 4b style). *)
+
+val default : unit -> scenario list
+(** The persisted corpus: 12 scenarios with stable names.  Appending new
+    scenarios is cheap; renaming or reordering existing ones invalidates
+    committed baselines. *)
+
+val find : string -> scenario list -> scenario option

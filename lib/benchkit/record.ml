@@ -1,0 +1,128 @@
+module J = Noc_obs.Obs.Json
+
+let schema = "nocsynth-bench"
+let schema_version = 1
+
+let search_sample_json (s : Runner.search_sample) =
+  J.Obj
+    [
+      ("domains", J.Int s.Runner.domains);
+      ("wall_s", J.Float s.Runner.wall_s);
+      ("nodes", J.Int s.Runner.nodes);
+      ("pruned", J.Int s.Runner.pruned);
+      ("matches_tried", J.Int s.Runner.matches_tried);
+      ("best_cost", J.Float s.Runner.best_cost);
+      ("timed_out", J.Bool s.Runner.timed_out);
+    ]
+
+let sweep_sample_json (p : Runner.sweep_sample) =
+  J.Obj
+    [
+      ("rate", J.Float p.Runner.rate);
+      ("avg_latency", J.Float p.Runner.avg_latency);
+      ("delivered", J.Int p.Runner.delivered);
+      ("throughput", J.Float p.Runner.throughput);
+    ]
+
+let result_json (r : Runner.result) =
+  J.Obj
+    [
+      ("name", J.Str r.Runner.name);
+      ("kind", J.Str r.Runner.kind);
+      ("cores", J.Int r.Runner.cores);
+      ("flows", J.Int r.Runner.flows);
+      ("total_volume", J.Int r.Runner.total_volume);
+      ("search", J.List (List.map search_sample_json r.Runner.search));
+      ("links", J.Int r.Runner.links);
+      ("avg_hops", J.Float r.Runner.avg_hops);
+      ("max_hops", J.Int r.Runner.max_hops);
+      ("energy_pj", J.Float r.Runner.energy_pj);
+      ("deadlock_free", J.Bool r.Runner.deadlock_free);
+      ("vcs_needed", J.Int r.Runner.vcs_needed);
+      ( "wormhole",
+        J.Obj
+          [
+            ("status", J.Str r.Runner.wormhole_status);
+            ("cycles", J.Int r.Runner.wormhole_cycles);
+            ("avg_latency", J.Float r.Runner.wormhole_latency);
+            ("delivered", J.Int r.Runner.wormhole_delivered);
+          ] );
+      ("sweep", J.List (List.map sweep_sample_json r.Runner.sweep));
+      ( "saturation_rate",
+        match r.Runner.saturation_rate with Some x -> J.Float x | None -> J.Null );
+    ]
+
+let to_json ?(created_unix_s = Unix.gettimeofday ()) ~rev ~mode results =
+  J.Obj
+    [
+      ("schema", J.Str schema);
+      ("schema_version", J.Int schema_version);
+      ("rev", J.Str rev);
+      ("mode", J.Str mode);
+      ("created_unix_s", J.Float created_unix_s);
+      ("scenarios", J.List (List.map result_json results));
+    ]
+
+let write ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string json);
+      output_char oc '\n')
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> Error (`Msg m)
+  | text -> (
+      match J.parse (String.trim text) with
+      | Ok v -> Ok v
+      | Error (`Msg m) -> Error (`Msg (Printf.sprintf "%s: %s" path m)))
+
+let check_schema json =
+  match (J.member "schema" json, J.member "schema_version" json) with
+  | Some (J.Str s), Some (J.Int v) when s = schema && v = schema_version -> Ok ()
+  | Some (J.Str s), Some (J.Int v) ->
+      Error
+        (`Msg
+          (Printf.sprintf "schema mismatch: got %s v%d, expected %s v%d" s v schema
+             schema_version))
+  | _ -> Error (`Msg "not a nocsynth-bench record (missing schema fields)")
+
+(* Flattens a record into dotted (path, value) metric pairs, e.g.
+   "scenarios.aes.search.d1.wall_s".  Lists of objects are keyed by their
+   "name" (or "domains"/"rate") member when present, by index otherwise,
+   so adding a scenario never shifts another scenario's keys. *)
+let flatten json =
+  let acc = ref [] in
+  let key_of_element e =
+    match J.member "name" e with
+    | Some (J.Str n) -> Some n
+    | _ -> (
+        match J.member "domains" e with
+        | Some (J.Int d) -> Some (Printf.sprintf "d%d" d)
+        | _ -> (
+            match J.member "rate" e with
+            | Some r -> (
+                match J.to_float r with
+                | Some f -> Some (Printf.sprintf "r%g" f)
+                | None -> None)
+            | _ -> None))
+  in
+  let rec go prefix v =
+    let sub k = if prefix = "" then k else prefix ^ "." ^ k in
+    match v with
+    | J.Int i -> acc := (prefix, float_of_int i) :: !acc
+    | J.Float f -> acc := (prefix, f) :: !acc
+    | J.Bool b -> acc := (prefix, if b then 1.0 else 0.0) :: !acc
+    | J.Obj kvs -> List.iter (fun (k, v) -> go (sub k) v) kvs
+    | J.List xs ->
+        List.iteri
+          (fun i e ->
+            let k = match key_of_element e with Some k -> k | None -> string_of_int i in
+            go (sub k) e)
+          xs
+    | J.Null | J.Str _ -> ()
+  in
+  go "" json;
+  List.rev !acc

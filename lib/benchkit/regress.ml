@@ -1,0 +1,111 @@
+module J = Noc_obs.Obs.Json
+
+type direction = Increase_bad | Decrease_bad
+
+type rule = {
+  suffix : string;  (* matched against the end of the flattened metric key *)
+  limit_pct : float;
+  min_abs : float;  (* absolute-change floor below which noise is ignored *)
+  direction : direction;
+}
+
+(* The gated metrics.  Wall-clock gets its own (looser) threshold and an
+   absolute floor because smoke-mode timings are milliseconds; everything
+   else is deterministic given the seeds, so the default threshold is
+   tight.  First matching rule wins; un-matched keys are informational. *)
+let rules ~time_limit_pct ~limit_pct =
+  [
+    { suffix = ".wall_s"; limit_pct = time_limit_pct; min_abs = 0.02; direction = Increase_bad };
+    { suffix = ".nodes"; limit_pct; min_abs = 8.0; direction = Increase_bad };
+    { suffix = ".best_cost"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".energy_pj"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".avg_latency"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".cycles"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".links"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".vcs_needed"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".delivered"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
+    { suffix = ".throughput"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
+  ]
+
+type verdict = {
+  metric : string;
+  base : float;
+  cur : float;
+  change_pct : float;  (* positive = worse, per the metric's direction *)
+  limit_pct : float;
+}
+
+type report = {
+  regressions : verdict list;
+  improvements : verdict list;  (* beyond-threshold changes for the better *)
+  missing : string list;  (* gated in base, absent in cur *)
+  checked : int;
+}
+
+let rule_for rules key = List.find_opt (fun r -> String.ends_with ~suffix:r.suffix key) rules
+
+let signed_change direction ~base ~cur =
+  match direction with Increase_bad -> cur -. base | Decrease_bad -> base -. cur
+
+let change_pct direction ~base ~cur =
+  let delta = signed_change direction ~base ~cur in
+  if base <> 0.0 then 100.0 *. delta /. Float.abs base
+  else if delta = 0.0 then 0.0
+  else if delta > 0.0 then Float.infinity
+  else Float.neg_infinity
+
+let compare_flat ~rules base_metrics cur_metrics =
+  let regressions = ref [] and improvements = ref [] and missing = ref [] in
+  let checked = ref 0 in
+  List.iter
+    (fun (key, base) ->
+      match rule_for rules key with
+      | None -> ()
+      | Some r -> (
+          match List.assoc_opt key cur_metrics with
+          | None -> missing := key :: !missing
+          | Some cur ->
+              incr checked;
+              let pct = change_pct r.direction ~base ~cur in
+              let abs_delta = Float.abs (signed_change r.direction ~base ~cur) in
+              let v = { metric = key; base; cur; change_pct = pct; limit_pct = r.limit_pct } in
+              if pct > r.limit_pct && abs_delta > r.min_abs then
+                regressions := v :: !regressions
+              else if pct < -.r.limit_pct && abs_delta > r.min_abs then
+                improvements := v :: !improvements))
+    base_metrics;
+  {
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+    missing = List.rev !missing;
+    checked = !checked;
+  }
+
+let compare_records ?(time_limit_pct = 10.0) ?(limit_pct = 2.0) ~base ~cur () =
+  match (Record.check_schema base, Record.check_schema cur) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (), Ok () ->
+      let rules = rules ~time_limit_pct ~limit_pct in
+      Ok (compare_flat ~rules (Record.flatten base) (Record.flatten cur))
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%-55s %12.4g -> %-12.4g %+7.1f%% (limit %g%%)" v.metric v.base v.cur
+    v.change_pct v.limit_pct
+
+let pp_report ppf r =
+  if r.regressions <> [] then begin
+    Format.fprintf ppf "REGRESSIONS:@.";
+    List.iter (fun v -> Format.fprintf ppf "  %a@." pp_verdict v) r.regressions
+  end;
+  if r.improvements <> [] then begin
+    Format.fprintf ppf "improvements:@.";
+    List.iter (fun v -> Format.fprintf ppf "  %a@." pp_verdict v) r.improvements
+  end;
+  if r.missing <> [] then begin
+    Format.fprintf ppf "missing in current record:@.";
+    List.iter (fun k -> Format.fprintf ppf "  %s@." k) r.missing
+  end;
+  Format.fprintf ppf "%d gated metric(s) checked, %d regression(s), %d improvement(s)@."
+    r.checked (List.length r.regressions) (List.length r.improvements)
+
+let ok r = r.regressions = [] && r.missing = []

@@ -1,0 +1,54 @@
+(** Regression comparison of two benchmark records.
+
+    Flattens both records ({!Record.flatten}), matches metric keys against
+    a small rule table (wall time, search nodes, cost, energy, latency,
+    cycles, links, virtual channels, delivered/throughput) and flags
+    beyond-threshold changes in the bad direction.  Non-timing metrics are
+    deterministic given the corpus seeds, so their default threshold is
+    tight; wall-clock has a looser threshold plus an absolute floor to
+    absorb scheduler noise on millisecond-scale samples. *)
+
+type direction = Increase_bad | Decrease_bad
+
+type rule = {
+  suffix : string;
+  limit_pct : float;
+  min_abs : float;
+  direction : direction;
+}
+
+val rules : time_limit_pct:float -> limit_pct:float -> rule list
+
+type verdict = {
+  metric : string;
+  base : float;
+  cur : float;
+  change_pct : float;  (** positive means worse, per the metric's direction *)
+  limit_pct : float;
+}
+
+type report = {
+  regressions : verdict list;
+  improvements : verdict list;
+  missing : string list;  (** gated metrics present in base, absent in cur *)
+  checked : int;
+}
+
+val compare_flat :
+  rules:rule list -> (string * float) list -> (string * float) list -> report
+
+val compare_records :
+  ?time_limit_pct:float ->
+  ?limit_pct:float ->
+  base:Noc_obs.Obs.Json.t ->
+  cur:Noc_obs.Obs.Json.t ->
+  unit ->
+  (report, [ `Msg of string ]) result
+(** Defaults: 10% for wall-clock metrics, 2% for everything else.
+    [Error] on schema mismatch. *)
+
+val ok : report -> bool
+(** No regressions and no missing gated metrics. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_report : Format.formatter -> report -> unit

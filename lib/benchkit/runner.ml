@@ -1,0 +1,200 @@
+module D = Noc_graph.Digraph
+module Acg = Noc_core.Acg
+module Bb = Noc_core.Branch_bound
+module Syn = Noc_core.Synthesis
+module L = Noc_primitives.Library
+module Obs = Noc_obs.Obs
+module Prng = Noc_util.Prng
+
+type settings = {
+  timeout_s : float option;
+  max_nodes : int;
+  domains : int list;
+  sweep_rates : float list;
+  sweep_cycles : int;
+  wormhole_size_flits : int;
+  seed : int;
+}
+
+let full =
+  {
+    timeout_s = Some 5.0;
+    max_nodes = 200_000;
+    domains = [ 1; 2 ];
+    sweep_rates = [ 0.01; 0.02; 0.05; 0.10 ];
+    sweep_cycles = 1000;
+    wormhole_size_flits = 4;
+    seed = 42;
+  }
+
+let smoke =
+  {
+    full with
+    timeout_s = Some 2.0;
+    domains = [ 1 ];
+    sweep_rates = [ 0.02; 0.08 ];
+    sweep_cycles = 200;
+  }
+
+type search_sample = {
+  domains : int;
+  wall_s : float;
+  nodes : int;
+  pruned : int;
+  matches_tried : int;
+  best_cost : float;
+  timed_out : bool;
+}
+
+type sweep_sample = {
+  rate : float;
+  avg_latency : float;
+  delivered : int;
+  throughput : float;
+}
+
+type result = {
+  name : string;
+  kind : string;
+  cores : int;
+  flows : int;
+  total_volume : int;
+  search : search_sample list;
+  links : int;
+  avg_hops : float;
+  max_hops : int;
+  energy_pj : float;
+  deadlock_free : bool;
+  vcs_needed : int;
+  wormhole_status : string;
+  wormhole_cycles : int;
+  wormhole_latency : float;
+  wormhole_delivered : int;
+  sweep : sweep_sample list;
+  saturation_rate : float option;
+}
+
+(* the grid floorplan must place every vertex id the ACG mentions, so size
+   it by the maximum id, not the vertex count (ids need not be contiguous) *)
+let grid_floorplan acg =
+  let max_id = D.fold_vertices (fun v m -> max v m) (Acg.graph acg) 1 in
+  Noc_energy.Floorplan.grid (Noc_energy.Floorplan.uniform_cores ~n:max_id ~size_mm:2.0)
+
+let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : settings)
+    (s : Corpus.scenario) =
+  let acg = s.acg in
+  let options = { Bb.default_options with timeout_s = None } in
+  let budget_for domains =
+    Bb.Budget.(
+      default
+      |> with_timeout_s settings.timeout_s
+      |> with_max_nodes settings.max_nodes
+      |> with_domains domains)
+  in
+  (* decompose once per requested domain count; the reduction is
+     deterministic, so every sample returns the same decomposition and the
+     samples differ only in wall time *)
+  let search_runs =
+    List.map
+      (fun domains ->
+        Obs.span observe ~cat:"bench"
+          (Printf.sprintf "%s.decompose.d%d" s.name domains)
+          (fun () ->
+            let (d, st), wall =
+              Noc_util.Timer.time (fun () ->
+                  Bb.decompose ~options ~budget:(budget_for domains) ~library acg)
+            in
+            ( d,
+              {
+                domains;
+                wall_s = wall;
+                nodes = st.Bb.nodes;
+                pruned = st.Bb.pruned;
+                matches_tried = st.Bb.matches_tried;
+                best_cost = st.Bb.best_cost;
+                timed_out = st.Bb.timed_out;
+              } )))
+      (match settings.domains with [] -> [ 1 ] | ds -> ds)
+  in
+  let d = fst (List.hd search_runs) in
+  let search = List.map snd search_runs in
+  let arch = Obs.span observe ~cat:"bench" (s.name ^ ".synth") (fun () -> Syn.custom acg d) in
+  let tech = Noc_energy.Technology.cmos_180nm in
+  let fp = grid_floorplan acg in
+  let energy_pj = Syn.total_energy ~tech ~fp acg arch in
+  let dl =
+    Obs.span observe ~cat:"bench" (s.name ^ ".deadlock") (fun () ->
+        Noc_core.Deadlock.analyze arch)
+  in
+  let wormhole_status, wormhole_cycles, wormhole_summary =
+    Obs.span observe ~cat:"bench" (s.name ^ ".wormhole") (fun () ->
+        let net = Noc_sim.Wormhole.create arch in
+        D.iter_edges
+          (fun src dst ->
+            ignore
+              (Noc_sim.Wormhole.inject ~size_flits:settings.wormhole_size_flits net ~src
+                 ~dst))
+          (Acg.graph acg);
+        let status =
+          match Noc_sim.Wormhole.run_until_idle net with
+          | `Idle -> "idle"
+          | `Deadlock -> "deadlock"
+          | `Limit -> "limit"
+        in
+        (status, Noc_sim.Wormhole.now net, Noc_sim.Wormhole.summary net))
+  in
+  let sweep_points =
+    Obs.span observe ~cat:"bench" (s.name ^ ".sweep") (fun () ->
+        Noc_sim.Sweep.latency_vs_load
+          ~rng:(Prng.create ~seed:settings.seed)
+          ~arch ~acg ~cycles:settings.sweep_cycles ~rates:settings.sweep_rates ())
+  in
+  Obs.Counter.incr (Obs.counter observe "bench.scenarios");
+  {
+    name = s.name;
+    kind = s.kind;
+    cores = Acg.num_cores acg;
+    flows = Acg.num_flows acg;
+    total_volume = Acg.total_volume acg;
+    search;
+    links = Syn.link_count arch;
+    avg_hops = Syn.avg_hops acg arch;
+    max_hops = Syn.max_hops arch;
+    energy_pj;
+    deadlock_free = dl.Noc_core.Deadlock.cdg_cycle = None;
+    vcs_needed = dl.Noc_core.Deadlock.vcs_needed;
+    wormhole_status;
+    wormhole_cycles;
+    wormhole_latency = wormhole_summary.Noc_sim.Stats.avg_latency;
+    wormhole_delivered = wormhole_summary.Noc_sim.Stats.packets;
+    sweep =
+      List.map
+        (fun (p : Noc_sim.Sweep.point) ->
+          {
+            rate = p.Noc_sim.Sweep.rate;
+            avg_latency = p.Noc_sim.Sweep.avg_latency;
+            delivered = p.Noc_sim.Sweep.delivered;
+            throughput = p.Noc_sim.Sweep.throughput;
+          })
+        sweep_points;
+    saturation_rate = Noc_sim.Sweep.saturation_rate sweep_points;
+  }
+
+let run_corpus ?(observe = Obs.disabled) ?library ~settings scenarios =
+  List.map (fun s -> run ~observe ?library ~settings s) scenarios
+
+let pp_row ppf r =
+  let d1 =
+    match r.search with
+    | s :: _ -> s
+    | [] -> assert false
+  in
+  Format.fprintf ppf
+    "%-20s %-6s %4d %5d %9.4f %8d %8d %9.0f %11.1f %8.2f %6s"
+    r.name r.kind r.cores r.flows d1.wall_s d1.nodes d1.pruned d1.best_cost r.energy_pj
+    r.wormhole_latency
+    (match r.saturation_rate with Some x -> Printf.sprintf "%.3f" x | None -> "-")
+
+let pp_header ppf () =
+  Format.fprintf ppf "%-20s %-6s %4s %5s %9s %8s %8s %9s %11s %8s %6s" "scenario" "kind"
+    "cores" "flows" "wall (s)" "nodes" "pruned" "cost" "energy (pJ)" "wh lat" "sat"

@@ -1,0 +1,80 @@
+(** Runs the benchmark corpus through the full synthesis flow.
+
+    Each scenario goes decompose -> glue -> deadlock analysis -> wormhole
+    burst simulation -> offered-load sweep, with per-stage [Noc_obs] spans
+    (category ["bench"]) so a [--trace] of a bench run opens in Perfetto.
+    Everything is seeded; apart from wall-clock fields the results are
+    deterministic, which is what makes the regression gate possible. *)
+
+type settings = {
+  timeout_s : float option;  (** per-scenario decomposition budget *)
+  max_nodes : int;
+  domains : int list;  (** decompose once per domain count (scaling row) *)
+  sweep_rates : float list;
+  sweep_cycles : int;
+  wormhole_size_flits : int;
+  seed : int;
+}
+
+val full : settings
+(** The persisted-record settings: domains [1; 2], 4 sweep rates, 1000
+    injection cycles. *)
+
+val smoke : settings
+(** CI-gate settings: single domain, 2 sweep rates, 200 cycles — seconds
+    for the whole corpus. *)
+
+type search_sample = {
+  domains : int;
+  wall_s : float;
+  nodes : int;
+  pruned : int;
+  matches_tried : int;
+  best_cost : float;
+  timed_out : bool;
+}
+
+type sweep_sample = {
+  rate : float;
+  avg_latency : float;
+  delivered : int;
+  throughput : float;
+}
+
+type result = {
+  name : string;
+  kind : string;
+  cores : int;
+  flows : int;
+  total_volume : int;
+  search : search_sample list;  (** one sample per requested domain count *)
+  links : int;
+  avg_hops : float;
+  max_hops : int;
+  energy_pj : float;  (** Eq. 5 energy on a grid floorplan, 180 nm *)
+  deadlock_free : bool;
+  vcs_needed : int;
+  wormhole_status : string;  (** "idle", "deadlock" or "limit" *)
+  wormhole_cycles : int;
+  wormhole_latency : float;
+  wormhole_delivered : int;
+  sweep : sweep_sample list;
+  saturation_rate : float option;
+}
+
+val run :
+  ?observe:Noc_obs.Obs.t ->
+  ?library:Noc_primitives.Library.t ->
+  settings:settings ->
+  Corpus.scenario ->
+  result
+
+val run_corpus :
+  ?observe:Noc_obs.Obs.t ->
+  ?library:Noc_primitives.Library.t ->
+  settings:settings ->
+  Corpus.scenario list ->
+  result list
+
+val pp_header : Format.formatter -> unit -> unit
+val pp_row : Format.formatter -> result -> unit

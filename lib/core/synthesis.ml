@@ -7,20 +7,23 @@ type t = {
   uniform_router_ports : int option;
 }
 
+(* single pass over the path: checks the endpoints and every hop without the
+   List.nth/List.length rescans (those made validation quadratic in the path
+   length) *)
+let path_follows topology ~src ~dst path =
+  match path with
+  | [] -> false
+  | first :: _ ->
+      first = src
+      && (let rec ok = function
+            | a :: (b :: _ as rest) -> D.mem_edge topology a b && ok rest
+            | [ last ] -> last = dst
+            | [] -> false
+          in
+          ok path)
+
 let routes_valid_internal topology routes =
-  Edge_map.for_all
-    (fun (src, dst) path ->
-      match path with
-      | [] -> false
-      | first :: _ ->
-          first = src
-          && List.nth path (List.length path - 1) = dst
-          && (let rec ok = function
-                | a :: (b :: _ as rest) -> D.mem_edge topology a b && ok rest
-                | [ _ ] | [] -> true
-              in
-              ok path))
-    routes
+  Edge_map.for_all (fun (src, dst) path -> path_follows topology ~src ~dst path) routes
 
 let make ~topology ~routes ?uniform_router_ports () =
   let topology = D.undirected_closure topology in
@@ -156,20 +159,7 @@ let bisection_links ~rng t =
   let _, cut = Noc_graph.Traversal.min_bisection_cut ~rng t.topology in
   cut
 
-let routes_valid t =
-  Edge_map.for_all
-    (fun (src, dst) path ->
-      match path with
-      | [] -> false
-      | first :: _ ->
-          first = src
-          && List.nth path (List.length path - 1) = dst
-          && (let rec ok = function
-                | a :: (b :: _ as rest) -> D.mem_edge t.topology a b && ok rest
-                | [ _ ] | [] -> true
-              in
-              ok path))
-    t.routes
+let routes_valid t = routes_valid_internal t.topology t.routes
 
 let router_ports t v =
   match t.uniform_router_ports with

@@ -189,13 +189,15 @@ let undirected_diameter g =
     if !connected then Some !best else None
   end
 
-let cut_size und part =
-  (* number of unordered adjacent pairs crossing the bipartition *)
+(* number of unordered adjacent pairs crossing the bipartition; [und] must
+   already be an undirected closure, so the bisection sweeps below can reuse
+   one closure instead of recomputing it per evaluation *)
+let cut_size_closed und part =
   let count = ref 0 in
   Digraph.iter_edges
     (fun u v ->
       if u < v && Vset.mem u part <> Vset.mem v part then incr count)
-    (Digraph.undirected_closure und);
+    und;
   !count
 
 let min_bisection_cut ?(sweeps = 8) ~rng g =
@@ -250,7 +252,7 @@ let min_bisection_cut ?(sweeps = 8) ~rng g =
               outside)
           inside
       done;
-      let c = cut_size g !part in
+      let c = cut_size_closed und !part in
       if c < !best_cut then begin
         best_cut := c;
         best_part := !part

@@ -65,6 +65,177 @@ module Json = struct
     Buffer.contents buf
 
   let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+  (* A minimal JSON reader: enough to round-trip everything the emitter above
+     produces (traces, metrics, bench records), so tools like the benchmark
+     regression gate need no external JSON dependency. *)
+
+  exception Parse_failure of string
+
+  let parse_exn (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail m = raise (Parse_failure (Printf.sprintf "%s at offset %d" m !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+            | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+            | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+            | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+            | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+            | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+            | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+            | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+            | Some 'u' ->
+                advance ();
+                if !pos + 4 > n then fail "bad \\u escape";
+                let hex = String.sub s !pos 4 in
+                (match int_of_string_opt ("0x" ^ hex) with
+                | None -> fail "bad \\u escape"
+                | Some code ->
+                    pos := !pos + 4;
+                    (* the emitter only escapes ASCII control characters *)
+                    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                    else fail "non-ASCII \\u escape unsupported");
+                go ()
+            | _ -> fail "bad escape")
+        | Some c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      if text = "" then fail "expected a value"
+      else if
+        String.contains text '.' || String.contains text 'e' || String.contains text 'E'
+      then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt text with
+            | Some f -> Float f
+            | None -> fail "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            List (elements [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> fail "empty input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let parse s =
+    match parse_exn s with
+    | v -> Ok v
+    | exception Parse_failure m -> Error (`Msg m)
+
+  let member name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
+
+  let to_float = function
+    | Int i -> Some (float_of_int i)
+    | Float f -> Some f
+    | _ -> None
 end
 
 (* ------------------------------------------------------------------ *)

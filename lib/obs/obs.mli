@@ -30,6 +30,20 @@ module Json : sig
   (** Compact rendering with full string escaping; always valid JSON. *)
 
   val pp : Format.formatter -> t -> unit
+
+  val parse : string -> (t, [ `Msg of string ]) result
+  (** [parse s] reads one JSON value (the whole string; trailing garbage is
+      an error).  Round-trips everything {!to_string} emits — numbers
+      without a fractional part or exponent come back as [Int], others as
+      [Float].  Only ASCII [\u....] escapes are supported, which covers the
+      emitter's output. *)
+
+  val member : string -> t -> t option
+  (** [member key json] is the value bound to [key] when [json] is an
+      [Obj]; [None] otherwise. *)
+
+  val to_float : t -> float option
+  (** Numeric view of an [Int] or [Float] node. *)
 end
 
 (** Monotonically increasing integer counters (a single [Atomic.t]). *)

@@ -35,12 +35,17 @@ let latency_vs_load ~rng ~arch ~acg ?(size_flits = 2) ?(cycles = 2000) ~rates ()
     rates
 
 let saturation_rate points =
-  match points with
-  | [] -> None
-  | first :: _ ->
+  (* the latency baseline must come from a point that actually delivered
+     packets: a leading zero-delivery point reports avg_latency = 0., and a
+     fabricated base of 1.0 yields false (or missed) saturation knees *)
+  match List.find_opt (fun p -> p.delivered > 0) points with
+  | None -> None
+  | Some first ->
       let base = if first.avg_latency > 0. then first.avg_latency else 1.0 in
       List.find_map
-        (fun p -> if p.avg_latency > 4.0 *. base then Some p.rate else None)
+        (fun p ->
+          if p.delivered > 0 && p.avg_latency > 4.0 *. base then Some p.rate
+          else None)
         points
 
 let to_series points = List.map (fun p -> (p.offered, p.avg_latency)) points

@@ -28,9 +28,11 @@ val latency_vs_load :
     Deterministic: the PRNG is split per rate. *)
 
 val saturation_rate : point list -> float option
-(** First rate at which average latency exceeds 4x the lowest-rate
-    latency — a simple knee estimate; [None] if the curve never
-    saturates. *)
+(** First rate at which average latency exceeds 4x the baseline latency — a
+    simple knee estimate.  The baseline is the first point that actually
+    delivered packets (a leading zero-delivery point reports
+    [avg_latency = 0.] and must not fabricate a baseline); [None] if no
+    point delivered or the curve never saturates. *)
 
 val to_series : point list -> (float * float) list
 (** (offered load, average latency) pairs for plotting. *)

@@ -88,6 +88,8 @@ let generate ~rng p =
   in
   { graph = !g; volume; bandwidth }
 
+let sized tasks = { default_params with tasks }
+
 let automotive =
   { default_params with tasks = 18; max_out = 3; max_in = 3; p_join = 0.35 }
 

@@ -44,6 +44,10 @@ val generate : rng:Noc_util.Prng.t -> params -> t
 (** Parameter presets patterned after the E3S/TGFF benchmark families used
     in the paper's Fig. 4a. *)
 
+val sized : int -> params
+(** [sized n] is {!default_params} with [tasks = n] — the corpus scaling
+    knob used by the benchmark harness (Fig. 4a sizes). *)
+
 val automotive : params
 (** 18 tasks — the paper's largest TGFF benchmark. *)
 

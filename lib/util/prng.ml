@@ -21,9 +21,16 @@ let split g =
 
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* rejection sampling: draws fall in [0, max_int]; reject the (at most
+     bound - 1) values of the final, incomplete group so every residue is
+     equally likely *)
   let mask = Int64.of_int max_int in
-  let r = Int64.to_int (Int64.logand (bits64 g) mask) in
-  r mod bound
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (bits64 g) mask) in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
 
 let int_in g lo hi =
   if hi < lo then invalid_arg "Prng.int_in: hi < lo";
@@ -51,7 +58,9 @@ let shuffle g a =
 let choose g xs =
   match xs with
   | [] -> invalid_arg "Prng.choose: empty list"
-  | _ -> List.nth xs (int g (List.length xs))
+  | _ ->
+      let a = Array.of_list xs in
+      a.(int g (Array.length a))
 
 let sample g k xs =
   let n = List.length xs in

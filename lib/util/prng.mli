@@ -26,8 +26,8 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int g bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
-    [bound <= 0]. *)
+(** [int g bound] is uniform in [\[0, bound)], via rejection sampling (no
+    modulo bias). @raise Invalid_argument if [bound <= 0]. *)
 
 val int_in : t -> int -> int -> int
 (** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive. @raise

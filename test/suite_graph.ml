@@ -182,6 +182,21 @@ let test_bisection () =
   Alcotest.(check int) "balanced" 4 (D.Vset.cardinal part);
   Alcotest.(check int) "cut=1" 1 cut
 
+let test_bisection_deterministic_under_seed () =
+  (* Same seed, fresh PRNG: the refinement must land on the identical
+     partition and cut.  Guards both the PRNG stream semantics and the
+     closure-hoisting rewrite inside min_bisection_cut. *)
+  let g = G.erdos_renyi ~rng:(Prng.create ~seed:77) ~n:14 ~p:0.3 in
+  let run () =
+    let rng = Prng.create ~seed:9 in
+    T.min_bisection_cut ~sweeps:8 ~rng g
+  in
+  let part1, cut1 = run () in
+  let part2, cut2 = run () in
+  Alcotest.(check int) "same cut" cut1 cut2;
+  Alcotest.(check (list int))
+    "same partition" (D.Vset.elements part1) (D.Vset.elements part2)
+
 (* -------------------------------------------------------------------- *)
 (* Generators                                                            *)
 
@@ -612,6 +627,8 @@ let suite =
       Alcotest.test_case "find cycle" `Quick test_find_cycle;
       Alcotest.test_case "diameter" `Quick test_diameter;
       Alcotest.test_case "bisection heuristic" `Quick test_bisection;
+      Alcotest.test_case "bisection deterministic under seed" `Quick
+        test_bisection_deterministic_under_seed;
       Alcotest.test_case "structured generators" `Quick test_structured_generators;
       Alcotest.test_case "knodel graphs" `Quick test_knodel;
       Alcotest.test_case "random generators" `Quick test_random_generators;

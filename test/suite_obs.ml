@@ -16,157 +16,16 @@ module Prng = Noc_util.Prng
 let lib () = L.default ()
 
 (* ------------------------------------------------------------------ *)
-(* A minimal JSON reader, enough to validate everything we emit.  The
-   repository deliberately has no JSON dependency, so the tests parse the
-   emitted text back themselves: if this round-trips, Perfetto will read
-   the trace too. *)
-
-exception Bad_json of string
+(* The emitted JSON is read back with the library's own [Json.parse]
+   (promoted out of this file when the benchmark record tooling needed it):
+   if this round-trips, Perfetto will read the trace too. *)
 
 let parse_json (s : string) : J.t =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail m = raise (Bad_json (Printf.sprintf "%s at offset %d" m !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
-          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
-          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
-          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
-          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
-          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
-          | Some 'u' ->
-              advance ();
-              if !pos + 4 > n then fail "bad \\u escape";
-              let hex = String.sub s !pos 4 in
-              pos := !pos + 4;
-              let code = int_of_string ("0x" ^ hex) in
-              (* the emitter only escapes control chars, all < 0x80 *)
-              Buffer.add_char buf (Char.chr (code land 0x7f));
-              go ()
-          | _ -> fail "bad escape")
-      | Some c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
-      advance ()
-    done;
-    let text = String.sub s start (!pos - start) in
-    if String.contains text '.' || String.contains text 'e' || String.contains text 'E'
-    then J.Float (float_of_string text)
-    else
-      match int_of_string_opt text with
-      | Some i -> J.Int i
-      | None -> J.Float (float_of_string text)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          J.Obj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                members ((k, v) :: acc)
-            | Some '}' ->
-                advance ();
-                List.rev ((k, v) :: acc)
-            | _ -> fail "expected ',' or '}'"
-          in
-          J.Obj (members [])
-        end
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          J.List []
-        end
-        else begin
-          let rec elements acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-                advance ();
-                elements (v :: acc)
-            | Some ']' ->
-                advance ();
-                List.rev (v :: acc)
-            | _ -> fail "expected ',' or ']'"
-          in
-          J.List (elements [])
-        end
-    | Some '"' -> J.Str (parse_string ())
-    | Some 't' -> literal "true" (J.Bool true)
-    | Some 'f' -> literal "false" (J.Bool false)
-    | Some 'n' -> literal "null" J.Null
-    | Some _ -> parse_number ()
-    | None -> fail "empty input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+  match J.parse s with
+  | Ok v -> v
+  | Error (`Msg m) -> Alcotest.failf "bad JSON: %s" m
 
-let member name = function
-  | J.Obj kvs -> List.assoc_opt name kvs
-  | _ -> None
+let member = J.member
 
 (* ------------------------------------------------------------------ *)
 (* JSON emission                                                        *)

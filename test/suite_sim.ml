@@ -371,6 +371,30 @@ let test_saturation_detection () =
     (Sweep.saturation_rate [ mk 0.1 5.0; mk 0.2 6.0 ]);
   Alcotest.(check (option (float 1e-9))) "empty" None (Sweep.saturation_rate [])
 
+let test_saturation_skips_zero_delivery_baseline () =
+  (* Regression: a leading point that delivered nothing has avg_latency = 0.
+     The old code took it as the baseline, treated base as 1.0 and then
+     declared the first real point (latency 5 > 4) saturated.  The baseline
+     must instead come from the first point that actually delivered. *)
+  let mk ?(delivered = 10) rate lat =
+    { Sweep.rate; offered = rate; delivered; avg_latency = lat; throughput = 0.1 }
+  in
+  let pts =
+    [ mk ~delivered:0 0.05 0.0; mk 0.1 5.0; mk 0.2 8.0; mk 0.3 30.0 ]
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "knee at the real blow-up, not the first delivering point" (Some 0.3)
+    (Sweep.saturation_rate pts);
+  (* zero-delivery points never count as the knee themselves *)
+  let stalled = [ mk 0.1 5.0; mk ~delivered:0 0.2 0.0; mk 0.3 30.0 ] in
+  Alcotest.(check (option (float 1e-9)))
+    "stalled mid-point skipped" (Some 0.3)
+    (Sweep.saturation_rate stalled);
+  (* if nothing was ever delivered there is no baseline and no knee *)
+  Alcotest.(check (option (float 1e-9)))
+    "all-stalled sweep has no knee" None
+    (Sweep.saturation_rate [ mk ~delivered:0 0.1 0.0; mk ~delivered:0 0.2 0.0 ])
+
 (* -------------------------------------------------------------------- *)
 (* Wormhole switching                                                    *)
 
@@ -561,6 +585,8 @@ let suite =
       Alcotest.test_case "pattern to acg" `Quick test_pattern_acg;
       Alcotest.test_case "latency vs load sweep" `Quick test_latency_vs_load;
       Alcotest.test_case "saturation detection" `Quick test_saturation_detection;
+      Alcotest.test_case "saturation: zero-delivery baseline" `Quick
+        test_saturation_skips_zero_delivery_baseline;
       Alcotest.test_case "wormhole: pipeline latency h+n" `Quick
         test_wormhole_uncontended_latency;
       Alcotest.test_case "wormhole beats store-and-forward" `Quick

@@ -123,6 +123,49 @@ let test_ascii_plot () =
   let one = Noc_util.Ascii_plot.render [ ("p", [ (3.0, 3.0) ]) ] in
   Alcotest.(check bool) "single point ok" true (String.contains one '*')
 
+(* Regression for the modulo-bias bug: with a plain [r mod bound] draw the
+   low residues of a non-power-of-two bound are systematically favoured.
+   Rejection sampling makes every bucket equally likely, so over many draws
+   each bucket count must sit close to n/bound. *)
+let check_uniform ~seed ~bound ~draws =
+  let g = Prng.create ~seed in
+  let counts = Array.make bound 0 in
+  for _ = 1 to draws do
+    let x = Prng.int g bound in
+    counts.(x) <- counts.(x) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bound in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d of bound %d within 10%% (got %d, want ~%.0f)" i bound c
+           expected)
+        true (dev < 0.10))
+    counts
+
+let test_int_uniform_non_pow2 () =
+  (* bounds that are not powers of two are exactly the ones modulo bias hits *)
+  check_uniform ~seed:101 ~bound:6 ~draws:60_000;
+  check_uniform ~seed:103 ~bound:10 ~draws:60_000;
+  check_uniform ~seed:107 ~bound:7 ~draws:70_000
+
+let qcheck_int_uniform_buckets =
+  QCheck.Test.make ~name:"prng int buckets roughly uniform for non-pow2 bounds" ~count:20
+    QCheck.(pair small_int (int_range 3 17))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      let draws = 4_000 * bound in
+      let counts = Array.make bound 0 in
+      for _ = 1 to draws do
+        let x = Prng.int g bound in
+        counts.(x) <- counts.(x) + 1
+      done;
+      let expected = float_of_int draws /. float_of_int bound in
+      Array.for_all
+        (fun c -> Float.abs (float_of_int c -. expected) /. expected < 0.20)
+        counts)
+
 let qcheck_int_uniformish =
   QCheck.Test.make ~name:"prng int stays in bounds for random bounds" ~count:200
     QCheck.(pair small_int (int_bound 1000))
@@ -148,7 +191,10 @@ let suite =
       Alcotest.test_case "prng shuffle is a permutation" `Quick test_shuffle_permutation;
       Alcotest.test_case "prng choose" `Quick test_choose;
       Alcotest.test_case "prng sample" `Quick test_sample;
+      Alcotest.test_case "prng int uniform at non-pow2 bounds" `Quick
+        test_int_uniform_non_pow2;
       Alcotest.test_case "timer" `Quick test_timer;
       Alcotest.test_case "ascii plot" `Quick test_ascii_plot;
       QCheck_alcotest.to_alcotest qcheck_int_uniformish;
+      QCheck_alcotest.to_alcotest qcheck_int_uniform_buckets;
     ] )

@@ -11,4 +11,5 @@ let () =
       Suite_sim.suite;
       Suite_aes.suite;
       Suite_apps.suite;
+      Suite_benchkit.suite;
     ]
