@@ -439,6 +439,120 @@ let aes_cmd =
     Term.(const run $ tech_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                 *)
+
+module Fz = Noc_oracle.Fuzz
+
+let fuzz_cmd =
+  let cases_arg =
+    Arg.(value & opt int 200 & info [ "cases" ] ~docv:"N" ~doc:"Random ACG cases to run.")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"CI settings: caps the run at 40 cases — seconds in total.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt string "test/corpus"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Crash corpus replayed before fuzzing (a missing directory replays \
+                nothing).")
+  in
+  let save_dir_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-dir" ] ~docv:"DIR"
+          ~doc:"Where shrunk counterexamples are written (default: the corpus \
+                directory).")
+  in
+  let replay_only_flag =
+    Arg.(
+      value & flag & info [ "replay-only" ] ~doc:"Only replay the corpus; no new cases.")
+  in
+  let property_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "property" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "Restrict to one property (repeatable). Available: %s."
+               (String.concat ", " Fz.property_names)))
+  in
+  let run cases smoke seed corpus save_dir replay_only props lib trace metrics =
+    let library = resolve_library lib in
+    let observe = make_observer ~trace ~metrics in
+    let say s = if metrics then Logs.app (fun k -> k "%s" s) else print_endline s in
+    let corpus_n, corpus_failures = Fz.replay ~observe ~library ~dir:corpus () in
+    say
+      (Printf.sprintf "corpus: %d case%s replayed, %d failure%s" corpus_n
+         (if corpus_n = 1 then "" else "s")
+         (List.length corpus_failures)
+         (if List.length corpus_failures = 1 then "" else "s"));
+    List.iter
+      (fun (file, d) -> say (Printf.sprintf "  CORPUS FAIL %s: %s" file d))
+      corpus_failures;
+    let report =
+      if replay_only then None
+      else begin
+        let cases = if smoke then min cases 40 else cases in
+        let properties = match props with [] -> None | ps -> Some ps in
+        let r = Fz.run ~observe ~library ?properties ~seed ~cases () in
+        say (Format.asprintf "%a" Fz.pp_report r);
+        let dir = Option.value save_dir ~default:corpus in
+        List.iter
+          (fun f ->
+            match Fz.save_failure ~dir f with
+            | path -> say (Printf.sprintf "  saved %s" path)
+            | exception Sys_error m ->
+                Logs.warn (fun k -> k "could not save counterexample: %s" m))
+          r.Fz.failures;
+        Some r
+      end
+    in
+    write_trace observe trace;
+    if metrics then begin
+      let fuzz_json =
+        match report with
+        | None -> Obs.Json.Null
+        | Some r ->
+            Obs.Json.Obj
+              [
+                ("cases", Obs.Json.Int r.Fz.cases);
+                ("properties", Obs.Json.Int r.Fz.properties);
+                ("failures", Obs.Json.Int (List.length r.Fz.failures));
+                ("shrink_steps", Obs.Json.Int r.Fz.shrink_steps);
+                ("elapsed_s", Obs.Json.Float r.Fz.elapsed_s);
+              ]
+      in
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("corpus_cases", Obs.Json.Int corpus_n);
+                ("corpus_failures", Obs.Json.Int (List.length corpus_failures));
+                ("fuzz", fuzz_json);
+                ("metrics", Obs.Json.Obj (Obs.metrics observe));
+              ]))
+    end;
+    let failed =
+      corpus_failures <> []
+      || (match report with Some r -> r.Fz.failures <> [] | None -> false)
+    in
+    if failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing against the reference oracles: replay the crash corpus, \
+          then run random ACGs through every property (decomposition vs exhaustive \
+          optimum, bisection vs brute force, VF2 vs naive enumeration, cost \
+          recomputation, CDG deadlock check, Eq. 2 partition, route validity), \
+          shrinking and saving any counterexample.  Exits 1 on any failure.")
+    Term.(
+      const run $ cases_arg $ smoke_flag $ seed_arg $ corpus_arg $ save_dir_arg
+      $ replay_only_flag $ property_arg $ library_arg $ trace_arg $ metrics_flag)
+
+(* ------------------------------------------------------------------ *)
 (* bench                                                                *)
 
 let resolve_rev = function
@@ -514,7 +628,16 @@ let main =
   Cmd.group
     (Cmd.info "nocsynth" ~version:"1.0.0"
        ~doc:"Energy- and performance-driven NoC communication architecture synthesis")
-    [ generate_cmd; decompose_cmd; synth_cmd; simulate_cmd; codesign_cmd; aes_cmd; bench_cmd ]
+    [
+      generate_cmd;
+      decompose_cmd;
+      synth_cmd;
+      simulate_cmd;
+      codesign_cmd;
+      aes_cmd;
+      bench_cmd;
+      fuzz_cmd;
+    ]
 
 let () =
   setup_logs ();

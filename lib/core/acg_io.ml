@@ -74,6 +74,9 @@ let parse s =
               | Some x -> x
               | None -> err lineno bwcol "bad bandwidth '%s'" bw
             in
+            if u' = v' then err lineno ucol "self-loop %d -> %d is not a flow" u' v';
+            if List.exists (fun (a, b, _, _) -> a = u' && b = v') !quads then
+              err lineno ucol "duplicate edge %d -> %d" u' v';
             quads := (u', v', vol', bw') :: !quads
         | (_, col) :: _ ->
             err lineno col "expected 'src dst volume bandwidth' or 'vertex <id>'")
@@ -91,7 +94,11 @@ let parse s =
               (fun m (u, v, _, bw) -> D.Edge_map.add (u, v) bw m)
               D.Edge_map.empty (List.rev !quads))
          ())
-  with Parse_error m -> Error (`Msg m)
+  with
+  | Parse_error m -> Error (`Msg m)
+  (* backstop so the Result contract holds even for constraints only the
+     graph layer knows about (the line checks above should fire first) *)
+  | Invalid_argument m -> Error (`Msg m)
 
 let load path =
   match

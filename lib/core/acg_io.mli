@@ -3,7 +3,9 @@
     Format: one directed edge per line, [src dst volume bandwidth]
     (vertex ids and volume are integers, bandwidth a float); blank lines
     and lines starting with [#] are ignored.  Isolated vertices can be
-    declared with [vertex <id>].
+    declared with [vertex <id>].  Self-loops and duplicate edges are
+    rejected (an ACG edge is a flow between two distinct cores, and the
+    edge set is a set).
 
     The loaders are Result-typed: malformed input yields
     [Error (`Msg m)] where [m] pinpoints the failure as

@@ -45,7 +45,14 @@ val undirected_diameter : Digraph.t -> int option
 
 val min_bisection_cut : ?sweeps:int -> rng:Noc_util.Prng.t -> Digraph.t -> Digraph.Vset.t * int
 (** Kernighan–Lin style heuristic for minimum bisection of the symmetric
-    closure: returns one half of a balanced (±1 vertex) bipartition and the
-    number of unordered adjacent pairs crossing the cut.  Used for the
+    closure: returns one half of a balanced bipartition and the number of
+    unordered adjacent pairs crossing the cut.  Used for the
     bisection-bandwidth constraint check; exact bisection is NP-hard so a
-    heuristic upper bound is computed, as in the paper's tool flow. *)
+    heuristic upper bound is computed, as in the paper's tool flow.
+
+    Contract (relied on by the brute-force oracle in
+    [Noc_oracle.Bisection] and its differential suite): the returned half
+    has exactly ⌊n/2⌋ vertices (the empty graph yields [(empty, 0)]), the
+    reported cut is exactly the crossing-pair count of the returned half,
+    and — the heuristic being an upper bound — it is never smaller than
+    the optimum over all ⌊n/2⌋-subsets. *)

@@ -1,0 +1,53 @@
+module D = Noc_graph.Digraph
+
+(* unordered adjacent pairs of the symmetric closure *)
+let undirected_pairs g =
+  D.fold_edges
+    (fun u v acc -> D.Edge_set.add (min u v, max u v) acc)
+    g D.Edge_set.empty
+
+let cut_size g half =
+  D.Edge_set.fold
+    (fun (u, v) acc ->
+      if D.Vset.mem u half <> D.Vset.mem v half then acc + 1 else acc)
+    (undirected_pairs g) 0
+
+let min_cut g =
+  let vs = Array.of_list (D.vertex_list g) in
+  let n = Array.length vs in
+  if n > 20 then invalid_arg "Bisection.min_cut: graph too large for brute force";
+  if n = 0 then (D.Vset.empty, 0)
+  else begin
+    let pairs = D.Edge_set.elements (undirected_pairs g) in
+    let half = n / 2 in
+    let best_set = ref D.Vset.empty and best_cut = ref max_int in
+    let chosen = Array.make (max 1 half) (-1) in
+    (* every ⌊n/2⌋-subset, in lexicographic order over vertex indices *)
+    let rec go slot lo =
+      if slot = half then begin
+        let set =
+          Array.fold_left (fun acc i -> D.Vset.add vs.(i) acc) D.Vset.empty chosen
+        in
+        let cut =
+          List.fold_left
+            (fun acc (u, v) ->
+              if D.Vset.mem u set <> D.Vset.mem v set then acc + 1 else acc)
+            0 pairs
+        in
+        if cut < !best_cut then begin
+          best_cut := cut;
+          best_set := set
+        end
+      end
+      else
+        for i = lo to n - 1 - (half - slot - 1) do
+          chosen.(slot) <- i;
+          go (slot + 1) (i + 1)
+        done
+    in
+    if half = 0 then (D.Vset.empty, 0)
+    else begin
+      go 0 0;
+      (!best_set, !best_cut)
+    end
+  end

@@ -1,0 +1,20 @@
+(** Brute-force minimum-bisection oracle.
+
+    {!Noc_graph.Traversal.min_bisection_cut} is a randomized
+    Kernighan–Lin-style heuristic (exact bisection is NP-hard); this module
+    simply tries {e every} balanced bipartition and counts the crossing
+    pairs, so it is the ground truth the heuristic's answer is checked
+    against: the heuristic may only ever report a cut at least as large as
+    the oracle's. *)
+
+val cut_size : Noc_graph.Digraph.t -> Noc_graph.Digraph.Vset.t -> int
+(** Number of unordered vertex pairs adjacent in the symmetric closure with
+    one endpoint inside [half] and one outside — the quantity
+    [min_bisection_cut] reports for its returned half. *)
+
+val min_cut : Noc_graph.Digraph.t -> Noc_graph.Digraph.Vset.t * int
+(** The optimum over all ⌊n/2⌋-subsets of the vertices (the same balance
+    convention as the heuristic); ties break to the lexicographically first
+    subset.  The empty graph yields [(empty, 0)].
+    @raise Invalid_argument on graphs with more than 20 vertices — the
+    enumeration is Θ(C(n, n/2)) and meant for oracle duty only. *)

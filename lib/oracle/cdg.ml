@@ -1,0 +1,61 @@
+module D = Noc_graph.Digraph
+module Syn = Noc_core.Synthesis
+
+let cdg_edges (arch : Syn.t) =
+  let seen = Hashtbl.create 64 in
+  D.Edge_map.iter
+    (fun _ path ->
+      let rec chans = function
+        | a :: (b :: _ as rest) -> (a, b) :: chans rest
+        | [ _ ] | [] -> []
+      in
+      let rec deps = function
+        | c1 :: (c2 :: _ as rest) ->
+            Hashtbl.replace seen (c1, c2) ();
+            deps rest
+        | [ _ ] | [] -> ()
+      in
+      deps (chans path))
+    arch.Syn.routes;
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) seen [])
+
+let is_deadlock_free arch =
+  let edges = cdg_edges arch in
+  (* adjacency over channel vertices *)
+  let succ = Hashtbl.create 64 in
+  let verts = Hashtbl.create 64 in
+  List.iter
+    (fun (c1, c2) ->
+      Hashtbl.replace verts c1 ();
+      Hashtbl.replace verts c2 ();
+      Hashtbl.replace succ c1 (c2 :: Option.value ~default:[] (Hashtbl.find_opt succ c1)))
+    edges;
+  (* three-color DFS with an explicit stack: gray on the stack = back edge *)
+  let color = Hashtbl.create 64 in
+  let cyclic = ref false in
+  Hashtbl.iter
+    (fun v () ->
+      if (not !cyclic) && not (Hashtbl.mem color v) then begin
+        let stack = ref [ (v, Option.value ~default:[] (Hashtbl.find_opt succ v)) ] in
+        Hashtbl.replace color v `Gray;
+        while !stack <> [] && not !cyclic do
+          match !stack with
+          | [] -> ()
+          | (u, todo) :: rest -> (
+              match todo with
+              | [] ->
+                  Hashtbl.replace color u `Black;
+                  stack := rest
+              | w :: ws -> (
+                  stack := (u, ws) :: rest;
+                  match Hashtbl.find_opt color w with
+                  | Some `Gray -> cyclic := true
+                  | Some `Black -> ()
+                  | None ->
+                      Hashtbl.replace color w `Gray;
+                      stack :=
+                        (w, Option.value ~default:[] (Hashtbl.find_opt succ w)) :: !stack))
+        done
+      end)
+    verts;
+  not !cyclic

@@ -1,0 +1,16 @@
+(** Independent channel-dependency-graph deadlock oracle.
+
+    {!Noc_core.Deadlock} builds its CDG through the shared
+    {!Noc_graph.Traversal} cycle machinery; this module re-derives the
+    Dally & Seitz construction straight from the architecture's route
+    table and runs its own three-color DFS, sharing no graph code with the
+    production checker. *)
+
+val cdg_edges :
+  Noc_core.Synthesis.t -> ((int * int) * (int * int)) list
+(** All dependencies between consecutive channels over all routes,
+    deduplicated and sorted — directly comparable with a sorted
+    {!Noc_core.Deadlock.channel_dependency_graph}. *)
+
+val is_deadlock_free : Noc_core.Synthesis.t -> bool
+(** True iff the re-derived CDG is acyclic. *)

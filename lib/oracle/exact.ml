@@ -1,0 +1,37 @@
+module D = Noc_graph.Digraph
+module L = Noc_primitives.Library
+module P = Noc_primitives.Primitive
+
+let impl_links entry = D.undirected_edge_count entry.L.prim.P.impl
+let repr_edges entry = D.num_edges entry.L.prim.P.repr
+
+let saver_entries library =
+  List.filter (fun e -> impl_links e < repr_edges e) library
+
+let optimal_cost ?(all_primitives = false) ?(max_states = 200_000) ~library g =
+  let entries = if all_primitives then library else saver_entries library in
+  let entries = List.map (fun e -> (float_of_int (impl_links e), e.L.prim.P.repr)) entries in
+  let memo : (D.Edge.t list, float) Hashtbl.t = Hashtbl.create 256 in
+  let rec solve edges =
+    match Hashtbl.find_opt memo edges with
+    | Some c -> c
+    | None ->
+        if Hashtbl.length memo >= max_states then
+          invalid_arg "Exact.optimal_cost: state space too large for brute force";
+        let target = D.of_edges edges in
+        let best = ref (float_of_int (List.length edges)) in
+        List.iter
+          (fun (links, pattern) ->
+            List.iter
+              (fun covered ->
+                let rest =
+                  List.filter (fun e -> not (List.mem e covered)) edges
+                in
+                let c = links +. solve rest in
+                if c < !best then best := c)
+              (Iso.covered_sets ~pattern ~target))
+          entries;
+        Hashtbl.replace memo edges !best;
+        !best
+  in
+  solve (D.edges g)

@@ -1,0 +1,67 @@
+module D = Noc_graph.Digraph
+
+type mapping = int D.Vmap.t
+
+let find_all ~pattern ~target =
+  let pverts = Array.of_list (D.vertex_list pattern) in
+  let tverts = Array.of_list (D.vertex_list target) in
+  let np = Array.length pverts and nt = Array.length tverts in
+  if np > nt then []
+  else begin
+    (* dense adjacency matrix of the target *)
+    let idx = Hashtbl.create (max 1 nt) in
+    Array.iteri (fun i v -> Hashtbl.replace idx v i) tverts;
+    let adj = Array.make_matrix (max 1 nt) (max 1 nt) false in
+    D.iter_edges
+      (fun u v -> adj.(Hashtbl.find idx u).(Hashtbl.find idx v) <- true)
+      target;
+    (* pattern edges as slot pairs into [pverts] *)
+    let pslot = Hashtbl.create (max 1 np) in
+    Array.iteri (fun i v -> Hashtbl.replace pslot v i) pverts;
+    let pedges =
+      List.map (fun (u, v) -> (Hashtbl.find pslot u, Hashtbl.find pslot v)) (D.edges pattern)
+    in
+    let assigned = Array.make (max 1 np) (-1) in
+    let used = Array.make (max 1 nt) false in
+    let results = ref [] in
+    let rec go i =
+      if i = np then
+        results :=
+          (D.Vmap.of_seq
+             (Seq.mapi (fun s t -> (pverts.(s), tverts.(t))) (Array.to_seq assigned)))
+          :: !results
+      else
+        for t = 0 to nt - 1 do
+          if not used.(t) then begin
+            assigned.(i) <- t;
+            (* check every pattern edge whose endpoints are both assigned;
+               edges among earlier slots are rechecked — wasteful, obvious *)
+            let ok =
+              List.for_all
+                (fun (a, b) -> a > i || b > i || adj.(assigned.(a)).(assigned.(b)))
+                pedges
+            in
+            if ok then begin
+              used.(t) <- true;
+              go (i + 1);
+              used.(t) <- false
+            end;
+            assigned.(i) <- -1
+          end
+        done
+    in
+    go 0;
+    List.rev !results
+  end
+
+let count ~pattern ~target = List.length (find_all ~pattern ~target)
+
+let canonical maps =
+  List.sort compare (List.map D.Vmap.bindings maps)
+
+let covered_sets ~pattern ~target =
+  let image m =
+    List.sort D.Edge.compare
+      (List.map (fun (u, v) -> (D.Vmap.find u m, D.Vmap.find v m)) (D.edges pattern))
+  in
+  List.sort_uniq compare (List.map image (find_all ~pattern ~target))

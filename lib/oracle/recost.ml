@@ -1,0 +1,58 @@
+module D = Noc_graph.Digraph
+module Tech = Noc_energy.Technology
+module Fp = Noc_energy.Floorplan
+module Acg = Noc_core.Acg
+module Matching = Noc_core.Matching
+
+let manhattan_mm fp a b =
+  let xa, ya = Fp.position fp a and xb, yb = Fp.position fp b in
+  abs_float (xa -. xb) +. abs_float (ya -. yb)
+
+let link_bit_energy_pj (tech : Tech.t) len =
+  (tech.Tech.el_bit_per_mm *. len)
+  +. (float_of_int (int_of_float (len /. tech.Tech.repeater_spacing_mm))
+     *. tech.Tech.e_repeater)
+
+let path_bit_energy_pj ~tech ~fp path =
+  let rec links = function
+    | a :: (b :: _ as rest) -> link_bit_energy_pj tech (manhattan_mm fp a b) :: links rest
+    | [ _ ] | [] -> []
+  in
+  match path with
+  | [] | [ _ ] -> invalid_arg "Recost.path_bit_energy_pj: path too short"
+  | _ ->
+      (float_of_int (List.length path) *. (tech : Tech.t).Tech.es_bit)
+      +. List.fold_left ( +. ) 0.0 (links path)
+
+let matching_cost cost acg (m : Matching.t) =
+  match cost with
+  | Noc_core.Cost.Edge_count ->
+      float_of_int (D.undirected_edge_count (Matching.impl_in_acg m))
+  | Noc_core.Cost.Energy { tech; fp } ->
+      List.fold_left
+        (fun acc (u, v) ->
+          match Matching.acg_route m ~src:u ~dst:v with
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Recost.matching_cost: covered edge %d->%d has no route"
+                   u v)
+          | Some path ->
+              acc
+              +. (float_of_int (Acg.volume acg u v) *. path_bit_energy_pj ~tech ~fp path))
+        0.0 m.Matching.covered
+
+let remainder_cost cost acg remainder =
+  match cost with
+  | Noc_core.Cost.Edge_count -> float_of_int (D.num_edges remainder)
+  | Noc_core.Cost.Energy { tech; fp } ->
+      D.fold_edges
+        (fun u v acc ->
+          acc
+          +. (float_of_int (Acg.volume acg u v) *. path_bit_energy_pj ~tech ~fp [ u; v ]))
+        remainder 0.0
+
+let decomposition_cost cost acg (d : Noc_core.Decomposition.t) =
+  List.fold_left
+    (fun acc m -> acc +. matching_cost cost acg m)
+    (remainder_cost cost acg d.Noc_core.Decomposition.remainder)
+    d.Noc_core.Decomposition.matchings

@@ -1,0 +1,37 @@
+(** First-principles recomputation of the paper's cost functions.
+
+    The production cost path ({!Noc_core.Cost}, {!Noc_core.Matching.cost},
+    {!Noc_core.Decomposition.cost}) goes through cached link counts, CSR
+    remainder views and the shared {!Noc_energy.Energy_model} helpers.
+    This module recomputes the same quantities directly from the raw
+    definitions — Eq. 1 ([Ebit = nhops·ES_bit + Σ EL_bit(l)], with
+    [EL_bit(l) = el_bit_per_mm·l + ⌊l/spacing⌋·e_repeater]) and Eq. 5
+    (volume-weighted sum over every covered edge's route) — sharing nothing
+    with the production path except the floorplan coordinates and the
+    technology record fields. *)
+
+val path_bit_energy_pj :
+  tech:Noc_energy.Technology.t -> fp:Noc_energy.Floorplan.t -> int list -> float
+(** Eq. 1 for one vertex path: every vertex on the path is a router
+    traversal; every consecutive pair is a link at the Manhattan distance
+    between the cores' floorplan positions.
+    @raise Invalid_argument on paths with fewer than 2 vertices. *)
+
+val matching_cost :
+  Noc_core.Cost.t -> Noc_core.Acg.t -> Noc_core.Matching.t -> float
+(** [Edge_count]: the number of undirected physical links of the matching's
+    implementation graph, counted on the graph itself.  [Energy]: Eq. 5
+    over the matching's routes.
+    @raise Invalid_argument under [Energy] if a covered edge has no route —
+    the production cost silently drops such edges, which is exactly the
+    kind of divergence this oracle exists to expose. *)
+
+val remainder_cost :
+  Noc_core.Cost.t -> Noc_core.Acg.t -> Noc_graph.Digraph.t -> float
+(** Dedicated-link realization of the remainder: one link per directed edge
+    under [Edge_count]; volume × (2 routers + one direct link) under
+    [Energy]. *)
+
+val decomposition_cost :
+  Noc_core.Cost.t -> Noc_core.Acg.t -> Noc_core.Decomposition.t -> float
+(** Eq. 3: matching costs plus remainder cost. *)

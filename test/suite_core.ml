@@ -621,6 +621,22 @@ let test_acg_io_errors () =
   check_parse_error "bad bandwidth" "line 1, column 8: bad bandwidth 'fast'"
     "1 2 64 fast";
   check_parse_error "bad vertex" "line 1, column 8: bad vertex id 'abc'" "vertex abc";
+  check_parse_error "bad volume" "line 1, column 5: bad volume '64.5'" "1 2 64.5 0.5";
+  check_parse_error "bad source" "line 3, column 1: bad source vertex 'one'"
+    "1 2 64 0.5\n# fine so far\none 2 64 0.5";
+  check_parse_error "missing field"
+    "line 1, column 1: expected 'src dst volume bandwidth' or 'vertex <id>'" "1 2 64";
+  check_parse_error "extra field"
+    "line 1, column 1: expected 'src dst volume bandwidth' or 'vertex <id>'"
+    "1 2 64 0.5 extra";
+  check_parse_error "bare vertex keyword"
+    "line 1, column 1: expected 'src dst volume bandwidth' or 'vertex <id>'" "vertex";
+  (* flows connect two distinct cores: a self-loop is a parse error with a
+     position, not an Invalid_argument escaping from the graph layer *)
+  check_parse_error "self-loop" "line 2, column 1: self-loop 3 -> 3 is not a flow"
+    "1 2 64 0.5\n3 3 5 0.5";
+  check_parse_error "duplicate edge" "line 3, column 1: duplicate edge 1 -> 2"
+    "1 2 64 0.5\n2 3 32 0.1\n1 2 9 0.9";
   (* the deprecated exception surface still reports the same message *)
   Alcotest.check_raises "of_string raises"
     (Invalid_argument "Acg_io.of_string: line 1, column 8: bad vertex id 'abc'")

@@ -8,6 +8,7 @@ let () =
       Suite_energy.suite;
       Suite_core.suite;
       Suite_obs.suite;
+      Suite_oracle.suite;
       Suite_sim.suite;
       Suite_aes.suite;
       Suite_apps.suite;
