@@ -22,6 +22,11 @@ module Bb = Noc_core.Branch_bound
 module Decomp = Noc_core.Decomposition
 module Syn = Noc_core.Synthesis
 module Dist = Noc_aes.Distributed
+
+let ok_encrypt = function
+  | Ok r -> r
+  | Error (`Undrained n) ->
+      failwith (Printf.sprintf "distributed AES did not drain: %d packets pending" n)
 module Stats = Noc_sim.Stats
 module Prng = Noc_util.Prng
 
@@ -196,7 +201,7 @@ let aes_table () =
   let expect = Noc_aes.Aes_core.encrypt_block ~key pt in
   let config = { Noc_sim.Network.default_config with router_delay = 3 } in
   let run arch =
-    let r = Dist.encrypt ~config ~arch ~key pt in
+    let r = ok_encrypt (Dist.encrypt ~config ~arch ~key pt) in
     assert (Bytes.equal r.Dist.ciphertext expect);
     let energy = Stats.total_energy_pj ~tech ~fp r.Dist.net in
     let power = Stats.avg_power_mw ~tech ~fp r.Dist.net in
@@ -254,8 +259,8 @@ let ablate () =
   List.iter
     (fun rd ->
       let config = { Noc_sim.Network.default_config with router_delay = rd } in
-      let rm = Dist.encrypt ~config ~arch:mesh ~key pt in
-      let rc = Dist.encrypt ~config ~arch:custom ~key pt in
+      let rm = ok_encrypt (Dist.encrypt ~config ~arch:mesh ~key pt) in
+      let rc = ok_encrypt (Dist.encrypt ~config ~arch:custom ~key pt) in
       Printf.printf "  router_delay=%d: mesh=%4d custom=%4d (%.2fx)\n" rd rm.Dist.cycles
         rc.Dist.cycles
         (float_of_int rc.Dist.cycles /. float_of_int rm.Dist.cycles))
@@ -311,14 +316,14 @@ let routing () =
               shift_flows;
             (match Noc_sim.Network.run_until_idle net with
             | `Idle -> ()
-            | `Limit -> failwith "hang");
+            | `Limit _ -> failwith "hang");
             List.iter
               (fun (src, dst) ->
                 ignore (Noc_sim.Network.inject ~size_flits:2 net ~src ~dst))
               mix_flows;
             match Noc_sim.Network.run_until_idle net with
             | `Idle -> ()
-            | `Limit -> failwith "hang"
+            | `Limit _ -> failwith "hang"
           done;
           let s = Stats.summarize (Noc_sim.Network.deliveries net) in
           Printf.printf "%-12s %-10s %10d %12.2f
@@ -434,7 +439,7 @@ let wormhole () =
         flows;
       (match Noc_sim.Network.run_until_idle net with
       | `Idle -> ()
-      | `Limit -> failwith "hang");
+      | `Limit _ -> failwith "hang");
       let s = Stats.summarize (Noc_sim.Network.deliveries net) in
       Printf.printf "%-12s %-18s %10d %12.2f
 " arch_name "store-and-forward"
@@ -537,7 +542,7 @@ let mapping () =
         g;
       match Noc_sim.Network.run_until_idle net with
       | `Idle -> ()
-      | `Limit -> failwith "hang"
+      | `Limit _ -> failwith "hang"
     done;
     (Noc_sim.Network.now net, (Stats.summarize (Noc_sim.Network.deliveries net)).Stats.avg_latency)
   in
@@ -552,7 +557,7 @@ let mapping () =
         g;
       match Noc_sim.Network.run_until_idle net with
       | `Idle -> ()
-      | `Limit -> failwith "hang"
+      | `Limit _ -> failwith "hang"
     done;
     (Noc_sim.Network.now net, (Stats.summarize (Noc_sim.Network.deliveries net)).Stats.avg_latency)
   in
@@ -570,7 +575,7 @@ let mapping () =
   Printf.printf "%-28s %10d %12.2f
 " "customized topology" c2 l2;
   (* the full bit-exact AES on the default mapping for reference *)
-  let r = Dist.encrypt ~config ~arch:custom ~key pt in
+  let r = ok_encrypt (Dist.encrypt ~config ~arch:custom ~key pt) in
   Printf.printf "(bit-exact AES on the customized arch: %d cycles/block)
 " r.Dist.cycles
 

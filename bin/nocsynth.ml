@@ -7,6 +7,7 @@
      nocsynth simulate ...   customized vs mesh under random traffic
      nocsynth aes            the paper's Section 5.2 experiment
      nocsynth bench ...      run the benchmark corpus, write BENCH_<rev>.json
+     nocsynth faults ...     fault-injection campaigns (+ optional hardening)
 
    All diagnostics go through Logs to stderr; stdout carries only data
    (listings, reports, ACG text, and the --metrics JSON), so outputs can
@@ -420,7 +421,14 @@ let aes_cmd =
     let config = { Noc_sim.Network.default_config with router_delay = 3 } in
     List.iter
       (fun (name, arch) ->
-        let r = Noc_aes.Distributed.encrypt ~config ~arch ~key pt in
+        let r =
+          match Noc_aes.Distributed.encrypt ~config ~arch ~key pt with
+          | Ok r -> r
+          | Error (`Undrained n) ->
+              Logs.err (fun m ->
+                  m "%s: distributed AES did not drain (%d packets pending)" name n);
+              exit 1
+        in
         Format.printf
           "%-12s cycles/block=%4d thpt=%6.1f Mbps lat=%6.2f power=%6.2f mW energy=%9.1f pJ@."
           name r.Noc_aes.Distributed.cycles
@@ -553,6 +561,162 @@ let fuzz_cmd =
       $ replay_only_flag $ property_arg $ library_arg $ trace_arg $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
+(* faults                                                               *)
+
+module Campaign = Noc_resil.Campaign
+
+let faults_cmd =
+  let campaign_arg =
+    let campaign_enum = Arg.enum [ ("single-link", `Single); ("multi-link", `Multi) ] in
+    Arg.(
+      value & opt campaign_enum `Single
+      & info [ "campaign" ] ~docv:"KIND"
+          ~doc:"single-link (exhaustive, one run per physical link) or multi-link \
+                (sampled simultaneous failures).")
+  in
+  let links_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "links" ] ~docv:"K" ~doc:"Simultaneous link failures per multi-link run.")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "samples" ] ~docv:"N" ~doc:"Sampled fault sets per multi-link campaign.")
+  in
+  let scenario_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Restrict to one corpus scenario (repeatable; default: all).")
+  in
+  let harden_flag =
+    Arg.(
+      value & flag
+      & info [ "harden" ]
+          ~doc:"Add minimum-cost spare links (Eq. 1 link cost) until no single link \
+                failure can disconnect a flow, then run the campaign on the hardened \
+                architecture.")
+  in
+  let run campaign links samples scenarios harden seed lib trace metrics =
+    let library = resolve_library lib in
+    let observe = make_observer ~trace ~metrics in
+    let say s = if metrics then Logs.app (fun k -> k "%s" s) else print_endline s in
+    let corpus = Noc_benchkit.Corpus.default () in
+    let picked =
+      match scenarios with
+      | [] -> corpus
+      | names ->
+          List.map
+            (fun n ->
+              match Noc_benchkit.Corpus.find n corpus with
+              | Some s -> s
+              | None ->
+                  Logs.err (fun k -> k "unknown scenario %S" n);
+                  exit 2)
+            names
+    in
+    let spec =
+      match campaign with
+      | `Single -> Campaign.Single_link
+      | `Multi -> Campaign.Multi_link { links; samples }
+    in
+    say
+      (Printf.sprintf "%-20s %6s %6s %8s %8s %6s %6s %9s" "scenario" "links" "runs"
+         "min dlv" "max lat" "disc" "crit" "survives");
+    let reports =
+      List.map
+        (fun (s : Noc_benchkit.Corpus.scenario) ->
+          let acg = s.Noc_benchkit.Corpus.acg in
+          let d, _ = Bb.decompose ~observe ~library acg in
+          let arch = Syn.custom acg d in
+          let arch, spares =
+            if harden then begin
+              let tech = Tech.cmos_180nm and fp = grid_floorplan acg in
+              let arch', spares = Syn.harden ~tech ~fp arch in
+              List.iter
+                (fun (a, b) ->
+                  Logs.info (fun k -> k "%s: spare link %d-%d" s.Noc_benchkit.Corpus.name a b))
+                spares;
+              (arch', spares)
+            end
+            else (arch, [])
+          in
+          let rep =
+            Campaign.run ~observe ~name:s.Noc_benchkit.Corpus.name ~seed ~spec acg arch
+          in
+          say
+            (Printf.sprintf "%-20s %6d %6d %8.3f %8.2f %6d %6d %9s"
+               rep.Campaign.scenario
+               (List.length (Noc_resil.Fault.undirected_links arch))
+               (List.length rep.Campaign.runs)
+               rep.Campaign.min_delivered_fraction rep.Campaign.max_latency_factor
+               rep.Campaign.worst_disconnected_pairs rep.Campaign.critical_links
+               (if rep.Campaign.survives_all then "yes" else "NO"));
+          (* the worst offenders, for targeted hardening *)
+          List.iteri
+            (fun i (c : Campaign.link_criticality) ->
+              if i < 3 && (c.Campaign.delivered_fraction < 1.0 || c.Campaign.disconnected_pairs > 0)
+              then
+                say
+                  (Printf.sprintf "  critical link %d-%d: delivered %.3f, %d pair(s) cut"
+                     (fst c.Campaign.link) (snd c.Campaign.link)
+                     c.Campaign.delivered_fraction c.Campaign.disconnected_pairs))
+            rep.Campaign.criticality;
+          (rep, spares))
+        picked
+    in
+    write_trace observe trace;
+    if metrics then begin
+      let report_json ((rep : Campaign.report), spares) =
+        ( rep.Campaign.scenario,
+          Obs.Json.Obj
+            [
+              ("runs", Obs.Json.Int (List.length rep.Campaign.runs));
+              ("min_delivered_fraction", Obs.Json.Float rep.Campaign.min_delivered_fraction);
+              ("max_latency_factor", Obs.Json.Float rep.Campaign.max_latency_factor);
+              ( "worst_disconnected_pairs",
+                Obs.Json.Int rep.Campaign.worst_disconnected_pairs );
+              ("critical_links", Obs.Json.Int rep.Campaign.critical_links);
+              ("survives_all", Obs.Json.Bool rep.Campaign.survives_all);
+              ("stranded", Obs.Json.Int rep.Campaign.stranded_total);
+              ( "spares",
+                Obs.Json.List
+                  (List.map
+                     (fun (a, b) ->
+                       Obs.Json.List [ Obs.Json.Int a; Obs.Json.Int b ])
+                     spares) );
+            ] )
+      in
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              (List.map report_json reports
+              @ [ ("metrics", Obs.Json.Obj (Obs.metrics observe)) ])))
+    end;
+    (* a stranded packet means the fault subsystem failed to classify it:
+       that is a bug, not a degraded-but-correct outcome *)
+    let stranded =
+      List.fold_left (fun n ((r : Campaign.report), _) -> n + r.Campaign.stranded_total) 0 reports
+    in
+    if stranded > 0 then begin
+      Logs.err (fun k -> k "%d packet(s) neither delivered nor dropped" stranded);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-injection campaigns on the synthesized corpus architectures: fail links \
+          mid-flight (exhaustively one at a time, or sampled multi-link sets), measure \
+          delivered fraction, latency degradation and per-link criticality, and \
+          optionally harden the topology with spare links until any single link \
+          failure is survivable.  Exits 1 if any packet is left unclassified.")
+    Term.(
+      const run $ campaign_arg $ links_arg $ samples_arg $ scenario_arg $ harden_flag
+      $ seed_arg $ library_arg $ trace_arg $ metrics_flag)
+
+(* ------------------------------------------------------------------ *)
 (* bench                                                                *)
 
 let resolve_rev = function
@@ -637,6 +801,7 @@ let main =
       aes_cmd;
       bench_cmd;
       fuzz_cmd;
+      faults_cmd;
     ]
 
 let () =

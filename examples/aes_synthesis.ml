@@ -7,6 +7,11 @@
 
 module A = Noc_aes.Aes_core
 module Dist = Noc_aes.Distributed
+
+let ok_encrypt = function
+  | Ok r -> r
+  | Error (`Undrained n) ->
+      failwith (Printf.sprintf "distributed AES did not drain: %d packets pending" n)
 module Bb = Noc_core.Branch_bound
 module Decomp = Noc_core.Decomposition
 module Syn = Noc_core.Synthesis
@@ -39,7 +44,7 @@ let () =
   in
   let config = { Noc_sim.Network.default_config with router_delay = 3 } in
   let run name arch =
-    let r = Dist.encrypt ~config ~arch ~key pt in
+    let r = ok_encrypt (Dist.encrypt ~config ~arch ~key pt) in
     assert (Bytes.equal r.Dist.ciphertext expect);
     let energy = Stats.total_energy_pj ~tech ~fp r.Dist.net in
     let power = Stats.avg_power_mw ~tech ~fp r.Dist.net in

@@ -11,6 +11,11 @@
    Run with: dune exec examples/routing_strategies.exe *)
 
 module Dist = Noc_aes.Distributed
+
+let ok_encrypt = function
+  | Ok r -> r
+  | Error (`Undrained n) ->
+      failwith (Printf.sprintf "distributed AES did not drain: %d packets pending" n)
 module Net = Noc_sim.Network
 module Syn = Noc_core.Synthesis
 
@@ -28,7 +33,7 @@ let () =
   (* --- fixed policy: the full bit-exact encryption --- *)
   List.iter
     (fun (arch_name, arch) ->
-      let r = Dist.encrypt ~config ~arch ~key pt in
+      let r = ok_encrypt (Dist.encrypt ~config ~arch ~key pt) in
       assert (Bytes.equal r.Dist.ciphertext expect);
       Format.printf "%-12s %-10s %14d %12.2f@." arch_name "fixed" r.Dist.cycles
         r.Dist.summary.Noc_sim.Stats.avg_latency)
@@ -39,7 +44,7 @@ let () =
     (* one AES round's communication: ShiftRows then MixColumns bursts *)
     let burst flows =
       List.iter (fun (src, dst) -> ignore (Net.inject ~size_flits:2 net ~src ~dst)) flows;
-      match Net.run_until_idle net with `Idle -> () | `Limit -> failwith "hang"
+      match Net.run_until_idle net with `Idle -> () | `Limit _ -> failwith "hang"
     in
     let shift_flows =
       List.concat_map
@@ -116,7 +121,7 @@ let () =
         List.iter
           (fun (src, dst) -> ignore (Net.inject ~size_flits:2 net ~src ~dst))
           transpose_flows;
-        match Net.run_until_idle net with `Idle -> () | `Limit -> failwith "hang"
+        match Net.run_until_idle net with `Idle -> () | `Limit _ -> failwith "hang"
       done;
       let s = Noc_sim.Stats.summarize (Net.deliveries net) in
       Format.printf "%-10s %10d %12.2f@." pol_name (Net.now net)
@@ -140,7 +145,7 @@ let () =
       for _ = 1 to 8 do
         ignore (Net.inject ~size_flits:4 net ~src:1 ~dst:4)
       done;
-      (match Net.run_until_idle net with `Idle -> () | `Limit -> failwith "hang");
+      (match Net.run_until_idle net with `Idle -> () | `Limit _ -> failwith "hang");
       Format.printf "  %-10s drains in %d cycles@." pol_name (Net.now net))
     [
       ("fixed", Net.Fixed);

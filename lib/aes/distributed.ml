@@ -60,7 +60,11 @@ type result = {
   net : Net.t;
 }
 
-let encrypt ?config ?(timing = default_timing) ~arch ~key block =
+(* internal short-circuit for the non-draining path; never escapes [encrypt] *)
+exception Undrained of int
+
+let encrypt ?config ?(timing = default_timing) ?(max_cycles = 1_000_000) ~arch ~key block
+    =
   if Bytes.length key <> 16 then invalid_arg "Distributed.encrypt: need a 16-byte key";
   if Bytes.length block <> 16 then invalid_arg "Distributed.encrypt: need a 16-byte block";
   let net = Net.create ?config arch in
@@ -92,9 +96,9 @@ let encrypt ?config ?(timing = default_timing) ~arch ~key block =
     local_compute timing.sub_bytes
   in
   let wait_all () =
-    match Net.run_until_idle ~max_cycles:1_000_000 net with
+    match Net.run_until_idle ~max_cycles net with
     | `Idle -> ()
-    | `Limit -> invalid_arg "Distributed.encrypt: network failed to drain"
+    | `Limit pending -> raise (Undrained pending)
   in
   let shift_rows () =
     for row = 1 to 3 do
@@ -110,7 +114,7 @@ let encrypt ?config ?(timing = default_timing) ~arch ~key block =
     done;
     wait_all ();
     List.iter
-      (fun { Net.packet; _ } ->
+      (fun { Net.packet; delivered_at = _ } ->
         byte.(packet.Noc_sim.Packet.dst) <-
           Char.code (Bytes.get packet.Noc_sim.Packet.payload 0))
       (Net.drain_deliveries net)
@@ -143,7 +147,7 @@ let encrypt ?config ?(timing = default_timing) ~arch ~key block =
       columns.(v) <- col
     done;
     List.iter
-      (fun { Net.packet; _ } ->
+      (fun { Net.packet; delivered_at = _ } ->
         let src = packet.Noc_sim.Packet.tag and dst = packet.Noc_sim.Packet.dst in
         let sr, _ = pos_of src in
         columns.(dst).(sr) <- Char.code (Bytes.get packet.Noc_sim.Packet.payload 0))
@@ -155,22 +159,26 @@ let encrypt ?config ?(timing = default_timing) ~arch ~key block =
     done;
     local_compute timing.mix_compute
   in
-  add_round_key 0;
-  for round = 1 to 9 do
+  match
+    add_round_key 0;
+    for round = 1 to 9 do
+      sub_bytes ();
+      shift_rows ();
+      mix_columns ();
+      add_round_key round
+    done;
     sub_bytes ();
     shift_rows ();
-    mix_columns ();
-    add_round_key round
-  done;
-  sub_bytes ();
-  shift_rows ();
-  add_round_key 10;
-  let ciphertext = Bytes.create 16 in
-  for v = 1 to 16 do
-    Bytes.set ciphertext (fips_index v) (Char.chr byte.(v))
-  done;
-  let summary = Noc_sim.Stats.summarize (Net.deliveries net) in
-  { ciphertext; cycles = Net.now net; summary; net }
+    add_round_key 10
+  with
+  | () ->
+      let ciphertext = Bytes.create 16 in
+      for v = 1 to 16 do
+        Bytes.set ciphertext (fips_index v) (Char.chr byte.(v))
+      done;
+      let summary = Noc_sim.Stats.summarize (Net.deliveries net) in
+      Ok { ciphertext; cycles = Net.now net; summary; net }
+  | exception Undrained pending -> Error (`Undrained pending)
 
 let throughput_mbps ~cycles_per_block ~clock_mhz =
   128.0 *. clock_mhz /. float_of_int cycles_per_block

@@ -48,13 +48,18 @@ type result = {
 val encrypt :
   ?config:Noc_sim.Network.config ->
   ?timing:timing ->
+  ?max_cycles:int ->
   arch:Noc_core.Synthesis.t ->
   key:Bytes.t ->
   Bytes.t ->
-  result
+  (result, [ `Undrained of int ]) Stdlib.result
 (** Encrypts one 16-byte block on the given architecture.  The
     architecture must route every ACG flow (build it from {!acg} via
     {!Noc_core.Synthesis.custom} or {!Noc_core.Synthesis.mesh}).
+    [Error (`Undrained n)] means some communication phase failed to drain
+    within [max_cycles] (default 1_000_000) with [n] packets still in
+    flight — e.g. an architecture degraded by faults mid-encryption —
+    instead of the [Invalid_argument] escape this API used to raise.
     @raise Invalid_argument on bad key/block sizes or missing routes. *)
 
 val throughput_mbps : cycles_per_block:int -> clock_mhz:float -> float

@@ -102,7 +102,7 @@ let distributed ?config ?(butterfly_cycles = 2) ~arch x =
   let wait_all () =
     match Net.run_until_idle ~max_cycles:1_000_000 net with
     | `Idle -> ()
-    | `Limit -> invalid_arg "Fft.distributed: network failed to drain"
+    | `Limit _ -> invalid_arg "Fft.distributed: network failed to drain"
   in
   List.iter
     (fun d ->
@@ -117,7 +117,7 @@ let distributed ?config ?(butterfly_cycles = 2) ~arch x =
       wait_all ();
       let received = Array.make n_nodes Complex.zero in
       List.iter
-        (fun { Net.packet; _ } ->
+        (fun { Net.packet; delivered_at = _ } ->
           received.(packet.Noc_sim.Packet.dst - 1) <-
             complex_of_bytes packet.Noc_sim.Packet.payload)
         (Net.drain_deliveries net);

@@ -1,7 +1,10 @@
 module J = Noc_obs.Obs.Json
 
 let schema = "nocsynth-bench"
-let schema_version = 1
+
+(* v2 added the per-scenario "resilience" object (single-link fault
+   campaign); older records fail the schema check and must be re-recorded *)
+let schema_version = 2
 
 let search_sample_json (s : Runner.search_sample) =
   J.Obj
@@ -50,6 +53,17 @@ let result_json (r : Runner.result) =
       ("sweep", J.List (List.map sweep_sample_json r.Runner.sweep));
       ( "saturation_rate",
         match r.Runner.saturation_rate with Some x -> J.Float x | None -> J.Null );
+      ( "resilience",
+        let s = r.Runner.resilience in
+        J.Obj
+          [
+            ("min_delivered_fraction", J.Float s.Runner.min_delivered_fraction);
+            ("max_latency_factor", J.Float s.Runner.max_latency_factor);
+            ("worst_disconnected_pairs", J.Int s.Runner.worst_disconnected_pairs);
+            ("critical_links", J.Int s.Runner.critical_links);
+            ("survives_single_link", J.Bool s.Runner.survives_single_link);
+            ("stranded", J.Int s.Runner.resil_stranded);
+          ] );
     ]
 
 let to_json ?(created_unix_s = Unix.gettimeofday ()) ~rev ~mode results =

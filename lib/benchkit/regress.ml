@@ -15,6 +15,15 @@ type rule = {
    tight.  First matching rule wins; un-matched keys are informational. *)
 let rules ~time_limit_pct ~limit_pct =
   [
+    (* resilience metrics come first so the generic suffixes below can
+       never shadow them; deliveries must not get worse at all, latency
+       degradation tolerates a small absolute slack *)
+    { suffix = ".min_delivered_fraction"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
+    { suffix = ".max_latency_factor"; limit_pct; min_abs = 0.05; direction = Increase_bad };
+    { suffix = ".worst_disconnected_pairs"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".critical_links"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".survives_single_link"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
+    { suffix = "resilience.stranded"; limit_pct; min_abs = 0.0; direction = Increase_bad };
     { suffix = ".wall_s"; limit_pct = time_limit_pct; min_abs = 0.02; direction = Increase_bad };
     { suffix = ".nodes"; limit_pct; min_abs = 8.0; direction = Increase_bad };
     { suffix = ".best_cost"; limit_pct; min_abs = 0.0; direction = Increase_bad };

@@ -53,6 +53,15 @@ type sweep_sample = {
   throughput : float;
 }
 
+type resilience_sample = {
+  min_delivered_fraction : float;
+  max_latency_factor : float;
+  worst_disconnected_pairs : int;
+  critical_links : int;
+  survives_single_link : bool;
+  resil_stranded : int;
+}
+
 type result = {
   name : string;
   kind : string;
@@ -72,6 +81,7 @@ type result = {
   wormhole_delivered : int;
   sweep : sweep_sample list;
   saturation_rate : float option;
+  resilience : resilience_sample;
 }
 
 (* the grid floorplan must place every vertex id the ACG mentions, so size
@@ -149,6 +159,20 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
           ~rng:(Prng.create ~seed:settings.seed)
           ~arch ~acg ~cycles:settings.sweep_cycles ~rates:settings.sweep_rates ())
   in
+  let resilience =
+    let rep =
+      Noc_resil.Campaign.run ~observe ~name:s.name ~seed:settings.seed
+        ~spec:Noc_resil.Campaign.Single_link acg arch
+    in
+    {
+      min_delivered_fraction = rep.Noc_resil.Campaign.min_delivered_fraction;
+      max_latency_factor = rep.Noc_resil.Campaign.max_latency_factor;
+      worst_disconnected_pairs = rep.Noc_resil.Campaign.worst_disconnected_pairs;
+      critical_links = rep.Noc_resil.Campaign.critical_links;
+      survives_single_link = rep.Noc_resil.Campaign.survives_all;
+      resil_stranded = rep.Noc_resil.Campaign.stranded_total;
+    }
+  in
   Obs.Counter.incr (Obs.counter observe "bench.scenarios");
   {
     name = s.name;
@@ -178,6 +202,7 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
           })
         sweep_points;
     saturation_rate = Noc_sim.Sweep.saturation_rate sweep_points;
+    resilience;
   }
 
 let run_corpus ?(observe = Obs.disabled) ?library ~settings scenarios =

@@ -1,7 +1,8 @@
 (** Runs the benchmark corpus through the full synthesis flow.
 
     Each scenario goes decompose -> glue -> deadlock analysis -> wormhole
-    burst simulation -> offered-load sweep, with per-stage [Noc_obs] spans
+    burst simulation -> offered-load sweep -> single-link fault campaign,
+    with per-stage [Noc_obs] spans
     (category ["bench"]) so a [--trace] of a bench run opens in Perfetto.
     Everything is seeded; apart from wall-clock fields the results are
     deterministic, which is what makes the regression gate possible. *)
@@ -41,6 +42,16 @@ type sweep_sample = {
   throughput : float;
 }
 
+type resilience_sample = {
+  min_delivered_fraction : float;
+      (** worst delivered/injected over the exhaustive single-link sweep *)
+  max_latency_factor : float;  (** worst latency vs the fault-free baseline *)
+  worst_disconnected_pairs : int;
+  critical_links : int;  (** links whose loss strands traffic or a flow *)
+  survives_single_link : bool;  (** every single-link run delivered 1.0 *)
+  resil_stranded : int;  (** unclassified packets across the sweep — must be 0 *)
+}
+
 type result = {
   name : string;
   kind : string;
@@ -60,6 +71,8 @@ type result = {
   wormhole_delivered : int;
   sweep : sweep_sample list;
   saturation_rate : float option;
+  resilience : resilience_sample;
+      (** exhaustive single-link fault campaign ({!Noc_resil.Campaign}) *)
 }
 
 val run :

@@ -161,6 +161,67 @@ let bisection_links ~rng t =
 
 let routes_valid t = routes_valid_internal t.topology t.routes
 
+(* Spare-link hardening: add minimum-cost extra links until no single link
+   failure can disconnect a routed flow's endpoints.  The cost of a spare
+   is its one-hop Eq. 1 bit energy over the floorplan, so spares between
+   physically close cores are preferred.  Only original links ever need
+   protecting — removing a spare leaves every original route intact — so
+   the greedy loop terminates (the direct src-dst link always reconnects a
+   broken pair). *)
+let harden ~tech ~fp t =
+  let pairs =
+    Edge_map.fold (fun (s, d) _ acc -> (s, d) :: acc) t.routes [] |> List.sort compare
+  in
+  let vertices = List.sort Int.compare (D.vertex_list t.topology) in
+  let connected g s d = Noc_graph.Traversal.shortest_path g s d <> None in
+  let remove_link g u v = D.remove_edge (D.remove_edge g u v) v u in
+  let undirected_links g =
+    D.fold_edges (fun u v acc -> if u < v then (u, v) :: acc else acc) g []
+    |> List.sort compare
+  in
+  let link_cost (u, v) = Noc_energy.Energy_model.path_bit_energy ~tech ~fp [ u; v ] in
+  (* first link whose removal disconnects some routed pair, with the graph
+     after removal and the pairs it breaks *)
+  let broken topo =
+    List.find_map
+      (fun (u, v) ->
+        let g = remove_link topo u v in
+        match List.filter (fun (s, d) -> not (connected g s d)) pairs with
+        | [] -> None
+        | bs -> Some (g, bs))
+      (undirected_links topo)
+  in
+  let rec fix topo spares =
+    match broken topo with
+    | None -> (topo, List.rev spares)
+    | Some (g, bs) ->
+        (* cheapest absent link that reconnects at least one broken pair;
+           ties broken lexicographically for determinism *)
+        let candidates =
+          List.concat_map
+            (fun a ->
+              List.filter_map
+                (fun b ->
+                  if a >= b || D.mem_edge topo a b then None
+                  else if
+                    List.exists (fun (s, d) -> connected (D.add_edge_pair g a b) s d) bs
+                  then Some (link_cost (a, b), a, b)
+                  else None)
+                vertices)
+            vertices
+        in
+        (match List.sort compare candidates with
+        | [] ->
+            (* unreachable: the direct (s, d) spare always reconnects *)
+            invalid_arg "Synthesis.harden: no spare link can restore connectivity"
+        | (_, a, b) :: _ -> fix (D.add_edge_pair topo a b) ((a, b) :: spares))
+  in
+  let topo, spares = fix t.topology [] in
+  if spares = [] then (t, [])
+  else
+    (* radix changed where spares attach: per-node port counts now *)
+    ({ topology = topo; routes = t.routes; uniform_router_ports = None }, spares)
+
 let router_ports t v =
   match t.uniform_router_ports with
   | Some p -> p

@@ -87,4 +87,17 @@ val routes_valid : t -> bool
 (** Every route follows existing physical links and connects its flow's
     endpoints. *)
 
+val harden :
+  tech:Noc_energy.Technology.t -> fp:Noc_energy.Floorplan.t -> t -> t * (int * int) list
+(** Spare-link hardening against single-link failures: greedily adds the
+    cheapest absent links (one-hop Eq. 1 bit energy over the floorplan,
+    ties broken lexicographically — deterministic) until no single link
+    removal can disconnect the endpoints of any routed flow, i.e. the
+    architecture always offers a degraded path for rerouting.  Returns the
+    hardened architecture (routes unchanged; [uniform_router_ports] drops
+    to [None] when spares change router radices) and the spare links added
+    (normalized [(min, max)], in insertion order) — empty when the
+    architecture was already robust.  The floorplan must place every
+    topology vertex. *)
+
 val pp : Format.formatter -> t -> unit

@@ -44,6 +44,7 @@ let property_names =
     "deadlock-cdg";
     "edge-partition";
     "routes-valid";
+    "reroute-avoids-faults";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -269,6 +270,71 @@ let prop_routes library acg =
         fail "aggregate link load %.9f, recomputed from routes %.9f" total expect
       else Ok ()
 
+(* Differential check of the graceful-degradation layer: fail a few links,
+   reroute statically, and verify against the brute-force path search that
+   (a) no degraded route crosses a failed link, (b) the degraded table is
+   valid, and (c) the disconnected-flow verdicts are exactly the flows the
+   oracle cannot connect while avoiding the failed links. *)
+let prop_reroute library acg =
+  let d, _ = Bb.decompose ~library acg in
+  let arch = Syn.of_decomposition acg d in
+  let links = Noc_resil.Fault.undirected_links arch in
+  if links = [] then Ok ()
+  else begin
+    let rng = Prng.create ~seed:(graph_seed (Acg.graph acg) lxor 0x7e57ab1e) in
+    let k = 1 + Prng.int rng (min 3 (List.length links)) in
+    let failed = List.sort compare (Prng.sample rng k links) in
+    let faults = List.map (fun (u, v) -> Noc_resil.Fault.link u v) failed in
+    let out = Noc_resil.Reroute.apply arch ~faults in
+    let norm (a, b) = if a <= b then (a, b) else (b, a) in
+    let crosses path =
+      let rec go = function
+        | a :: (b :: _ as rest) -> List.mem (norm (a, b)) failed || go rest
+        | [ _ ] | [] -> false
+      in
+      go path
+    in
+    let degraded = out.Noc_resil.Reroute.arch in
+    let bad =
+      D.Edge_map.fold
+        (fun f p acc -> if crosses p then f :: acc else acc)
+        degraded.Syn.routes []
+    in
+    if bad <> [] then fail "%d degraded routes traverse a failed link" (List.length bad)
+    else if not (Syn.routes_valid degraded) then fail "degraded routing table is invalid"
+    else begin
+      let flows = D.edges (Acg.graph acg) in
+      let parts =
+        List.sort compare
+          (out.Noc_resil.Reroute.kept @ out.Noc_resil.Reroute.rerouted
+         @ out.Noc_resil.Reroute.disconnected)
+      in
+      if parts <> List.sort compare flows then
+        fail "kept/rerouted/disconnected do not partition the flows"
+      else
+        List.fold_left
+          (fun acc (s, dst) ->
+            match acc with
+            | Error _ -> acc
+            | Ok () ->
+                let oracle_reaches =
+                  Paths.exists_path ~banned_links:failed arch.Syn.topology ~src:s ~dst
+                in
+                let claimed_disconnected =
+                  List.mem (s, dst) out.Noc_resil.Reroute.disconnected
+                in
+                if claimed_disconnected = oracle_reaches then
+                  fail "flow %d->%d: reroute says %s, brute-force path search says %s" s
+                    dst
+                    (if claimed_disconnected then "disconnected" else "connected")
+                    (if oracle_reaches then "a path survives" else "no path survives")
+                else if oracle_reaches && Syn.route degraded ~src:s ~dst = None then
+                  fail "flow %d->%d: connected but lost its route" s dst
+                else Ok ())
+          (Ok ()) flows
+    end
+  end
+
 let props library =
   [
     ("decompose-oracle", prop_decompose library);
@@ -278,6 +344,7 @@ let props library =
     ("deadlock-cdg", prop_deadlock library);
     ("edge-partition", prop_partition library);
     ("routes-valid", prop_routes library);
+    ("reroute-avoids-faults", prop_reroute library);
   ]
 
 let check ?(library = L.default ()) name acg =

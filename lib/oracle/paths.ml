@@ -1,0 +1,26 @@
+module D = Noc_graph.Digraph
+
+let norm (a, b) = if a <= b then (a, b) else (b, a)
+
+let find_path ?(banned_links = []) ?(banned_switches = []) g ~src ~dst =
+  let banned_links = List.map norm banned_links in
+  let bad_link e = List.mem (norm e) banned_links in
+  let bad_switch v = List.mem v banned_switches in
+  if
+    bad_switch src || bad_switch dst
+    || (not (D.mem_vertex g src))
+    || not (D.mem_vertex g dst)
+  then None
+  else
+    let rec dfs visited node =
+      if node = dst then Some [ dst ]
+      else
+        D.Vset.elements (D.succ g node)
+        |> List.find_map (fun n ->
+               if List.mem n visited || bad_switch n || bad_link (node, n) then None
+               else Option.map (fun p -> node :: p) (dfs (n :: visited) n))
+    in
+    if src = dst then Some [ src ] else dfs [ src ] src
+
+let exists_path ?banned_links ?banned_switches g ~src ~dst =
+  find_path ?banned_links ?banned_switches g ~src ~dst <> None

@@ -1,0 +1,26 @@
+(** Brute-force path search — ground truth for {!Noc_resil.Reroute}.
+
+    The dumbest correct algorithm: depth-first search with an explicit
+    visited list, neighbors scanned in ascending vertex order, banned
+    resources checked edge by edge.  No memoization, no BFS optimality —
+    only existence matters for the differential property. *)
+
+val find_path :
+  ?banned_links:(int * int) list ->
+  ?banned_switches:int list ->
+  Noc_graph.Digraph.t ->
+  src:int ->
+  dst:int ->
+  int list option
+(** Some directed path [[src; ...; dst]] avoiding the banned links (in
+    either direction; endpoint order does not matter) and banned switches,
+    or [None] if none exists.  A banned [src] or [dst] (or one missing
+    from the graph) yields [None]; [src = dst] yields [Some [src]]. *)
+
+val exists_path :
+  ?banned_links:(int * int) list ->
+  ?banned_switches:int list ->
+  Noc_graph.Digraph.t ->
+  src:int ->
+  dst:int ->
+  bool

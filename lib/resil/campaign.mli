@@ -1,0 +1,78 @@
+(** Resilience campaigns: sweep fault sets over a scenario and measure how
+    gracefully the synthesized architecture degrades.
+
+    Each run injects one burst of traffic (one packet per ACG flow) into a
+    fresh network, strikes the fault set mid-flight, and runs to idle; the
+    fault-aware simulator guarantees every packet ends up delivered or
+    dropped, so a run is characterized by its delivered fraction, latency
+    degradation versus the fault-free baseline, and the statically
+    disconnected flow pairs ({!Reroute}).  The single-link sweep is
+    exhaustive and doubles as a per-link criticality analysis; multi-link
+    sweeps are sampled with a seeded PRNG.  Metrics flow through
+    {!Noc_obs.Obs} ([resil.*] counters, per-scenario gauges). *)
+
+type spec =
+  | Single_link  (** exhaustive: one run per physical link *)
+  | Multi_link of { links : int; samples : int }
+      (** sampled: [samples] runs of [links] simultaneous failures *)
+
+type run_result = {
+  faults : Fault.t list;
+  injected : int;
+  delivered : int;
+  dropped : int;
+  stranded : int;  (** packets never classified — 0 unless the run hit its cycle limit *)
+  delivered_fraction : float;  (** delivered / injected; 1.0 for an empty burst *)
+  avg_latency : float;  (** over delivered packets, cycles *)
+  latency_factor : float;  (** avg_latency / fault-free avg_latency *)
+  disconnected_pairs : int;  (** flows statically disconnected by the faults *)
+  retries : int;  (** source-NI retransmissions the run needed *)
+  cycles : int;  (** makespan of the run *)
+}
+
+type link_criticality = {
+  link : int * int;
+  delivered_fraction : float;
+  latency_factor : float;
+  disconnected_pairs : int;
+}
+
+type report = {
+  scenario : string;
+  baseline : run_result;  (** the fault-free run ([faults = []]) *)
+  runs : run_result list;  (** one per fault set, in campaign order *)
+  criticality : link_criticality list;
+      (** single-link campaigns only: per-link impact, worst link first
+          (by lost traffic, then latency, then link id) *)
+  min_delivered_fraction : float;  (** worst run; 1.0 when there are no runs *)
+  max_latency_factor : float;
+  worst_disconnected_pairs : int;
+  critical_links : int;
+      (** runs that lost traffic or disconnected a pair — under
+          [Single_link] exactly the number of critical links *)
+  survives_all : bool;
+      (** every run delivered every packet (fraction 1.0, nothing
+          stranded) *)
+  stranded_total : int;  (** must be 0: packets the subsystem failed to classify *)
+}
+
+val run :
+  ?observe:Noc_obs.Obs.t ->
+  ?config:Noc_sim.Network.config ->
+  ?fault_policy:Noc_sim.Network.fault_policy ->
+  ?size_flits:int ->
+  ?max_cycles:int ->
+  name:string ->
+  seed:int ->
+  spec:spec ->
+  Noc_core.Acg.t ->
+  Noc_core.Synthesis.t ->
+  report
+(** Run the campaign for one scenario.  [seed] drives multi-link sampling
+    (single-link sweeps are deterministic anyway); [size_flits] is the
+    burst packet size (default 2); [max_cycles] bounds each run (default
+    200_000).  Deterministic: identical arguments give identical
+    reports. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One-line human summary (scenario, runs, worst numbers, verdict). *)

@@ -23,7 +23,7 @@ let latency_vs_load ~rng ~arch ~acg ?(size_flits = 2) ?(cycles = 2000) ~rates ()
         Network.step net
       done;
       (match Network.run_until_idle ~max_cycles:200_000 net with
-      | `Idle | `Limit -> ());
+      | `Idle | `Limit _ -> ());
       let s = Stats.summarize (Network.deliveries net) in
       {
         rate;

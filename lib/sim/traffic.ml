@@ -25,7 +25,7 @@ let run ~rng ~net ~flows ~cycles () =
     Network.step net
   done;
   (match Network.run_until_idle ~max_cycles:100_000 net with
-  | `Idle | `Limit -> ());
+  | `Idle | `Limit _ -> ());
   Network.deliveries net
 
 let offered_load flows = List.fold_left (fun acc f -> acc +. f.rate) 0.0 flows

@@ -4,6 +4,11 @@
 
 module A = Noc_aes.Aes_core
 module Dist = Noc_aes.Distributed
+
+let ok_encrypt = function
+  | Ok r -> r
+  | Error (`Undrained n) ->
+      failwith (Printf.sprintf "distributed AES did not drain: %d packets pending" n)
 module D = Noc_graph.Digraph
 module Acg = Noc_core.Acg
 module Syn = Noc_core.Synthesis
@@ -130,7 +135,7 @@ let test_distributed_correct_on_mesh () =
   let _, _, mesh = arch_pair () in
   let key = hex "2b7e151628aed2a6abf7158809cf4f3c" in
   let pt = hex "3243f6a8885a308d313198a2e0370734" in
-  let r = Dist.encrypt ~arch:mesh ~key pt in
+  let r = ok_encrypt (Dist.encrypt ~arch:mesh ~key pt) in
   Alcotest.(check string) "bit-exact on mesh" "3925841d02dc09fbdc118597196a0b32"
     (A.to_hex r.Dist.ciphertext)
 
@@ -138,7 +143,7 @@ let test_distributed_correct_on_custom () =
   let _, custom, _ = arch_pair () in
   let key = hex "000102030405060708090a0b0c0d0e0f" in
   let pt = hex "00112233445566778899aabbccddeeff" in
-  let r = Dist.encrypt ~arch:custom ~key pt in
+  let r = ok_encrypt (Dist.encrypt ~arch:custom ~key pt) in
   Alcotest.(check string) "bit-exact on custom" "69c4e0d86a7b0430d8cdb78070b4c55a"
     (A.to_hex r.Dist.ciphertext)
 
@@ -146,11 +151,22 @@ let test_custom_faster_than_mesh () =
   let _, custom, mesh = arch_pair () in
   let key = hex "000102030405060708090a0b0c0d0e0f" in
   let pt = hex "00112233445566778899aabbccddeeff" in
-  let rc = Dist.encrypt ~arch:custom ~key pt in
-  let rm = Dist.encrypt ~arch:mesh ~key pt in
+  let rc = ok_encrypt (Dist.encrypt ~arch:custom ~key pt) in
+  let rm = ok_encrypt (Dist.encrypt ~arch:mesh ~key pt) in
   Alcotest.(check bool) "fewer cycles per block" true (rc.Dist.cycles < rm.Dist.cycles);
   Alcotest.(check bool) "lower avg latency" true
     (rc.Dist.summary.Noc_sim.Stats.avg_latency < rm.Dist.summary.Noc_sim.Stats.avg_latency)
+
+let test_undrained_is_typed_error () =
+  (* a cycle budget far below one round's traffic: encrypt must come back
+     with a typed error naming the pending packets, not raise or hang *)
+  let _, custom, _ = arch_pair () in
+  let key = hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = hex "00112233445566778899aabbccddeeff" in
+  match Dist.encrypt ~max_cycles:3 ~arch:custom ~key pt with
+  | Ok _ -> Alcotest.fail "3 cycles cannot drain a ShiftRows burst"
+  | Error (`Undrained pending) ->
+      Alcotest.(check bool) "pending packets reported" true (pending > 0)
 
 let test_custom_lower_energy () =
   let _, custom, mesh = arch_pair () in
@@ -158,8 +174,8 @@ let test_custom_lower_energy () =
   let pt = hex "00112233445566778899aabbccddeeff" in
   let tech = Noc_energy.Technology.cmos_180nm in
   let fp = Noc_energy.Floorplan.grid (Noc_energy.Floorplan.uniform_cores ~n:16 ~size_mm:2.0) in
-  let rc = Dist.encrypt ~arch:custom ~key pt in
-  let rm = Dist.encrypt ~arch:mesh ~key pt in
+  let rc = ok_encrypt (Dist.encrypt ~arch:custom ~key pt) in
+  let rm = ok_encrypt (Dist.encrypt ~arch:mesh ~key pt) in
   let ec = Noc_sim.Stats.total_energy_pj ~tech ~fp rc.Dist.net in
   let em = Noc_sim.Stats.total_energy_pj ~tech ~fp rm.Dist.net in
   Alcotest.(check bool) "custom needs less energy per block" true (ec < em)
@@ -175,8 +191,8 @@ let test_deterministic_run () =
   let _, custom, _ = arch_pair () in
   let key = hex "000102030405060708090a0b0c0d0e0f" in
   let pt = hex "00112233445566778899aabbccddeeff" in
-  let a = Dist.encrypt ~arch:custom ~key pt in
-  let b = Dist.encrypt ~arch:custom ~key pt in
+  let a = ok_encrypt (Dist.encrypt ~arch:custom ~key pt) in
+  let b = ok_encrypt (Dist.encrypt ~arch:custom ~key pt) in
   Alcotest.(check int) "same cycle count" a.Dist.cycles b.Dist.cycles
 
 let qcheck_distributed_matches_reference =
@@ -187,7 +203,7 @@ let qcheck_distributed_matches_reference =
       let acg = Dist.acg () in
       let d, _ = Bb.decompose ~library:(L.default ()) acg in
       let custom = Syn.custom acg d in
-      let r = Dist.encrypt ~arch:custom ~key pt in
+      let r = ok_encrypt (Dist.encrypt ~arch:custom ~key pt) in
       Bytes.equal r.Dist.ciphertext (A.encrypt_block ~key pt))
 
 let suite =
@@ -211,6 +227,8 @@ let suite =
       Alcotest.test_case "custom beats mesh: cycles and latency" `Quick
         test_custom_faster_than_mesh;
       Alcotest.test_case "custom beats mesh: energy per block" `Quick test_custom_lower_energy;
+      Alcotest.test_case "undrained run is a typed error" `Quick
+        test_undrained_is_typed_error;
       Alcotest.test_case "throughput formula (Sec 5.2)" `Quick test_throughput_formula;
       Alcotest.test_case "simulation deterministic" `Quick test_deterministic_run;
       QCheck_alcotest.to_alcotest qcheck_distributed_matches_reference;

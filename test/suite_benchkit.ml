@@ -71,7 +71,15 @@ let test_runner_sanity () =
   Alcotest.(check int)
     "one sweep sample per rate"
     (List.length Runner.smoke.Runner.sweep_rates)
-    (List.length r.Runner.sweep)
+    (List.length r.Runner.sweep);
+  let rs = r.Runner.resilience in
+  Alcotest.(check bool)
+    "resilience fraction in [0,1]" true
+    (rs.Runner.min_delivered_fraction >= 0. && rs.Runner.min_delivered_fraction <= 1.);
+  Alcotest.(check bool)
+    "resilience latency factor sane" true
+    (rs.Runner.max_latency_factor >= 1. || rs.Runner.max_latency_factor = 0.);
+  Alcotest.(check int) "resilience strands nothing" 0 rs.Runner.resil_stranded
 
 (* ---------------------------------------------------------------- *)
 (* Record                                                           *)
@@ -101,6 +109,9 @@ let test_record_flatten_keys () =
       "scenarios.fig2.search.d1.nodes";
       "scenarios.fig2.energy_pj";
       "scenarios.fig2.wormhole.avg_latency";
+      "scenarios.fig2.resilience.min_delivered_fraction";
+      "scenarios.fig2.resilience.critical_links";
+      "scenarios.fig2.resilience.survives_single_link";
     ]
 
 (* ---------------------------------------------------------------- *)

@@ -344,7 +344,7 @@ let test_network_metrics_and_contention () =
   ignore (Noc_sim.Network.inject ~size_flits:4 net ~src ~dst);
   (match Noc_sim.Network.run_until_idle net with
   | `Idle -> ()
-  | `Limit -> Alcotest.fail "network did not drain");
+  | `Limit _ -> Alcotest.fail "network did not drain");
   Alcotest.(check bool) "contention observed" true
     (Noc_sim.Network.contention_events net >= 1);
   Alcotest.(check int) "both delivered" 2 (Noc_sim.Network.delivered_count net);

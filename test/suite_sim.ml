@@ -22,7 +22,7 @@ let test_single_packet_latency () =
   (* router_delay=1, link_delay=1, 1 flit: src router (1 cycle) + 1 link
      (1 cycle) + dst router (1 cycle) = delivered at cycle 3 *)
   let _ = Net.inject net ~src:1 ~dst:2 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   match Net.deliveries net with
   | [ { Net.delivered_at; packet } ] ->
       Alcotest.(check int) "one hop latency" 3 delivered_at;
@@ -34,7 +34,7 @@ let test_multi_hop_latency () =
   let net = Net.create arch in
   (* 3 hops: per hop link(1) + router(1), plus source router 1 -> 7 cycles *)
   let _ = Net.inject net ~src:1 ~dst:4 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   match Net.deliveries net with
   | [ { Net.delivered_at; _ } ] -> Alcotest.(check int) "three hops" 7 delivered_at
   | _ -> Alcotest.fail "one delivery expected"
@@ -44,7 +44,7 @@ let test_serialization_delay () =
   let net = Net.create arch in
   (* 4 flits over one hop: tail arrives link_delay + flits - 1 after grant *)
   let _ = Net.inject ~size_flits:4 net ~src:1 ~dst:2 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   match Net.deliveries net with
   | [ { Net.delivered_at; _ } ] -> Alcotest.(check int) "serialized" 6 delivered_at
   | _ -> Alcotest.fail "one delivery expected"
@@ -56,7 +56,7 @@ let test_contention_serializes () =
      by the first's serialization *)
   let _ = Net.inject net ~src:1 ~dst:2 in
   let _ = Net.inject net ~src:1 ~dst:2 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   let ds = Net.deliveries net in
   Alcotest.(check int) "both delivered" 2 (List.length ds);
   let times = List.map (fun d -> d.Net.delivered_at) ds |> List.sort compare in
@@ -67,7 +67,7 @@ let test_fifo_order_on_channel () =
   let net = Net.create arch in
   let id1 = Net.inject net ~src:1 ~dst:2 in
   let id2 = Net.inject net ~src:1 ~dst:2 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   (match Net.deliveries net with
   | [ a; b ] ->
       Alcotest.(check int) "first injected first delivered" id1
@@ -91,7 +91,7 @@ let test_drain_deliveries () =
   let _, arch = line_arch () in
   let net = Net.create arch in
   let _ = Net.inject net ~src:1 ~dst:2 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   Alcotest.(check int) "first drain" 1 (List.length (Net.drain_deliveries net));
   Alcotest.(check int) "second drain empty" 0 (List.length (Net.drain_deliveries net));
   (* cumulative list unaffected *)
@@ -101,7 +101,7 @@ let test_activity_counters () =
   let _, arch = line_arch () in
   let net = Net.create arch in
   let _ = Net.inject net ~src:1 ~dst:4 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   Alcotest.(check int) "3 link traversals" 3 (Net.flit_hops net);
   let total_switch =
     D.Vmap.fold (fun _ f acc -> acc + f) (Net.switch_flits net) 0
@@ -115,7 +115,7 @@ let test_payload_carried () =
   let net = Net.create arch in
   let payload = Bytes.of_string "x" in
   let _ = Net.inject ~payload ~tag:42 net ~src:1 ~dst:4 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   match Net.deliveries net with
   | [ { Net.packet; _ } ] ->
       Alcotest.(check string) "payload" "x" (Bytes.to_string packet.Noc_sim.Packet.payload);
@@ -145,7 +145,7 @@ let test_summary_fields () =
   let net = Net.create arch in
   let _ = Net.inject net ~src:1 ~dst:2 in
   let _ = Net.inject net ~src:1 ~dst:4 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   let s = Stats.summarize (Net.deliveries net) in
   Alcotest.(check int) "packets" 2 s.Stats.packets;
   Alcotest.(check int) "min" 3 s.Stats.min_latency;
@@ -162,7 +162,7 @@ let test_energy_accounting () =
   let arch = Syn.mesh ~rows:2 ~cols:2 acg in
   let net = Net.create arch in
   let _ = Net.inject net ~src:1 ~dst:2 in
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   (* one flit of 8 bits: 2 switch visits + one 2mm link *)
   let expect_dyn =
     (2.0 *. 8.0 *. tech.Noc_energy.Technology.es_bit)
@@ -182,7 +182,7 @@ let test_buffer_occupancy_counted () =
   for _ = 1 to 10 do
     ignore (Net.inject ~size_flits:4 net ~src:1 ~dst:2)
   done;
-  (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang");
+  (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang");
   Alcotest.(check bool) "queue occupancy recorded" true (Net.buffer_flit_cycles net > 0)
 
 let test_traffic_uniform_when_no_bandwidth () =
@@ -230,7 +230,7 @@ let diag_mesh () =
   (acg, Syn.mesh ~rows:2 ~cols:2 acg)
 
 let deliver_all net =
-  match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "hang"
+  match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "hang"
 
 let test_fixed_route_taken () =
   let _, arch = diag_mesh () in
@@ -435,7 +435,7 @@ let test_wormhole_beats_store_and_forward () =
   let saf =
     let net = Net.create arch in
     let _ = Net.inject ~size_flits:n net ~src:1 ~dst:(h + 1) in
-    (match Net.run_until_idle net with `Idle -> () | `Limit -> Alcotest.fail "drain");
+    (match Net.run_until_idle net with `Idle -> () | `Limit _ -> Alcotest.fail "drain");
     (List.hd (Net.deliveries net)).Net.delivered_at
   in
   Alcotest.(check bool) "wormhole pipelines" true (whn < saf)
@@ -542,7 +542,7 @@ let qcheck_uncontended_latency =
       let net = Net.create ~config arch in
       let _ = Net.inject ~size_flits:flits net ~src:1 ~dst:4 in
       match Net.run_until_idle net with
-      | `Limit -> false
+      | `Limit _ -> false
       | `Idle -> (
           match Net.deliveries net with
           | [ { Net.delivered_at; _ } ] ->

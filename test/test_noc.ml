@@ -10,6 +10,7 @@ let () =
       Suite_obs.suite;
       Suite_oracle.suite;
       Suite_sim.suite;
+      Suite_resil.suite;
       Suite_aes.suite;
       Suite_apps.suite;
       Suite_benchkit.suite;
