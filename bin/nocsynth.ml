@@ -80,9 +80,27 @@ let domains_arg =
   Arg.(
     value & opt int 1
     & info [ "domains" ] ~docv:"N"
-        ~doc:"Worker domains for the branch-and-bound search (1 = sequential). Root-level \
-              branches are fanned across domains with a shared incumbent bound; results \
-              are identical to the sequential search.")
+        ~doc:"Worker domains for the branch-and-bound search (1 = sequential). Domains \
+              run a work-stealing deque scheduler with a shared incumbent bound; \
+              completed searches return results identical to the sequential search. \
+              Clamped to the machine's recommended domain count \
+              (override: \\$NOCSYNTH_MAX_DOMAINS).")
+
+let portfolio_flag =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:"Race one search instance per branch ordering (canonical, coverage-first, \
+              ratio-first), splitting the domains across them; the returned \
+              decomposition is the best incumbent across instances.")
+
+let fallback_flag =
+  Arg.(
+    value & flag
+    & info [ "fallback" ]
+        ~doc:"Seed the search with the deterministic greedy completion so a budget \
+              exhaustion still returns a feasible decomposition, with the optimality \
+              gap reported.")
 
 let trace_arg =
   Arg.(
@@ -119,7 +137,7 @@ let resolve_tech name =
   | Some t -> t
   | None -> failwith (Printf.sprintf "unknown technology %S" name)
 
-let make_options ~cost ~tech ~acg ~beam =
+let make_options ?(portfolio = false) ?(fallback = false) ~cost ~tech ~acg ~beam () =
   let cost_fn =
     match cost with
     | `Edge -> Noc_core.Cost.Edge_count
@@ -130,7 +148,25 @@ let make_options ~cost ~tech ~acg ~beam =
     cost = cost_fn;
     max_matches_per_step = beam;
     role_aware = (match cost with `Energy -> true | `Edge -> false);
+    portfolio;
+    fallback;
   }
+
+(* budget-exhaustion diagnostics shared by decompose and synth *)
+let warn_anytime (st : Bb.stats) =
+  if st.Bb.timed_out then begin
+    (match st.Bb.gap_pct with
+    | Some gap ->
+        Logs.warn (fun k ->
+            k "search budget exhausted; best incumbent shown (optimality gap <= %.1f%%)"
+              gap)
+    | None -> Logs.warn (fun k -> k "search budget exhausted; best incumbent shown"));
+    if st.Bb.fallback_used then
+      Logs.info (fun k -> k "greedy anytime fallback supplied the result")
+  end;
+  match st.Bb.winner with
+  | Some w -> Logs.info (fun k -> k "portfolio winner: %s ordering" w)
+  | None -> ()
 
 let make_budget ~timeout ~max_nodes ~domains =
   Bb.Budget.(
@@ -204,18 +240,18 @@ let decompose_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics.")
   in
-  let run file lib cost tech beam timeout max_nodes domains stats trace metrics =
+  let run file lib cost tech beam timeout max_nodes domains portfolio fallback stats
+      trace metrics =
     let acg = load_acg file in
     let library = resolve_library lib in
-    let options = make_options ~cost ~tech ~acg ~beam in
+    let options = make_options ~portfolio ~fallback ~cost ~tech ~acg ~beam () in
     let budget = make_budget ~timeout ~max_nodes ~domains in
     let observe = make_observer ~trace ~metrics in
     let d, st = Bb.decompose ~options ~budget ~observe ~library acg in
     let listing = Format.asprintf "%a" (Decomp.pp_with_cost options.Bb.cost acg) d in
     (* with --metrics, stdout is reserved for the JSON *)
     if metrics then Logs.app (fun k -> k "%s" listing) else print_string listing;
-    if st.Bb.timed_out then
-      Logs.warn (fun k -> k "search budget exhausted; best incumbent shown");
+    warn_anytime st;
     if stats then begin
       let line =
         Printf.sprintf "nodes=%d matches=%d leaves=%d pruned=%d incumbents=%d elapsed=%.3fs"
@@ -238,7 +274,8 @@ let decompose_cmd =
     (Cmd.info "decompose" ~doc:"Decompose an ACG into communication primitives.")
     Term.(
       const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
-      $ max_nodes_arg $ domains_arg $ stats_flag $ trace_arg $ metrics_flag)
+      $ max_nodes_arg $ domains_arg $ portfolio_flag $ fallback_flag $ stats_flag
+      $ trace_arg $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* synth                                                                *)
@@ -254,13 +291,15 @@ let synth_cmd =
       value & flag
       & info [ "check" ] ~doc:"Check the technology's bandwidth and bisection constraints.")
   in
-  let run file lib cost tech beam timeout max_nodes domains dot check trace metrics =
+  let run file lib cost tech beam timeout max_nodes domains portfolio fallback dot check
+      trace metrics =
     let acg = load_acg file in
     let library = resolve_library lib in
-    let options = make_options ~cost ~tech ~acg ~beam in
+    let options = make_options ~portfolio ~fallback ~cost ~tech ~acg ~beam () in
     let budget = make_budget ~timeout ~max_nodes ~domains in
     let observe = make_observer ~trace ~metrics in
     let d, stats = Bb.decompose ~options ~budget ~observe ~library acg in
+    warn_anytime stats;
     let tech' = resolve_tech tech in
     let fp = grid_floorplan acg in
     let constraints =
@@ -287,7 +326,8 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthesize the customized architecture for an ACG.")
     Term.(
       const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
-      $ max_nodes_arg $ domains_arg $ dot_out $ check_flag $ trace_arg $ metrics_flag)
+      $ max_nodes_arg $ domains_arg $ portfolio_flag $ fallback_flag $ dot_out
+      $ check_flag $ trace_arg $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -755,14 +795,36 @@ let bench_cmd =
           ~doc:"Revision stamp for the record (default: \\$NOCSYNTH_REV, then git, then \
                 'dev').")
   in
-  let run smoke out rev lib trace metrics =
-    let settings =
-      if smoke then Noc_benchkit.Runner.smoke else Noc_benchkit.Runner.full
+  let tier_arg =
+    let tier_enum =
+      Arg.enum
+        [ ("default", `Default); ("scale", `Scale); ("scale-smoke", `Scale_smoke) ]
+    in
+    Arg.(
+      value & opt tier_enum `Default
+      & info [ "tier" ] ~docv:"TIER"
+          ~doc:
+            "Corpus tier: the persisted default corpus, the 64-1024-core scaling tier \
+             (scale), or its 64/128-core CI smoke prefix (scale-smoke).  The scale \
+             tiers run budget-bounded anytime searches with the greedy fallback and \
+             skip the simulation stages.")
+  in
+  let run smoke tier out rev lib trace metrics =
+    let settings, scenarios, mode =
+      match tier with
+      | `Scale -> (Noc_benchkit.Runner.scale, Noc_benchkit.Corpus.scale (), "scale")
+      | `Scale_smoke ->
+          ( Noc_benchkit.Runner.scale_smoke,
+            Noc_benchkit.Corpus.scale_smoke (),
+            "scale-smoke" )
+      | `Default ->
+          ( (if smoke then Noc_benchkit.Runner.smoke else Noc_benchkit.Runner.full),
+            Noc_benchkit.Corpus.default (),
+            if smoke then "smoke" else "full" )
     in
     let library = resolve_library lib in
     let observe = make_observer ~trace ~metrics in
     let rev = resolve_rev rev in
-    let mode = if smoke then "smoke" else "full" in
     let say s = if metrics then Logs.app (fun k -> k "%s" s) else print_endline s in
     say (Format.asprintf "%a" Noc_benchkit.Runner.pp_header ());
     let results =
@@ -771,7 +833,7 @@ let bench_cmd =
           let r = Noc_benchkit.Runner.run ~observe ~library ~settings sc in
           say (Format.asprintf "%a" Noc_benchkit.Runner.pp_row r);
           r)
-        (Noc_benchkit.Corpus.default ())
+        scenarios
     in
     let record = Noc_benchkit.Record.to_json ~rev ~mode results in
     let path = Option.value out ~default:(Printf.sprintf "BENCH_%s.json" rev) in
@@ -786,7 +848,9 @@ let bench_cmd =
          "Run the benchmark corpus (decompose, synth, deadlock check, wormhole \
           simulation, load sweep) and persist a BENCH_<rev>.json record; compare two \
           records with bench/compare.exe.")
-    Term.(const run $ smoke_flag $ out $ rev_arg $ library_arg $ trace_arg $ metrics_flag)
+    Term.(
+      const run $ smoke_flag $ tier_arg $ out $ rev_arg $ library_arg $ trace_arg
+      $ metrics_flag)
 
 let main =
   Cmd.group

@@ -65,6 +65,56 @@ let random ~seed ~n =
   Acg.uniform ~volume:16 ~bandwidth:0.1 (G.erdos_renyi ~rng:(Prng.create ~seed) ~n ~p)
 
 (* ------------------------------------------------------------------ *)
+(* Large-scale tier: 64-1024-core ACGs for the search-scaling rows.
+   Three families per size — TGFF-style layered task graphs (sparse DAG
+   structure), Erdős–Rényi with constant expected degree, and clustered
+   planted-community graphs (dense local gossip groups, the shape the
+   primitive library matches well).  Everything is seeded; names are
+   stable record keys. *)
+
+let layered ~seed ~n =
+  (* extra_edge_p scales as ~2/n so the extra-dependence pass contributes
+     O(n) edges at every size instead of O(n^2) *)
+  let params =
+    { (Noc_tgff.Tgff.sized n) with
+      Noc_tgff.Tgff.extra_edge_p = 2.0 /. float_of_int n;
+      max_out = 4;
+    }
+  in
+  Acg.of_tgff (Noc_tgff.Tgff.generate ~rng:(Prng.create ~seed) params)
+
+let clustered ~seed ~n =
+  (* communities of ~8 cores: p_in is high enough that complete 4-subsets
+     (MGG4 match sites) appear in most communities, so the search has a
+     real branching tree at every size; p_out keeps a constant expected
+     number of cross-community flows per core *)
+  let k = max 1 (n / 8) in
+  let g =
+    G.communities ~rng:(Prng.create ~seed) ~n ~k ~p_in:0.85
+      ~p_out:(1.0 /. float_of_int n)
+  in
+  Acg.uniform ~volume:8 ~bandwidth:0.05 g
+
+let scale_sizes = [ 64; 128; 256; 512; 1024 ]
+let scale_smoke_sizes = [ 64; 128 ]
+
+let scale_tier sizes =
+  List.concat_map
+    (fun n ->
+      [
+        scenario ~name:(Printf.sprintf "scale-tgff-%d-s1" n) ~kind:"scale"
+          (layered ~seed:1 ~n);
+        scenario ~name:(Printf.sprintf "scale-er-%d-s2" n) ~kind:"scale"
+          (random ~seed:2 ~n);
+        scenario ~name:(Printf.sprintf "scale-clustered-%d-s3" n) ~kind:"scale"
+          (clustered ~seed:3 ~n);
+      ])
+    sizes
+
+let scale () = scale_tier scale_sizes
+let scale_smoke () = scale_tier scale_smoke_sizes
+
+(* ------------------------------------------------------------------ *)
 
 let default () =
   [

@@ -29,6 +29,25 @@ val tgff : seed:int -> Noc_tgff.Tgff.params -> Noc_core.Acg.t
 val random : seed:int -> n:int -> Noc_core.Acg.t
 (** Seeded sparse random ACG (average degree ~3, Fig. 4b style). *)
 
+val layered : seed:int -> n:int -> Noc_core.Acg.t
+(** Seeded TGFF-style layered task graph scaled to [n] cores: the
+    extra-dependence probability shrinks as ~2/n so edge count stays
+    linear in the core count. *)
+
+val clustered : seed:int -> n:int -> Noc_core.Acg.t
+(** Seeded planted-community ACG ({!Noc_graph.Generators.communities}):
+    dense ~8-core gossip clusters plus sparse global flows — the
+    decomposition-friendly shape of many-core traffic. *)
+
+val scale : unit -> scenario list
+(** The large-scale tier: {!layered}, ER ({!random}) and {!clustered}
+    scenarios at 64/128/256/512/1024 cores (kind ["scale"], stable
+    names).  Budget-bounded searches only — run these with
+    [Runner.scale]-style settings. *)
+
+val scale_smoke : unit -> scenario list
+(** The 64/128-core prefix of {!scale}: the CI [@scale-smoke] tier. *)
+
 val default : unit -> scenario list
 (** The persisted corpus: 12 scenarios with stable names.  Appending new
     scenarios is cheap; renaming or reordering existing ones invalidates

@@ -3,8 +3,10 @@ module J = Noc_obs.Obs.Json
 let schema = "nocsynth-bench"
 
 (* v2 added the per-scenario "resilience" object (single-link fault
-   campaign); older records fail the schema check and must be re-recorded *)
-let schema_version = 2
+   campaign); v3 added the "nodes_per_sec" and "speedup_vs_d1" search
+   columns (work-stealing scaling rows).  Older records fail the schema
+   check and must be re-recorded. *)
+let schema_version = 3
 
 let search_sample_json (s : Runner.search_sample) =
   J.Obj
@@ -16,6 +18,8 @@ let search_sample_json (s : Runner.search_sample) =
       ("matches_tried", J.Int s.Runner.matches_tried);
       ("best_cost", J.Float s.Runner.best_cost);
       ("timed_out", J.Bool s.Runner.timed_out);
+      ("nodes_per_sec", J.Float s.Runner.nodes_per_sec);
+      ("speedup_vs_d1", J.Float s.Runner.speedup_vs_d1);
     ]
 
 let sweep_sample_json (p : Runner.sweep_sample) =

@@ -25,6 +25,13 @@ let rules ~time_limit_pct ~limit_pct =
     { suffix = ".survives_single_link"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
     { suffix = "resilience.stranded"; limit_pct; min_abs = 0.0; direction = Increase_bad };
     { suffix = ".wall_s"; limit_pct = time_limit_pct; min_abs = 0.02; direction = Increase_bad };
+    (* scaling cliffs: search throughput and multi-domain speedup are
+       wall-clock-derived, so they share the loose timing threshold, with
+       absolute floors against millisecond-run noise *)
+    { suffix = ".nodes_per_sec"; limit_pct = time_limit_pct; min_abs = 2_000.0;
+      direction = Decrease_bad };
+    { suffix = ".speedup_vs_d1"; limit_pct = time_limit_pct; min_abs = 0.3;
+      direction = Decrease_bad };
     { suffix = ".nodes"; limit_pct; min_abs = 8.0; direction = Increase_bad };
     { suffix = ".best_cost"; limit_pct; min_abs = 0.0; direction = Increase_bad };
     { suffix = ".energy_pj"; limit_pct; min_abs = 0.0; direction = Increase_bad };

@@ -14,6 +14,9 @@ type settings = {
   sweep_cycles : int;
   wormhole_size_flits : int;
   seed : int;
+  simulate : bool;
+  fallback : bool;
+  portfolio : bool;
 }
 
 let full =
@@ -25,6 +28,9 @@ let full =
     sweep_cycles = 1000;
     wormhole_size_flits = 4;
     seed = 42;
+    simulate = true;
+    fallback = false;
+    portfolio = false;
   }
 
 let smoke =
@@ -36,6 +42,23 @@ let smoke =
     sweep_cycles = 200;
   }
 
+(* The scaling tiers run budget-bounded anytime searches (greedy fallback
+   seeded, so every scenario returns a feasible decomposition) and skip
+   the cycle-accurate simulation stages, whose cost would swamp the
+   search-scaling signal at 512-1024 cores. *)
+let scale =
+  {
+    full with
+    timeout_s = Some 8.0;
+    max_nodes = 2_000_000;
+    domains = [ 1; 8 ];
+    simulate = false;
+    fallback = true;
+  }
+
+let scale_smoke =
+  { scale with timeout_s = Some 0.6; max_nodes = 60_000; domains = [ 1; 2 ] }
+
 type search_sample = {
   domains : int;
   wall_s : float;
@@ -44,6 +67,8 @@ type search_sample = {
   matches_tried : int;
   best_cost : float;
   timed_out : bool;
+  nodes_per_sec : float;
+  speedup_vs_d1 : float;  (** wall-clock of the 1st sample / this sample *)
 }
 
 type sweep_sample = {
@@ -93,7 +118,14 @@ let grid_floorplan acg =
 let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : settings)
     (s : Corpus.scenario) =
   let acg = s.acg in
-  let options = { Bb.default_options with timeout_s = None } in
+  let options =
+    {
+      Bb.default_options with
+      timeout_s = None;
+      fallback = settings.fallback;
+      portfolio = settings.portfolio;
+    }
+  in
   let budget_for domains =
     Bb.Budget.(
       default
@@ -101,9 +133,9 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
       |> with_max_nodes settings.max_nodes
       |> with_domains domains)
   in
-  (* decompose once per requested domain count; the reduction is
-     deterministic, so every sample returns the same decomposition and the
-     samples differ only in wall time *)
+  (* decompose once per requested domain count; for completed searches the
+     reduction is deterministic, so every sample returns the same
+     decomposition and the samples differ only in wall time *)
   let search_runs =
     List.map
       (fun domains ->
@@ -123,11 +155,21 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
                 matches_tried = st.Bb.matches_tried;
                 best_cost = st.Bb.best_cost;
                 timed_out = st.Bb.timed_out;
+                nodes_per_sec =
+                  (if wall > 0.0 then float_of_int st.Bb.nodes /. wall else 0.0);
+                speedup_vs_d1 = 1.0 (* filled against the first sample below *);
               } )))
       (match settings.domains with [] -> [ 1 ] | ds -> ds)
   in
   let d = fst (List.hd search_runs) in
-  let search = List.map snd search_runs in
+  let search =
+    let samples = List.map snd search_runs in
+    let wall1 = (List.hd samples).wall_s in
+    List.map
+      (fun sm ->
+        { sm with speedup_vs_d1 = (if sm.wall_s > 0.0 then wall1 /. sm.wall_s else 1.0) })
+      samples
+  in
   let arch = Obs.span observe ~cat:"bench" (s.name ^ ".synth") (fun () -> Syn.custom acg d) in
   let tech = Noc_energy.Technology.cmos_180nm in
   let fp = grid_floorplan acg in
@@ -137,41 +179,56 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
         Noc_core.Deadlock.analyze arch)
   in
   let wormhole_status, wormhole_cycles, wormhole_summary =
-    Obs.span observe ~cat:"bench" (s.name ^ ".wormhole") (fun () ->
-        let net = Noc_sim.Wormhole.create arch in
-        D.iter_edges
-          (fun src dst ->
-            ignore
-              (Noc_sim.Wormhole.inject ~size_flits:settings.wormhole_size_flits net ~src
-                 ~dst))
-          (Acg.graph acg);
-        let status =
-          match Noc_sim.Wormhole.run_until_idle net with
-          | `Idle -> "idle"
-          | `Deadlock -> "deadlock"
-          | `Limit -> "limit"
-        in
-        (status, Noc_sim.Wormhole.now net, Noc_sim.Wormhole.summary net))
+    if not settings.simulate then ("skipped", 0, Noc_sim.Stats.summarize [])
+    else
+      Obs.span observe ~cat:"bench" (s.name ^ ".wormhole") (fun () ->
+          let net = Noc_sim.Wormhole.create arch in
+          D.iter_edges
+            (fun src dst ->
+              ignore
+                (Noc_sim.Wormhole.inject ~size_flits:settings.wormhole_size_flits net ~src
+                   ~dst))
+            (Acg.graph acg);
+          let status =
+            match Noc_sim.Wormhole.run_until_idle net with
+            | `Idle -> "idle"
+            | `Deadlock -> "deadlock"
+            | `Limit -> "limit"
+          in
+          (status, Noc_sim.Wormhole.now net, Noc_sim.Wormhole.summary net))
   in
   let sweep_points =
-    Obs.span observe ~cat:"bench" (s.name ^ ".sweep") (fun () ->
-        Noc_sim.Sweep.latency_vs_load
-          ~rng:(Prng.create ~seed:settings.seed)
-          ~arch ~acg ~cycles:settings.sweep_cycles ~rates:settings.sweep_rates ())
+    if not settings.simulate then []
+    else
+      Obs.span observe ~cat:"bench" (s.name ^ ".sweep") (fun () ->
+          Noc_sim.Sweep.latency_vs_load
+            ~rng:(Prng.create ~seed:settings.seed)
+            ~arch ~acg ~cycles:settings.sweep_cycles ~rates:settings.sweep_rates ())
   in
   let resilience =
-    let rep =
-      Noc_resil.Campaign.run ~observe ~name:s.name ~seed:settings.seed
-        ~spec:Noc_resil.Campaign.Single_link acg arch
-    in
-    {
-      min_delivered_fraction = rep.Noc_resil.Campaign.min_delivered_fraction;
-      max_latency_factor = rep.Noc_resil.Campaign.max_latency_factor;
-      worst_disconnected_pairs = rep.Noc_resil.Campaign.worst_disconnected_pairs;
-      critical_links = rep.Noc_resil.Campaign.critical_links;
-      survives_single_link = rep.Noc_resil.Campaign.survives_all;
-      resil_stranded = rep.Noc_resil.Campaign.stranded_total;
-    }
+    if not settings.simulate then
+      (* vacuous placeholders: the fault campaign did not run *)
+      {
+        min_delivered_fraction = 1.0;
+        max_latency_factor = 1.0;
+        worst_disconnected_pairs = 0;
+        critical_links = 0;
+        survives_single_link = true;
+        resil_stranded = 0;
+      }
+    else
+      let rep =
+        Noc_resil.Campaign.run ~observe ~name:s.name ~seed:settings.seed
+          ~spec:Noc_resil.Campaign.Single_link acg arch
+      in
+      {
+        min_delivered_fraction = rep.Noc_resil.Campaign.min_delivered_fraction;
+        max_latency_factor = rep.Noc_resil.Campaign.max_latency_factor;
+        worst_disconnected_pairs = rep.Noc_resil.Campaign.worst_disconnected_pairs;
+        critical_links = rep.Noc_resil.Campaign.critical_links;
+        survives_single_link = rep.Noc_resil.Campaign.survives_all;
+        resil_stranded = rep.Noc_resil.Campaign.stranded_total;
+      }
   in
   Obs.Counter.incr (Obs.counter observe "bench.scenarios");
   {
@@ -214,12 +271,15 @@ let pp_row ppf r =
     | s :: _ -> s
     | [] -> assert false
   in
+  (* the speedup column reports the last (widest) domain sample vs d1 *)
+  let dn = List.nth r.search (List.length r.search - 1) in
   Format.fprintf ppf
-    "%-20s %-6s %4d %5d %9.4f %8d %8d %9.0f %11.1f %8.2f %6s"
-    r.name r.kind r.cores r.flows d1.wall_s d1.nodes d1.pruned d1.best_cost r.energy_pj
-    r.wormhole_latency
+    "%-22s %-6s %5d %6d %9.4f %8d %8d %9.0f %8.0f %5.2fx %11.1f %8.2f %6s"
+    r.name r.kind r.cores r.flows d1.wall_s d1.nodes d1.pruned d1.best_cost
+    d1.nodes_per_sec dn.speedup_vs_d1 r.energy_pj r.wormhole_latency
     (match r.saturation_rate with Some x -> Printf.sprintf "%.3f" x | None -> "-")
 
 let pp_header ppf () =
-  Format.fprintf ppf "%-20s %-6s %4s %5s %9s %8s %8s %9s %11s %8s %6s" "scenario" "kind"
-    "cores" "flows" "wall (s)" "nodes" "pruned" "cost" "energy (pJ)" "wh lat" "sat"
+  Format.fprintf ppf "%-22s %-6s %5s %6s %9s %8s %8s %9s %8s %6s %11s %8s %6s" "scenario"
+    "kind" "cores" "flows" "wall (s)" "nodes" "pruned" "cost" "nd/s" "spdup"
+    "energy (pJ)" "wh lat" "sat"

@@ -15,6 +15,12 @@ type settings = {
   sweep_cycles : int;
   wormhole_size_flits : int;
   seed : int;
+  simulate : bool;
+      (** run the wormhole burst, load sweep and fault campaign; the scale
+          tiers turn this off — cycle-accurate simulation of a 1024-core
+          run would swamp the search-scaling signal *)
+  fallback : bool;  (** seed the search with the greedy anytime fallback *)
+  portfolio : bool;  (** race the branch-ordering portfolio *)
 }
 
 val full : settings
@@ -25,6 +31,15 @@ val smoke : settings
 (** CI-gate settings: single domain, 2 sweep rates, 200 cycles — seconds
     for the whole corpus. *)
 
+val scale : settings
+(** Scaling-tier settings for [Corpus.scale]: 8 s / 2M-node anytime
+    budgets with the greedy fallback, domains [1; 8], simulation stages
+    skipped. *)
+
+val scale_smoke : settings
+(** CI scaling smoke ([@scale-smoke], [Corpus.scale_smoke]): sub-second
+    budgets, domains [1; 2]. *)
+
 type search_sample = {
   domains : int;
   wall_s : float;
@@ -33,6 +48,10 @@ type search_sample = {
   matches_tried : int;
   best_cost : float;
   timed_out : bool;
+  nodes_per_sec : float;  (** nodes / wall_s — the search-throughput gauge *)
+  speedup_vs_d1 : float;
+      (** first sample's wall-clock / this sample's: >1 means the extra
+          domains helped (the first sample is its own baseline, 1.0) *)
 }
 
 type sweep_sample = {

@@ -5,7 +5,46 @@ module P = Noc_primitives.Primitive
 module Timer = Noc_util.Timer
 module Obs = Noc_obs.Obs
 
+let log_src = Logs.Src.create "noc.branch_bound" ~doc:"branch-and-bound search"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type neutral_strategy = Branch | Greedy
+
+type ordering = Canonical | Coverage_first | Ratio_first
+
+let all_orderings = [ Canonical; Coverage_first; Ratio_first ]
+
+let ordering_name = function
+  | Canonical -> "canonical"
+  | Coverage_first -> "coverage-first"
+  | Ratio_first -> "ratio-first"
+
+let ordering_of_string = function
+  | "canonical" -> Some Canonical
+  | "coverage-first" -> Some Coverage_first
+  | "ratio-first" -> Some Ratio_first
+  | _ -> None
+
+(* Reorder the branchable entries for one search instance.  Only the
+   iteration order at each node changes: the [min_id] multiset dedup below
+   filters on entry ids, which is order-independent, so every ordering
+   searches exactly the same space. *)
+let order_entries ordering entries =
+  match ordering with
+  | Canonical -> entries
+  | Coverage_first ->
+      List.stable_sort
+        (fun a b ->
+          Int.compare (P.repr_edge_count b.L.prim) (P.repr_edge_count a.L.prim))
+        entries
+  | Ratio_first ->
+      let ratio e =
+        let covered = float_of_int (P.repr_edge_count e.L.prim) in
+        if covered <= 0. then infinity
+        else float_of_int (P.impl_link_count e.L.prim) /. covered
+      in
+      List.stable_sort (fun a b -> Float.compare (ratio a) (ratio b)) entries
 
 module Budget = struct
   type t = { timeout_s : float option; max_nodes : int; domains : int }
@@ -27,6 +66,9 @@ type options = {
   canonical_order : bool;
   neutrals : neutral_strategy;
   approx_missing : int;
+  ordering : ordering;
+  portfolio : bool;
+  fallback : bool;
 }
 
 let default_options =
@@ -41,6 +83,9 @@ let default_options =
     canonical_order = true;
     neutrals = Greedy;
     approx_missing = 0;
+    ordering = Canonical;
+    portfolio = false;
+    fallback = false;
   }
 
 let energy_options ~tech ~fp =
@@ -50,6 +95,56 @@ let energy_options ~tech ~fp =
     constraints = Some (Constraints.of_technology tech);
     role_aware = true;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Budget resolution: the single place where the legacy surface
+   ([options.timeout_s], [options.max_nodes], [?domains]) is folded into a
+   [Budget.t] and the domain count is clamped to what the machine can run. *)
+
+let domain_cap () =
+  let recommended = max 1 (Domain.recommended_domain_count ()) in
+  match Sys.getenv_opt "NOCSYNTH_MAX_DOMAINS" with
+  | None -> recommended
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          Log.warn (fun k ->
+              k "ignoring invalid NOCSYNTH_MAX_DOMAINS=%S (want an int >= 1)" s);
+          recommended)
+
+let legacy_budget_warned = Atomic.make false
+
+let resolve_budget ~options ?budget ?domains () =
+  let b =
+    match budget with
+    | Some b -> b
+    | None ->
+        let legacy_used =
+          options.timeout_s <> None
+          || options.max_nodes <> default_options.max_nodes
+          || domains <> None
+        in
+        if legacy_used && Atomic.compare_and_set legacy_budget_warned false true
+        then
+          Log.warn (fun k ->
+              k
+                "options.timeout_s / options.max_nodes / ?domains are \
+                 deprecated; pass ?budget:Budget.t to decompose instead");
+        {
+          Budget.timeout_s = options.timeout_s;
+          max_nodes = options.max_nodes;
+          domains = Option.value ~default:1 domains;
+        }
+  in
+  let asked = max 1 b.Budget.domains in
+  let cap = domain_cap () in
+  let granted = min asked cap in
+  if granted <> asked then
+    Log.warn (fun k ->
+        k "clamping Budget.domains %d -> %d (recommended_domain_count %d)"
+          asked granted cap);
+  { b with Budget.domains = granted }
 
 type prim_stats = { attempts : int; hits : int }
 
@@ -61,10 +156,15 @@ type stats = {
   leaves : int;
   pruned : int;
   incumbents : int;
+  tasks : int;
+  steals : int;
   elapsed_s : float;
   timed_out : bool;
   best_cost : float;
   constraints_met : bool;
+  fallback_used : bool;
+  gap_pct : float option;
+  winner : string option;
   per_primitive : (string * prim_stats) list;
   vf2 : vf2_stats;
 }
@@ -77,10 +177,21 @@ let stats_to_json st =
       ("leaves", Obs.Json.Int st.leaves);
       ("pruned", Obs.Json.Int st.pruned);
       ("incumbents", Obs.Json.Int st.incumbents);
+      ("tasks", Obs.Json.Int st.tasks);
+      ("steals", Obs.Json.Int st.steals);
       ("elapsed_s", Obs.Json.Float st.elapsed_s);
       ("timed_out", Obs.Json.Bool st.timed_out);
       ("best_cost", Obs.Json.Float st.best_cost);
       ("constraints_met", Obs.Json.Bool st.constraints_met);
+      ("fallback_used", Obs.Json.Bool st.fallback_used);
+      ( "gap_pct",
+        match st.gap_pct with
+        | Some g -> Obs.Json.Float g
+        | None -> Obs.Json.Null );
+      ( "winner",
+        match st.winner with
+        | Some w -> Obs.Json.Str w
+        | None -> Obs.Json.Null );
       ( "vf2",
         Obs.Json.Obj
           [
@@ -100,9 +211,19 @@ let stats_to_json st =
              st.per_primitive) );
     ]
 
+(* Per-edge cost contributions of the root ACG, so the remainder cost and
+   the admissible lower bound can be maintained incrementally under edge
+   deletion (subtract the covered edges) instead of re-folded per node.
+   Only materialized for the [Energy] cost — [Edge_count]'s view folds are
+   already O(1) off [num_edges]. *)
+type inc_tables = {
+  rem_of : (int * int, float) Hashtbl.t;
+  lb_of : (int * int, float) Hashtbl.t;
+}
+
 (* Everything the search shares across workers: immutable configuration,
-   the frozen ACG, plus two atomics — the node budget and the incumbent
-   cost used for cross-domain pruning. *)
+   the frozen ACG, plus the cross-worker atomics — the node budget, the
+   incumbent cost used for global pruning, and the task/steal tallies. *)
 type env = {
   opts : options;
   budget : Budget.t;
@@ -112,24 +233,48 @@ type env = {
   compiled : Noc_graph.Multi_pattern.t;
   frozen : (int, C.t) Hashtbl.t;  (** entry id -> frozen representation graph *)
   min_ratio : float;
+  inc : inc_tables option;
   wall_deadline : float option;  (** absolute wall clock, for the Vf2 API *)
   mono_deadline : Timer.Deadline.t;
   nodes : int Atomic.t;
   shared_best : float Atomic.t;
+  task_count : int Atomic.t;
+  steal_count : int Atomic.t;
+  task_seed : int;  (** base for per-task constraint-rng derivation *)
   obs : Obs.t;
   instr : Noc_graph.Vf2.Instr.t option;  (** present iff [obs] is enabled *)
   prim_slots : int;  (** 1 + max library entry id, for per-primitive arrays *)
 }
 
-(* Worker-local search state.  In the sequential driver there is exactly one
-   of these and [local_best] mirrors [shared_best], reproducing the seed
-   engine's single global incumbent; in the parallel driver each root branch
-   gets a fresh one so its result is independent of scheduling. *)
+(* An open subproblem, self-contained so any worker can run it: the
+   remaining graph, the partial decomposition, its exact cost, the
+   incrementally-maintained remainder/lower-bound values, the canonical
+   [min_id] floor, and the node's path (child indices from the root) which
+   makes the final reduction independent of steal order. *)
+type task = {
+  t_view : C.view;
+  t_matchings : Matching.t list;  (** reversed *)
+  t_cost : float;
+  t_min_id : int;
+  t_rem_c : float;
+  t_lb_c : float;
+  t_path_rev : int list;
+  t_depth : int;
+}
+
+(* Worker-local search state.  The sequential driver has exactly one of
+   these, reproducing the seed engine's single global incumbent; the
+   work-stealing driver gives each worker one, resetting the incumbent
+   cell ([best]/[best_decomp]/[best_path]) at every task so a task's
+   result is a pure function of the task, not of scheduling. *)
 type wctx = {
   env : env;
-  rng : Noc_util.Prng.t;
-  mutable local_best : float;
-  mutable local_decomp : Decomposition.t option;
+  mutable rng : Noc_util.Prng.t;
+  mutable best : float;
+  mutable best_decomp : Decomposition.t option;
+  mutable best_path : int list;  (** reversed leaf path of the incumbent *)
+  mutable spawn : (task -> unit) option;  (** work-stealing push, when parallel *)
+  mutable spawn_depth : int;  (** branches above this depth become tasks *)
   mutable matches_tried : int;
   mutable leaves : int;
   mutable pruned : int;
@@ -143,8 +288,11 @@ let mk_ctx env rng =
   {
     env;
     rng;
-    local_best = infinity;
-    local_decomp = None;
+    best = infinity;
+    best_decomp = None;
+    best_path = [];
+    spawn = None;
+    spawn_depth = 0;
     matches_tried = 0;
     leaves = 0;
     pruned = 0;
@@ -173,6 +321,23 @@ let int_set_of_list ids =
   let tbl = Hashtbl.create 16 in
   List.iter (fun id -> Hashtbl.replace tbl id ()) ids;
   tbl
+
+(* Child remainder cost and lower bound after deleting [covered] from a
+   node's view: incrementally for [Energy] (subtract the per-edge
+   contributions), directly for [Edge_count] (both folds are O(1)). *)
+let child_bounds env ~rem_c ~lb_c covered view' =
+  match env.inc with
+  | None ->
+      ( Cost.remainder_cost_view env.opts.cost env.acg view',
+        Cost.lower_bound_view env.opts.cost env.acg ~min_link_ratio:env.min_ratio
+          view' )
+  | Some inc ->
+      List.fold_left
+        (fun (r, l) e ->
+          let dr = try Hashtbl.find inc.rem_of e with Not_found -> 0.0 in
+          let dl = try Hashtbl.find inc.lb_of e with Not_found -> 0.0 in
+          (r -. dr, l -. dl))
+        (rem_c, lb_c) covered
 
 (* Enumerate up to [max_matches_per_step] candidate matchings of [entry] in
    [remaining].  Without role awareness, one representative per
@@ -256,44 +421,54 @@ let is_saver entry =
    order, whose cost does not exceed realizing its covered edges as
    dedicated links, and subtract it.  [compiled] holds the Messmer-Bunke
    style invariant screen (Section 5.1's decision-tree suggestion), so
-   impossible patterns are rejected without any VF2 search. *)
-let greedy_finish ~env remaining =
+   impossible patterns are rejected without any VF2 search.
+
+   At large core counts a single greedy pass can dominate wall time (each
+   iteration re-screens the whole library against the shrinking view), so
+   the loop honours the search's monotonic deadline: once expired it stops
+   re-attaching and leaves whatever remains as dedicated links.  The
+   returned flag reports truncation — a truncated pass still produces a
+   valid (just costlier) completion, but the caller must downgrade the
+   result to anytime semantics. *)
+let greedy_finish ?(deadline = Timer.Deadline.none) ~env remaining =
   let opts = env.opts in
   let rec go rem acc_rev acc_cost =
-    let alive =
-      int_set_of_list (Noc_graph.Multi_pattern.survivors_view env.compiled rem)
-    in
-    let next =
-      List.find_map
-        (fun entry ->
-          if Hashtbl.mem alive entry.L.id then
-            match
-              Noc_graph.Vf2.find_first_view ?deadline:env.wall_deadline
-                ?instr:env.instr
-                ~pattern:(Hashtbl.find env.frozen entry.L.id) ~target:rem ()
-            with
-            | Some m ->
-                let matching = Matching.of_vf2 entry m in
-                let c = Matching.cost opts.cost env.acg matching in
-                let direct =
-                  Cost.remainder_cost opts.cost env.acg
-                    (D.of_edges matching.Matching.covered)
-                in
-                if c <= direct +. 1e-9 then Some (matching, c) else None
-            | None -> None
-          else None)
-        env.library
-    in
-    match next with
-    | Some (matching, c) ->
-        go
-          (C.delete_edges rem matching.Matching.covered)
-          (matching :: acc_rev) (acc_cost +. c)
-    | None -> (acc_rev, rem, acc_cost)
+    if Timer.Deadline.expired deadline then (acc_rev, rem, acc_cost, true)
+    else
+      let alive =
+        int_set_of_list (Noc_graph.Multi_pattern.survivors_view env.compiled rem)
+      in
+      let next =
+        List.find_map
+          (fun entry ->
+            if Hashtbl.mem alive entry.L.id then
+              match
+                Noc_graph.Vf2.find_first_view ?deadline:env.wall_deadline
+                  ?instr:env.instr
+                  ~pattern:(Hashtbl.find env.frozen entry.L.id) ~target:rem ()
+              with
+              | Some m ->
+                  let matching = Matching.of_vf2 entry m in
+                  let c = Matching.cost opts.cost env.acg matching in
+                  let direct =
+                    Cost.remainder_cost opts.cost env.acg
+                      (D.of_edges matching.Matching.covered)
+                  in
+                  if c <= direct +. 1e-9 then Some (matching, c) else None
+              | None -> None
+            else None)
+          env.library
+      in
+      match next with
+      | Some (matching, c) ->
+          go
+            (C.delete_edges rem matching.Matching.covered)
+            (matching :: acc_rev) (acc_cost +. c)
+      | None -> (acc_rev, rem, acc_cost, false)
   in
   go remaining [] 0.0
 
-let accept ctx matchings_rev rest_view total =
+let accept ctx matchings_rev rest_view total ~path_rev =
   let d =
     {
       Decomposition.matchings = List.rev matchings_rev;
@@ -308,8 +483,9 @@ let accept ctx matchings_rev rest_view total =
           (Synthesis.of_decomposition ctx.env.acg d)
   in
   if ok then begin
-    ctx.local_decomp <- Some d;
-    ctx.local_best <- total;
+    ctx.best_decomp <- Some d;
+    ctx.best <- total;
+    ctx.best_path <- path_rev;
     ctx.incumbents <- ctx.incumbents + 1;
     cas_min ctx.env.shared_best total;
     (* the incumbent timeline: one instant event per accepted improvement *)
@@ -324,30 +500,48 @@ let accept ctx matchings_rev rest_view total =
   end
 
 (* The leaf of a node: re-attach neutral primitives greedily and charge the
-   rest as dedicated links. *)
-let eval_leaf ctx remaining matchings_rev cost_so_far =
+   rest as dedicated links.  Leaf totals are always recomputed exactly (no
+   incremental float accumulation), so reported costs are independent of
+   the path taken to reach the leaf. *)
+let eval_leaf ctx remaining matchings_rev cost_so_far ~path_rev =
   let env = ctx.env in
   ctx.leaves <- ctx.leaves + 1;
   let extra_rev, rest, extra_cost =
     match env.opts.neutrals with
     | Branch -> ([], remaining, 0.0)
-    | Greedy -> greedy_finish ~env remaining
+    | Greedy ->
+        let extra_rev, rest, extra_cost, truncated =
+          greedy_finish ~deadline:env.mono_deadline ~env remaining
+        in
+        (* a cut-short greedy pass means this leaf's total is budget-
+           dependent: report the whole search as exhausted so callers
+           don't take the determinism guarantee on it *)
+        if truncated then ctx.timed_out <- true;
+        (extra_rev, rest, extra_cost)
   in
   let total = cost_so_far +. extra_cost +. Cost.remainder_cost_view env.opts.cost env.acg rest in
-  if total < ctx.local_best then accept ctx (extra_rev @ matchings_rev) rest total
+  if total < ctx.best then accept ctx (extra_rev @ matchings_rev) rest total ~path_rev
 
 (* [min_id]: when canonical ordering is on, only primitives with id >=
    min_id may be matched below this node.  Decompositions are multisets
    of matchings, so exploring them in non-decreasing library order visits
    each multiset once instead of once per permutation.
 
-   A branch is explored when its bound beats both the branch-local best
+   A branch is explored when its bound beats both the task-local best
    (strictly — preserving the seed engine's first-of-equal-cost tie-break)
-   and the cross-domain incumbent (non-strictly, so an equal-cost subtree
+   and the cross-worker incumbent (non-strictly, so an equal-cost subtree
    in an earlier canonical branch is never lost to a later worker's
-   publication).  In the sequential driver [local_best = shared_best]
-   always, and the rule collapses to the seed engine's [bound < best]. *)
-let rec explore ctx remaining matchings_rev cost_so_far min_id =
+   publication).  In the sequential driver the task-local best IS the
+   global best, and the rule collapses to the seed engine's [bound < best].
+
+   [path_rev] assigns every node its sequence of child indices from the
+   root — candidate enumeration is deterministic, so the index of a branch
+   is too, and a node's own leaf gets index [#children], ordering it after
+   its subtrees exactly like the depth-first engine visits it.  The final
+   reduction minimizes (cost, path), which makes the reported result
+   independent of which worker ran which task. *)
+let rec explore ctx remaining matchings_rev cost_so_far min_id ~rem_c ~lb_c
+    ~path_rev ~depth =
   let env = ctx.env in
   let opts = env.opts in
   ignore (Atomic.fetch_and_add env.nodes 1);
@@ -359,6 +553,7 @@ let rec explore ctx remaining matchings_rev cost_so_far min_id =
            env.compiled remaining)
     in
     let matched_any = ref false in
+    let child_i = ref 0 in
     List.iter
       (fun entry ->
         if
@@ -373,16 +568,34 @@ let rec explore ctx remaining matchings_rev cost_so_far min_id =
             (fun (matching, c) ->
               matched_any := true;
               ctx.matches_tried <- ctx.matches_tried + 1;
+              let i = !child_i in
+              incr child_i;
               if not (budget_exhausted ctx) then begin
                 let new_cost = cost_so_far +. c in
-                let rem' = C.delete_edges remaining matching.Matching.covered in
-                let lb =
-                  Cost.lower_bound_view opts.cost env.acg ~min_link_ratio:env.min_ratio
-                    rem'
+                let view' = C.delete_edges remaining matching.Matching.covered in
+                let rem_c', lb_c' =
+                  child_bounds env ~rem_c ~lb_c matching.Matching.covered view'
                 in
-                let bound = new_cost +. lb in
-                if bound < ctx.local_best && bound <= Atomic.get env.shared_best then
-                  explore ctx rem' (matching :: matchings_rev) new_cost entry.L.id
+                let bound = new_cost +. lb_c' in
+                if bound < ctx.best && bound <= Atomic.get env.shared_best then begin
+                  match ctx.spawn with
+                  | Some push when depth < ctx.spawn_depth ->
+                      push
+                        {
+                          t_view = view';
+                          t_matchings = matching :: matchings_rev;
+                          t_cost = new_cost;
+                          t_min_id = entry.L.id;
+                          t_rem_c = rem_c';
+                          t_lb_c = lb_c';
+                          t_path_rev = i :: path_rev;
+                          t_depth = depth + 1;
+                        }
+                  | Some _ | None ->
+                      explore ctx view' (matching :: matchings_rev) new_cost
+                        entry.L.id ~rem_c:rem_c' ~lb_c:lb_c'
+                        ~path_rev:(i :: path_rev) ~depth:(depth + 1)
+                end
                 else ctx.pruned <- ctx.pruned + 1
               end)
             cands
@@ -393,152 +606,323 @@ let rec explore ctx remaining matchings_rev cost_so_far min_id =
        paths and broadcasts still show up in the listing *)
     if (not !matched_any) || opts.allow_early_remainder then
       eval_leaf ctx remaining matchings_rev cost_so_far
+        ~path_rev:(!child_i :: path_rev)
   end
 
 (* ------------------------------------------------------------------ *)
-(* Parallel driver: fan the root-level branches across domains.
+(* Work-stealing scheduler.
 
-   The root's branches (one per library-entry x candidate-matching pair)
-   are enumerated sequentially — candidate enumeration never depends on the
-   incumbent, so every run sees the same branch array in the same canonical
-   order.  Workers claim branch indices from an atomic counter and search
-   each branch with a fresh branch-local incumbent, publishing
-   constraint-feasible costs to [shared_best]; cross-domain pruning only
-   cuts subtrees whose admissible bound is strictly above the shared
-   incumbent, so no subtree that could attain the global minimum is ever
-   cut, whatever the interleaving.  The reduction picks the minimum cost
-   and breaks ties by the smallest branch index (with the "stop at the
-   root" decomposition ordered last), which is exactly the decomposition
-   the sequential depth-first engine returns. *)
+   Each worker owns a deque of open subproblems: it pushes and pops at the
+   bottom (depth-first, keeping the hot view overlays cache-local) while
+   idle workers steal from the top (breadth-first, stealing the biggest
+   subtrees).  [explore] turns a branch into a task instead of recursing
+   while the node is shallower than [spawn_depth] — a deterministic,
+   depth-only policy, so the set of tasks (and hence the searched tree
+   shape) does not depend on queue occupancy or timing.
 
-type root_branch = {
-  br_entry : L.entry;
-  br_matching : Matching.t;
-  br_cost : float;
-}
+   Termination: [pending] counts spawned-but-unfinished tasks.  A spawn
+   increments it before the push; a worker decrements it only after the
+   task's subtree is fully explored and its result recorded.  Workers spin
+   (with a micro-sleep once the machine is clearly oversubscribed) until
+   [pending] drops to zero, at which point no task exists or can appear. *)
 
-let run_parallel env root_view base_rng ~domains =
-  (* the root node itself *)
-  ignore (Atomic.fetch_and_add env.nodes 1);
-  let root_ctx = mk_ctx env base_rng in
-  let branches = ref [] in
-  if not (budget_exhausted root_ctx) then begin
-    let alive =
-      int_set_of_list
-        (Noc_graph.Multi_pattern.survivors_view ~slack:env.opts.approx_missing
-           env.compiled root_view)
-    in
-    List.iter
-      (fun entry ->
-        if Hashtbl.mem alive entry.L.id && not (budget_exhausted root_ctx) then begin
-          let cands = candidate_matchings ~env entry root_view in
-          root_ctx.attempts.(entry.L.id) <- root_ctx.attempts.(entry.L.id) + 1;
-          root_ctx.hits.(entry.L.id) <- root_ctx.hits.(entry.L.id) + List.length cands;
-          List.iter
-            (fun (matching, c) ->
-              root_ctx.matches_tried <- root_ctx.matches_tried + 1;
-              branches :=
-                { br_entry = entry; br_matching = matching; br_cost = c } :: !branches)
-            cands
-        end)
-      env.branchable
-  end;
-  let branch_arr = Array.of_list (List.rev !branches) in
-  let nb = Array.length branch_arr in
-  let include_root_leaf = env.opts.allow_early_remainder || nb = 0 in
-  let n_work = nb + if include_root_leaf then 1 else 0 in
-  (* one independent, deterministically derived rng per work item, so the
-     constraint checker's stream does not depend on which domain runs it *)
-  let rng_src = Noc_util.Prng.copy base_rng in
-  let rngs = Array.init n_work (fun _ -> Noc_util.Prng.split rng_src) in
-  let results = Array.make n_work (infinity, None) in
-  let ctxs = Array.make n_work None in
-  let next = Atomic.make 0 in
-  let n_dom = max 1 (min domains n_work) in
-  let busy_s = Array.make n_dom 0.0 in
-  let work i ctx =
-    if i < nb then begin
-      let b = branch_arr.(i) in
-      if not (budget_exhausted ctx) then begin
-        let rem' = C.delete_edges root_view b.br_matching.Matching.covered in
-        let lb =
-          Cost.lower_bound_view env.opts.cost env.acg ~min_link_ratio:env.min_ratio
-            rem'
-        in
-        let bound = b.br_cost +. lb in
-        if bound < ctx.local_best && bound <= Atomic.get env.shared_best then
-          explore ctx rem' [ b.br_matching ] b.br_cost b.br_entry.L.id
-        else ctx.pruned <- ctx.pruned + 1
+module Deque = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    mutable buf : 'a option array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create () = { mutex = Mutex.create (); buf = Array.make 64 None; head = 0; len = 0 }
+
+  let push_bottom t x =
+    Mutex.lock t.mutex;
+    let cap = Array.length t.buf in
+    if t.len = cap then begin
+      let nbuf = Array.make (2 * cap) None in
+      for i = 0 to t.len - 1 do
+        nbuf.(i) <- t.buf.((t.head + i) mod cap)
+      done;
+      t.buf <- nbuf;
+      t.head <- 0
+    end;
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+    t.len <- t.len + 1;
+    Mutex.unlock t.mutex
+
+  let pop_bottom t =
+    Mutex.lock t.mutex;
+    let r =
+      if t.len = 0 then None
+      else begin
+        let i = (t.head + t.len - 1) mod Array.length t.buf in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.len <- t.len - 1;
+        x
       end
-    end
-    else if not (budget_exhausted ctx) then
-      (* the decomposition that stops at the root; evaluated last in
-         the canonical order, so it only wins on a strict improvement *)
-      eval_leaf ctx root_view [] 0.0
-  in
+    in
+    Mutex.unlock t.mutex;
+    r
+
+  let steal_top t =
+    Mutex.lock t.mutex;
+    let r =
+      if t.len = 0 then None
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        x
+      end
+    in
+    Mutex.unlock t.mutex;
+    r
+end
+
+(* Branches above this depth become stealable tasks; below it a worker
+   recurses inline.  Depth-only (deterministic) by design — see above. *)
+let spawn_depth_for _domains = 3
+
+(* One independent constraint-checker rng per task, derived from the task's
+   path: the stream a task sees does not depend on which worker runs it. *)
+let task_rng env path_rev =
+  Noc_util.Prng.create ~seed:(env.task_seed lxor Hashtbl.hash path_rev)
+
+let run_work_stealing env root_view ~domains ~rank ~rem0 ~lb0 =
+  let n_dom = domains in
+  let deques = Array.init n_dom (fun _ -> Deque.create ()) in
+  let pending = Atomic.make 0 in
+  let results = Array.make n_dom [] in
+  let ctxs = Array.make n_dom None in
+  let busy_s = Array.make n_dom 0.0 in
+  let idle_s = Array.make n_dom 0.0 in
+  Atomic.incr pending;
+  ignore (Atomic.fetch_and_add env.task_count 1);
+  Deque.push_bottom deques.(0)
+    {
+      t_view = root_view;
+      t_matchings = [];
+      t_cost = 0.0;
+      t_min_id = 0;
+      t_rem_c = rem0;
+      t_lb_c = lb0;
+      t_path_rev = [];
+      t_depth = 0;
+    };
   let worker slot () =
-    let t_start = Timer.now_mono_s () in
+    let t_begin = Timer.now_mono_s () in
+    let busy = ref 0.0 in
+    let ctx = mk_ctx env (task_rng env [ slot ]) in
+    ctx.spawn_depth <- spawn_depth_for n_dom;
+    ctxs.(slot) <- Some ctx;
+    let my = deques.(slot) in
+    ctx.spawn <-
+      Some
+        (fun t ->
+          Atomic.incr pending;
+          ignore (Atomic.fetch_and_add env.task_count 1);
+          Deque.push_bottom my t);
+    let try_steal () =
+      let stolen = ref None in
+      let k = ref 1 in
+      while Option.is_none !stolen && !k < n_dom do
+        (match Deque.steal_top deques.((slot + !k) mod n_dom) with
+        | Some t ->
+            ignore (Atomic.fetch_and_add env.steal_count 1);
+            stolen := Some t
+        | None -> ());
+        incr k
+      done;
+      !stolen
+    in
+    let rec obtain spins =
+      match Deque.pop_bottom my with
+      | Some t -> Some t
+      | None -> (
+          match try_steal () with
+          | Some t -> Some t
+          | None ->
+              if Atomic.get pending = 0 then None
+              else begin
+                (* back off: spin briefly, then yield the hardware thread —
+                   on an oversubscribed machine a spinning thief would
+                   starve the one worker that has the work *)
+                if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.0002;
+                obtain (spins + 1)
+              end)
+    in
     let continue = ref true in
     while !continue do
-      let i = Atomic.fetch_and_add next 1 in
-      if i >= n_work then continue := false
-      else begin
-        let ctx = mk_ctx env rngs.(i) in
-        ctxs.(i) <- Some ctx;
-        (if Obs.enabled env.obs then
-           let label =
-             if i < nb then
-               Printf.sprintf "branch %d: %s" i
-                 branch_arr.(i).br_entry.L.prim.P.name
-             else Printf.sprintf "branch %d: root leaf" i
-           in
-           Obs.span env.obs ~cat:"search" label (fun () -> work i ctx)
-         else work i ctx);
-        results.(i) <- (ctx.local_best, ctx.local_decomp)
-      end
+      match obtain 0 with
+      | None -> continue := false
+      | Some t ->
+          let t0 = Timer.now_mono_s () in
+          ctx.rng <- task_rng env t.t_path_rev;
+          ctx.best <- infinity;
+          ctx.best_decomp <- None;
+          ctx.best_path <- [];
+          explore ctx t.t_view t.t_matchings t.t_cost t.t_min_id
+            ~rem_c:t.t_rem_c ~lb_c:t.t_lb_c ~path_rev:t.t_path_rev
+            ~depth:t.t_depth;
+          (match ctx.best_decomp with
+          | Some d ->
+              results.(slot) <-
+                (ctx.best, rank, List.rev ctx.best_path, d) :: results.(slot)
+          | None -> ());
+          busy := !busy +. (Timer.now_mono_s () -. t0);
+          ignore (Atomic.fetch_and_add pending (-1))
     done;
-    busy_s.(slot) <- Timer.now_mono_s () -. t_start
+    busy_s.(slot) <- !busy;
+    idle_s.(slot) <- Timer.now_mono_s () -. t_begin -. !busy
   in
-  let doms = Array.init (n_dom - 1) (fun k -> Domain.spawn (worker (k + 1))) in
-  worker 0 ();
+  let run_worker slot () =
+    if Obs.enabled env.obs then
+      Obs.span env.obs ~cat:"search" (Printf.sprintf "worker %d" slot) (fun () ->
+          worker slot ())
+    else worker slot ()
+  in
+  let doms = Array.init (n_dom - 1) (fun k -> Domain.spawn (run_worker (k + 1))) in
+  run_worker 0 ();
   Array.iter Domain.join doms;
-  (* per-domain utilization for the observer: busy seconds per worker *)
+  (* per-domain utilization for the observer *)
   if Obs.enabled env.obs then begin
     Obs.Gauge.set (Obs.gauge env.obs "search.domains") (float_of_int n_dom);
-    Array.iteri
-      (fun k b ->
-        Obs.Gauge.set (Obs.gauge env.obs (Printf.sprintf "search.domain.%d.busy_s" k)) b)
-      busy_s
+    for k = 0 to n_dom - 1 do
+      Obs.Gauge.set
+        (Obs.gauge env.obs (Printf.sprintf "search.domain.%d.busy_s" k))
+        busy_s.(k);
+      Obs.Gauge.set
+        (Obs.gauge env.obs (Printf.sprintf "search.domain.%d.idle_s" k))
+        idle_s.(k)
+    done
   end;
-  (* deterministic reduction: min cost, ties to the smallest branch index *)
-  let best = ref None and best_c = ref infinity in
-  Array.iter
-    (fun (c, d) ->
-      match d with
-      | Some d when c < !best_c ->
-          best := Some d;
-          best_c := c
-      | Some _ | None -> ())
-    results;
-  let merged = root_ctx :: List.filter_map Fun.id (Array.to_list ctxs) in
-  (!best, !best_c, merged)
+  let all_results = Array.to_list results |> List.concat in
+  let all_ctxs = Array.to_list ctxs |> List.filter_map Fun.id in
+  (all_results, all_ctxs)
+
+(* One search instance: sequential when it has a single domain (the exact
+   seed engine — one incumbent cell, no task machinery), work-stealing
+   otherwise. *)
+let run_search env root_view base_rng ~domains ~rank =
+  let rem0 = Cost.remainder_cost_view env.opts.cost env.acg root_view in
+  let lb0 =
+    Cost.lower_bound_view env.opts.cost env.acg ~min_link_ratio:env.min_ratio
+      root_view
+  in
+  if domains <= 1 then begin
+    ignore (Atomic.fetch_and_add env.task_count 1);
+    let ctx = mk_ctx env base_rng in
+    explore ctx root_view [] 0.0 0 ~rem_c:rem0 ~lb_c:lb0 ~path_rev:[] ~depth:0;
+    let res =
+      match ctx.best_decomp with
+      | Some d -> [ (ctx.best, rank, List.rev ctx.best_path, d) ]
+      | None -> []
+    in
+    (res, [ ctx ])
+  end
+  else run_work_stealing env root_view ~domains ~rank ~rem0 ~lb0
+
+(* Portfolio: race one instance per branch ordering over a split of the
+   domain budget.  All instances share the node budget, the incumbent bound
+   (so any instance's incumbent prunes every other) and the deadline; the
+   reduction prefers the lowest cost, ties to the lowest instance index —
+   instance 0 is the canonical ordering, so a completed portfolio search
+   reports the same cost as the plain engine. *)
+let run_portfolio env root_view base_rng ~domains =
+  let insts = Array.of_list all_orderings in
+  let n = Array.length insts in
+  let doms = Array.make n 1 in
+  if domains >= n then begin
+    let base = domains / n and extra = domains mod n in
+    for k = 0 to n - 1 do
+      doms.(k) <- base + (if k < extra then 1 else 0)
+    done
+  end;
+  let src = Noc_util.Prng.copy base_rng in
+  let rngs = Array.init n (fun _ -> Noc_util.Prng.split src) in
+  let run k () =
+    let env_k = { env with branchable = order_entries insts.(k) env.branchable } in
+    run_search env_k root_view rngs.(k) ~domains:doms.(k) ~rank:k
+  in
+  let handles = Array.init (n - 1) (fun j -> Domain.spawn (run (j + 1))) in
+  let r0 = run 0 () in
+  let rest = Array.map Domain.join handles in
+  Array.fold_left
+    (fun (res, ctxs) (r, c) -> (res @ r, ctxs @ c))
+    r0 rest
 
 (* ------------------------------------------------------------------ *)
+
+(* Lexicographic order on leaf paths = the order the sequential
+   depth-first engine visits leaves. *)
+let rec path_lt p q =
+  match (p, q) with
+  | [], [] -> false
+  | [], _ :: _ -> true
+  | _ :: _, [] -> false
+  | a :: p', b :: q' -> a < b || (a = b && path_lt p' q')
+
+(* Deterministic reduction over every recorded incumbent: minimum cost,
+   ties to the lowest instance rank, then to the depth-first-smallest leaf
+   path.  Equal to the sequential engine's pick whenever the search ran to
+   completion. *)
+let reduce_results results =
+  List.fold_left
+    (fun best ((c, r, p, _) as cand) ->
+      match best with
+      | None -> Some cand
+      | Some (bc, br, bp, _) ->
+          if c < bc || (c = bc && (r < br || (r = br && path_lt p bp))) then
+            Some cand
+          else best)
+    None results
+
+(* Anytime fallback: the deterministic greedy completion from the root,
+   checked against the constraints, published as the initial incumbent.
+   It bounds the search from the first node, and if the budget dies before
+   the search finds anything better the caller still gets a feasible
+   decomposition.  Ranked after every search instance, so it only wins
+   when the search found nothing at least as good. *)
+let fallback_rank = max_int
+
+let fallback_seed env root_view rng =
+  (* the seed honours the deadline too: truncation only enlarges the
+     remainder (realized as dedicated links), so the result stays a valid
+     feasible decomposition even when the budget is gone before one full
+     greedy pass fits *)
+  let matchings_rev, rest, cost, _truncated =
+    greedy_finish ~deadline:env.mono_deadline ~env root_view
+  in
+  let total =
+    cost +. Cost.remainder_cost_view env.opts.cost env.acg rest
+  in
+  let d =
+    {
+      Decomposition.matchings = List.rev matchings_rev;
+      remainder = C.to_digraph rest;
+    }
+  in
+  let ok =
+    match env.opts.constraints with
+    | None -> true
+    | Some c ->
+        Constraints.satisfied ~rng c env.acg (Synthesis.of_decomposition env.acg d)
+  in
+  if ok then begin
+    cas_min env.shared_best total;
+    if Obs.enabled env.obs then
+      Obs.instant env.obs "fallback-seed" ~args:[ ("cost", Obs.Json.Float total) ];
+    Some (total, fallback_rank, [], d)
+  end
+  else None
 
 let decompose ?(options = default_options) ?budget ?domains ?(observe = Obs.disabled)
     ?rng ~library acg =
   let opts = options in
-  let budget =
-    match budget with
-    | Some b -> { b with Budget.domains = max 1 b.Budget.domains }
-    | None ->
-        (* legacy surface: the deprecated [options] fields and [?domains] *)
-        {
-          Budget.timeout_s = opts.timeout_s;
-          max_nodes = opts.max_nodes;
-          domains = max 1 (Option.value ~default:1 domains);
-        }
-  in
+  let budget = resolve_budget ~options ?budget ?domains () in
   let base_rng =
     match rng with Some r -> r | None -> Noc_util.Prng.create ~seed:0x5eed
   in
@@ -547,11 +931,15 @@ let decompose ?(options = default_options) ?budget ?domains ?(observe = Obs.disa
     Option.map (fun s -> Unix.gettimeofday () +. s) budget.Budget.timeout_s
   in
   let mono_deadline = Timer.Deadline.after_opt budget.Budget.timeout_s in
+
   let min_ratio = Cost.min_link_ratio_of_library library in
   let branchable =
     match opts.neutrals with
     | Branch -> library
     | Greedy -> List.filter is_saver library
+  in
+  let branchable =
+    if opts.portfolio then branchable else order_entries opts.ordering branchable
   in
   let compiled, frozen =
     Obs.span observe ~cat:"setup" "compile-library" (fun () ->
@@ -570,6 +958,25 @@ let decompose ?(options = default_options) ?budget ?domains ?(observe = Obs.disa
   let instr =
     if Obs.enabled observe then Some (Noc_graph.Vf2.Instr.create ()) else None
   in
+  let inc =
+    match opts.cost with
+    | Cost.Edge_count -> None
+    | Cost.Energy _ ->
+        let graph = Acg.graph acg in
+        let sz = max 16 (2 * D.num_edges graph) in
+        let rem_of = Hashtbl.create sz and lb_of = Hashtbl.create sz in
+        D.iter_edges
+          (fun u v ->
+            Hashtbl.replace rem_of (u, v)
+              (Cost.edge_remainder_cost opts.cost acg u v);
+            Hashtbl.replace lb_of (u, v)
+              (Cost.edge_lower_bound opts.cost acg ~min_link_ratio:min_ratio u v))
+          graph;
+        Some { rem_of; lb_of }
+  in
+  let task_seed =
+    Int64.to_int (Noc_util.Prng.bits64 (Noc_util.Prng.copy base_rng)) land max_int
+  in
   let env =
     {
       opts;
@@ -580,31 +987,51 @@ let decompose ?(options = default_options) ?budget ?domains ?(observe = Obs.disa
       compiled;
       frozen;
       min_ratio;
+      inc;
       wall_deadline;
       mono_deadline;
       nodes = Atomic.make 0;
       shared_best = Atomic.make infinity;
+      task_count = Atomic.make 0;
+      steal_count = Atomic.make 0;
+      task_seed;
       obs = observe;
       instr;
       prim_slots = 1 + List.fold_left (fun m e -> max m e.L.id) 0 library;
     }
   in
   let root_view = C.view (C.freeze (Acg.graph acg)) in
-  let best, best_cost, workers =
+  let lb0 =
+    Cost.lower_bound_view opts.cost acg ~min_link_ratio:min_ratio root_view
+  in
+  let seed =
+    if opts.fallback then
+      Obs.span observe ~cat:"search" "greedy-fallback-seed" (fun () ->
+          fallback_seed env root_view (Noc_util.Prng.copy base_rng))
+    else None
+  in
+  let search_results, workers =
     Obs.span observe ~cat:"search" "branch-and-bound"
-      ~args:[ ("domains", Obs.Json.Int budget.Budget.domains) ]
+      ~args:
+        [
+          ("domains", Obs.Json.Int budget.Budget.domains);
+          ("portfolio", Obs.Json.Bool opts.portfolio);
+        ]
       (fun () ->
-        if budget.Budget.domains <= 1 then begin
-          let ctx = mk_ctx env base_rng in
-          explore ctx root_view [] 0.0 0;
-          (ctx.local_decomp, ctx.local_best, [ ctx ])
-        end
-        else run_parallel env root_view base_rng ~domains:budget.Budget.domains)
+        if opts.portfolio then
+          run_portfolio env root_view base_rng ~domains:budget.Budget.domains
+        else
+          run_search env root_view base_rng ~domains:budget.Budget.domains
+            ~rank:0)
   in
   let elapsed = Timer.now_mono_s () -. t0 in
-  let decomp, met =
-    match best with
-    | Some d -> (d, true)
+  let all_results =
+    match seed with Some s -> s :: search_results | None -> search_results
+  in
+  let reduced = reduce_results all_results in
+  let decomp, best_cost, met, fallback_used, win_rank =
+    match reduced with
+    | Some (c, r, _, d) -> (d, c, true, r = fallback_rank, r)
     | None ->
         (* no complete decomposition was accepted (constraints rejected
            them all, or the budget ran out before the first leaf): fall
@@ -619,9 +1046,20 @@ let decompose ?(options = default_options) ?budget ?domains ?(observe = Obs.disa
               Constraints.satisfied ~rng:base_rng c acg
                 (Synthesis.of_decomposition acg d)
         in
-        (d, met)
+        (d, Cost.remainder_cost opts.cost acg (Acg.graph acg), met, false, -1)
+  in
+  let winner =
+    if opts.portfolio && win_rank >= 0 && win_rank < List.length all_orderings
+    then Some (ordering_name (List.nth all_orderings win_rank))
+    else None
   in
   let sum f = List.fold_left (fun acc w -> acc + f w) 0 workers in
+  let timed_out = List.exists (fun w -> w.timed_out) workers in
+  let gap_pct =
+    if timed_out && lb0 > 1e-12 then
+      Some (Float.max 0.0 (100.0 *. (best_cost -. lb0) /. lb0))
+    else None
+  in
   let seen = Hashtbl.create 8 in
   let per_primitive =
     List.filter_map
@@ -645,12 +1083,15 @@ let decompose ?(options = default_options) ?budget ?domains ?(observe = Obs.disa
       leaves = sum (fun w -> w.leaves);
       pruned = sum (fun w -> w.pruned);
       incumbents = sum (fun w -> w.incumbents);
+      tasks = Atomic.get env.task_count;
+      steals = Atomic.get env.steal_count;
       elapsed_s = elapsed;
-      timed_out = List.exists (fun w -> w.timed_out) workers;
-      best_cost =
-        (if Option.is_none best then Cost.remainder_cost opts.cost acg (Acg.graph acg)
-         else best_cost);
+      timed_out;
+      best_cost;
       constraints_met = met;
+      fallback_used;
+      gap_pct;
+      winner;
       per_primitive;
       vf2 =
         (match instr with
@@ -671,6 +1112,8 @@ let decompose ?(options = default_options) ?budget ?domains ?(observe = Obs.disa
     put "search.leaves" stats.leaves;
     put "search.pruned" stats.pruned;
     put "search.incumbents" stats.incumbents;
+    put "search.tasks" stats.tasks;
+    put "search.steals" stats.steals;
     put "vf2.probes" stats.vf2.probes;
     put "vf2.backtracks" stats.vf2.backtracks;
     List.iter

@@ -28,6 +28,23 @@ type neutral_strategy =
           deterministic greedy pass at each leaf.  Same optimal cost, same
           style of listing, dramatically smaller search tree. *)
 
+(** Heuristic branch orderings: the order library entries are tried at
+    every node.  Only the iteration order changes — the canonical multiset
+    dedup filters on entry ids, so every ordering explores the same search
+    space and a completed search reports the same minimal cost; what moves
+    is how quickly a good incumbent is found, which is what the portfolio
+    races. *)
+type ordering =
+  | Canonical  (** library order (the seed engine's order) *)
+  | Coverage_first  (** most covered edges first — big savers early *)
+  | Ratio_first  (** best links-per-covered-edge ratio first *)
+
+val all_orderings : ordering list
+(** The portfolio, in rank order: [Canonical] first. *)
+
+val ordering_name : ordering -> string
+val ordering_of_string : string -> ordering option
+
 (** The search budget: every resource limit of one [decompose] call in a
     single record.
 
@@ -89,6 +106,22 @@ type options = {
           of its pattern edges have no counterpart in the remaining graph
           (the implementation still provides the full wiring).  0 = exact
           matching only (default). *)
+  ordering : ordering;
+      (** branch ordering for a single-instance search (default
+          [Canonical]); ignored when [portfolio] is set *)
+  portfolio : bool;
+      (** race one search instance per {!all_orderings} element, splitting
+          [Budget.domains] across them (each instance gets at least one
+          domain, so with fewer domains than orderings the machine is
+          oversubscribed); all instances share the node budget and the
+          incumbent bound, and the reduction prefers the lowest cost with
+          ties to the canonical instance (default false) *)
+  fallback : bool;
+      (** before searching, run the deterministic greedy completion from
+          the root and publish it as the initial incumbent: it prunes from
+          the first node, and on budget exhaustion the caller is guaranteed
+          a feasible decomposition with {!stats.gap_pct} reported instead
+          of the bare all-remainder covering (default false) *)
 }
 
 val default_options : options
@@ -117,12 +150,24 @@ type stats = {
   leaves : int;  (** complete decompositions evaluated *)
   pruned : int;  (** branches cut by the lower bound *)
   incumbents : int;  (** accepted incumbent improvements *)
+  tasks : int;  (** work-stealing tasks spawned (1 for a sequential run) *)
+  steals : int;  (** tasks taken from another worker's deque *)
   elapsed_s : float;
   timed_out : bool;  (** wall-clock or node budget exhausted *)
   best_cost : float;
   constraints_met : bool;
       (** false when every complete decomposition violated constraints and
           the all-remainder fallback was returned *)
+  fallback_used : bool;
+      (** the returned decomposition is the greedy fallback seed — the
+          search found nothing strictly better within the budget *)
+  gap_pct : float option;
+      (** only on a timed-out search: the reported cost's distance above
+          the root admissible lower bound, in percent — an upper bound on
+          the true optimality gap.  [None] when the search completed. *)
+  winner : string option;
+      (** portfolio mode: {!ordering_name} of the instance whose incumbent
+          was returned; [None] otherwise *)
   per_primitive : (string * prim_stats) list;
       (** match attempts/hits per library primitive, in library order *)
   vf2 : vf2_stats;
@@ -134,6 +179,21 @@ type stats = {
 val stats_to_json : stats -> Noc_obs.Obs.Json.t
 (** The whole record as a JSON object (used by [--metrics] and the
     report). *)
+
+val domain_cap : unit -> int
+(** The most domains one [decompose] call may use:
+    [Domain.recommended_domain_count ()] (at least 1), overridable with the
+    [NOCSYNTH_MAX_DOMAINS] environment variable — the escape hatch for
+    deliberately oversubscribing a small machine (tests, CI boxes). *)
+
+val resolve_budget :
+  options:options -> ?budget:Budget.t -> ?domains:int -> unit -> Budget.t
+(** The single resolution point for the search budget, applied by
+    {!decompose}: an explicit [budget] wins; otherwise one is assembled
+    from the deprecated [options.timeout_s] / [options.max_nodes] /
+    [?domains] legacy surface (warning once per process via [Logs]).
+    Either way [Budget.domains] is forced to at least 1 and clamped to
+    {!domain_cap} (warning when the clamp bites). *)
 
 val decompose :
   ?options:options ->
@@ -149,10 +209,8 @@ val decompose :
     deterministic).  The returned decomposition always satisfies
     {!Decomposition.is_valid_for}.
 
-    [budget] gathers every resource limit; when present it wins over the
-    deprecated [options.timeout_s], [options.max_nodes] and [?domains],
-    which remain only as a legacy surface (when [budget] is absent, a
-    budget is assembled from them).
+    [budget] gathers every resource limit; it is resolved against the
+    deprecated legacy surface and clamped by {!resolve_budget}.
 
     [observe] (default {!Noc_obs.Obs.disabled}) attaches an observer:
     setup and search phases become trace spans, each root branch of the
@@ -165,19 +223,28 @@ val decompose :
     existed — the differential tests assert bit-identical decompositions,
     costs and listings either way.
 
-    [domains] (default 1) fans the root-level branches — one per
-    library-entry × candidate-matching pair — across that many OCaml 5
-    domains.  Each branch is searched with a branch-local incumbent;
-    domains share a global incumbent cost through an atomic, and a subtree
-    is cut on the shared bound only when its admissible lower bound is
+    With [Budget.domains > 1] the search runs on a work-stealing deque
+    scheduler: every worker owns a deque of open subproblems, pushes
+    branches shallower than a fixed spawn depth as stealable tasks
+    (deterministically — the task set never depends on timing), pops its
+    own deque depth-first and steals from other workers' tops when idle.
+    Workers share the incumbent cost through an atomic and cut a subtree
+    on the shared bound only when its admissible lower bound is
     {e strictly} above it, so no subtree that could attain the global
-    minimum is ever lost to scheduling.  The reduction takes the minimum
-    cost with ties broken by canonical branch order, so the returned
-    decomposition and [best_cost] are identical to the sequential run's
-    whenever the constraint check is deterministic (in particular always
-    when [constraints = None]).  With randomized constraint checks each
-    work item draws from its own deterministically split rng stream, so
-    parallel runs are reproducible for a fixed [domains] but may accept
-    different (equally feasible) incumbents than the sequential engine.
-    Search statistics ([pruned], [leaves], ...) depend on timing and are
-    aggregated across domains. *)
+    minimum is ever lost to scheduling.  Every task carries its root-path
+    (child indices), and the reduction minimizes (cost, instance rank,
+    depth-first path), so the returned decomposition and [best_cost] are
+    identical to the sequential run's — independent of steal order —
+    whenever the search completes within its budget and the constraint
+    check is deterministic (in particular always when
+    [constraints = None]).  A budget-exhausted search is an anytime
+    result: which subtrees were visited before the shared node counter
+    ran out depends on scheduling, so only validity and feasibility of
+    the incumbent are guaranteed, not bit-equality.  With randomized
+    constraint checks each
+    task draws from its own path-derived rng stream, so parallel runs are
+    reproducible for a fixed [domains] but may accept different (equally
+    feasible) incumbents than the sequential engine.  Search statistics
+    ([pruned], [leaves], ...) depend on timing and are aggregated across
+    workers; [steals] and per-domain busy/idle gauges expose scheduler
+    health. *)

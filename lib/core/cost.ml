@@ -55,6 +55,21 @@ let lower_bound_view cost acg ~min_link_ratio remaining =
           acc +. (float_of_int (Acg.volume acg u v) *. bit))
         remaining 0.0
 
+let edge_remainder_cost cost acg u v =
+  match cost with
+  | Edge_count -> 1.0
+  | Energy { tech; fp } ->
+      Em.edge_energy ~tech ~fp ~volume_bits:(Acg.volume acg u v) [ u; v ]
+
+let edge_lower_bound cost acg ~min_link_ratio u v =
+  match cost with
+  | Edge_count -> min_link_ratio
+  | Energy { tech; fp } ->
+      let direct = Fp.distance_mm fp u v in
+      let wire = tech.Tech.el_bit_per_mm *. direct in
+      let bit = (2.0 *. tech.Tech.es_bit) +. wire in
+      float_of_int (Acg.volume acg u v) *. bit
+
 let min_link_ratio_of_library lib =
   List.fold_left
     (fun acc e ->

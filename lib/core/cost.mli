@@ -50,6 +50,17 @@ val lower_bound_view :
   t -> Acg.t -> min_link_ratio:float -> Noc_graph.Compact.view -> float
 (** {!lower_bound} evaluated directly on a CSR remainder view. *)
 
+val edge_remainder_cost : t -> Acg.t -> int -> int -> float
+(** [edge_remainder_cost cost acg u v] is the single edge [u -> v]'s
+    contribution to {!remainder_cost}: both functions are sums of
+    independent per-edge terms, so the search can maintain a remainder cost
+    incrementally under edge deletion (subtract the deleted edges'
+    contributions) instead of re-folding the whole view at every node. *)
+
+val edge_lower_bound : t -> Acg.t -> min_link_ratio:float -> int -> int -> float
+(** The single-edge contribution to {!lower_bound}, for the same
+    incremental maintenance. *)
+
 val min_link_ratio_of_library : Noc_primitives.Library.t -> float
 (** min over entries of implementation links / representation edges,
     capped at 1.0 (the remainder realizes any edge with one link). *)

@@ -5,7 +5,9 @@ type t = {
   succ_arr : int array;
   pred_off : int array;
   pred_arr : int array;
+  words : int;
   adj : int64 array;
+  radj : int64 array;
   n_edges : int;
 }
 
@@ -16,14 +18,6 @@ type view = {
   del_out : int array;
   del_in : int array;
 }
-
-(* binary search for [x] in [a.(lo) .. a.(hi-1)] (sorted ascending) *)
-let rec bsearch a lo hi x =
-  if lo >= hi then false
-  else
-    let mid = (lo + hi) / 2 in
-    let y = Array.unsafe_get a mid in
-    if y = x then true else if y < x then bsearch a (mid + 1) hi x else bsearch a lo mid x
 
 let freeze g =
   let verts = Array.of_list (Digraph.vertex_list g) in
@@ -46,7 +40,9 @@ let freeze g =
   let succ_arr = Array.make n_edges 0 in
   let pred_arr = Array.make n_edges 0 in
   let scur = Array.copy succ_off and pcur = Array.copy pred_off in
-  let adj = if n <= 64 && n > 0 then Array.make n 0L else [||] in
+  let words = (n + 63) / 64 in
+  let adj = Array.make (n * words) 0L in
+  let radj = Array.make (n * words) 0L in
   (* fold_edges visits (u, v) in lexicographic order, so each succ slice is
      filled with ascending v and each pred slice with ascending u *)
   Digraph.iter_edges
@@ -56,9 +52,12 @@ let freeze g =
       scur.(du) <- scur.(du) + 1;
       pred_arr.(pcur.(dv)) <- du;
       pcur.(dv) <- pcur.(dv) + 1;
-      if adj <> [||] then adj.(du) <- Int64.logor adj.(du) (Int64.shift_left 1L dv))
+      let si = (du * words) + (dv lsr 6) in
+      adj.(si) <- Int64.logor adj.(si) (Int64.shift_left 1L (dv land 63));
+      let pi = (dv * words) + (du lsr 6) in
+      radj.(pi) <- Int64.logor radj.(pi) (Int64.shift_left 1L (du land 63)))
     g;
-  { n; verts; succ_off; succ_arr; pred_off; pred_arr; adj; n_edges }
+  { n; verts; succ_off; succ_arr; pred_off; pred_arr; words; adj; radj; n_edges }
 
 let view base = { base; del = [||]; del_bits = [||]; del_out = [||]; del_in = [||] }
 
@@ -87,15 +86,17 @@ let in_degree_d v u =
   g.pred_off.(u + 1) - g.pred_off.(u) - (if v.del_in = [||] then 0 else v.del_in.(u))
 
 let[@inline] mem_base_d g u w =
-  if g.adj != [||] then
-    Int64.logand (Array.unsafe_get g.adj u) (Int64.shift_left 1L w) <> 0L
-  else bsearch g.succ_arr g.succ_off.(u) g.succ_off.(u + 1) w
+  Int64.logand
+    (Array.unsafe_get g.adj ((u * g.words) + (w lsr 6)))
+    (Int64.shift_left 1L (w land 63))
+  <> 0L
 
 let[@inline] deleted_d v u w =
-  if v.del == [||] then false
-  else if v.del_bits != [||] then
-    Int64.logand (Array.unsafe_get v.del_bits u) (Int64.shift_left 1L w) <> 0L
-  else bsearch v.del 0 (Array.length v.del) ((u * v.base.n) + w)
+  v.del != [||]
+  && Int64.logand
+       (Array.unsafe_get v.del_bits ((u * v.base.words) + (w lsr 6)))
+       (Int64.shift_left 1L (w land 63))
+     <> 0L
 
 let[@inline] mem_edge_d v u w = mem_base_d v.base u w && not (deleted_d v u w)
 
@@ -177,16 +178,15 @@ let delete_edges v edges =
     let del_out = if v.del_out = [||] then Array.make g.n 0 else Array.copy v.del_out in
     let del_in = if v.del_in = [||] then Array.make g.n 0 else Array.copy v.del_in in
     let del_bits =
-      if g.adj = [||] then [||]
-      else if v.del_bits = [||] then Array.make g.n 0L
-      else Array.copy v.del_bits
+      if v.del_bits = [||] then Array.make (g.n * g.words) 0L else Array.copy v.del_bits
     in
     Array.iter
       (fun code ->
         let u = code / g.n and w = code mod g.n in
         del_out.(u) <- del_out.(u) + 1;
         del_in.(w) <- del_in.(w) + 1;
-        if del_bits != [||] then del_bits.(u) <- Int64.logor del_bits.(u) (Int64.shift_left 1L w))
+        let bi = (u * g.words) + (w lsr 6) in
+        del_bits.(bi) <- Int64.logor del_bits.(bi) (Int64.shift_left 1L (w land 63)))
       fresh;
     { base = g; del; del_bits; del_out; del_in }
   end

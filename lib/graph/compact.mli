@@ -12,8 +12,10 @@
       the VF2 kernel relies on this to enumerate matches in exactly the same
       order as the map-based engine);
     - successor/predecessor slices are sorted int arrays, degrees are O(1)
-      offset differences, [mem_edge] is a branch-free binary search — or a
-      single bit test when [n <= 64] (bitset adjacency matrix);
+      offset differences, [mem_edge] is a single bit test against a
+      multi-word adjacency bitmap (one [(n+63)/64]-word row per vertex, in
+      both forward and transposed orientation, so 1024-core graphs probe as
+      cheaply as 16-core ones);
     - a {!view} layers a set of {e deleted} edges over the frozen base, so
       the search can subtract covered edges in [O(k log k)] array merging
       without ever rebuilding maps.
@@ -28,9 +30,15 @@ type t = {
   succ_arr : int array;  (** dense successor ids, ascending per slice *)
   pred_off : int array;
   pred_arr : int array;  (** dense predecessor ids, ascending per slice *)
+  words : int;  (** int64 words per bitset row, [(n + 63) / 64] *)
   adj : int64 array;
-      (** bitset adjacency rows when [n <= 64] ([adj.(u)] bit [v] = edge
-          [u -> v]); [[||]] otherwise *)
+      (** forward adjacency bitmap, [n * words] int64s; row [u] starts at
+          [u * words], and bit [v land 63] of word [v lsr 6] is set iff edge
+          [u -> v] exists *)
+  radj : int64 array;
+      (** transposed adjacency bitmap, same layout: row [v] bit [u] is set
+          iff edge [u -> v] exists (predecessor rows for word-parallel
+          candidate intersection) *)
   n_edges : int;
 }
 
@@ -38,7 +46,8 @@ type view = {
   base : t;
   del : int array;  (** deleted edges as sorted packed codes [u * n + v] *)
   del_bits : int64 array;
-      (** bitset of deleted edges when [n <= 64] and any deletion exists *)
+      (** deleted-edge bitmap, [n * words] int64s laid out like [adj];
+          [[||]] until the first deletion *)
   del_out : int array;  (** per-vertex deleted out-degree; [[||]] if none *)
   del_in : int array;
 }
@@ -63,7 +72,7 @@ val index : t -> int -> int
 val out_degree_d : view -> int -> int
 val in_degree_d : view -> int -> int
 val mem_edge_d : view -> int -> int -> bool
-(** All O(1) when [n <= 64]; [mem_edge_d] is O(log degree) otherwise. *)
+(** All O(1) at any size: two bitmap probes ([adj] minus [del_bits]). *)
 
 val fold_succ_d : view -> int -> ('a -> int -> 'a) -> 'a -> 'a
 (** Fold over the (non-deleted) dense successors of a dense vertex, in

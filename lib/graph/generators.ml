@@ -32,6 +32,25 @@ let gnm ~rng ~n ~m =
   done;
   !g
 
+let communities ~rng ~n ~k ~p_in ~p_out =
+  if k < 1 then invalid_arg "Generators.communities: need k >= 1";
+  let g = ref Digraph.empty in
+  for v = 1 to n do
+    g := Digraph.add_vertex !g v
+  done;
+  (* round-robin membership keeps community sizes within one of each other
+     for any n, k *)
+  let community v = (v - 1) mod k in
+  for u = 1 to n do
+    for v = 1 to n do
+      if u <> v then begin
+        let p = if community u = community v then p_in else p_out in
+        if Prng.bernoulli rng p then g := Digraph.add_edge !g u v
+      end
+    done
+  done;
+  !g
+
 let random_dag ~rng ~n ~p =
   let g = ref Digraph.empty in
   for v = 1 to n do

@@ -14,6 +14,16 @@ val gnm : rng:Noc_util.Prng.t -> n:int -> m:int -> Digraph.t
 (** Directed G(n, m): exactly [min m (n(n-1))] distinct directed edges chosen
     uniformly. *)
 
+val communities :
+  rng:Noc_util.Prng.t -> n:int -> k:int -> p_in:float -> p_out:float -> Digraph.t
+(** Planted-partition graph: [n] vertices split round-robin into [k]
+    near-equal communities; an ordered pair gets an edge with probability
+    [p_in] inside a community and [p_out] across.  With [p_in >> p_out]
+    this is the clustered traffic shape of many-core ACGs — dense local
+    gossip groups plus sparse global flows — the structure the
+    decomposition search exploits, which makes it the scaling-tier
+    benchmark generator. *)
+
 val random_dag : rng:Noc_util.Prng.t -> n:int -> p:float -> Digraph.t
 (** Acyclic: edge [i -> j] only for [i < j], present with probability [p]. *)
 

@@ -25,6 +25,32 @@ exception Stop_search of outcome
 (* How many search-tree nodes are expanded between deadline checks. *)
 let deadline_check_period = 256
 
+(* Trailing-zero count of a non-zero word, for ascending bitset iteration. *)
+let[@inline] ntz64 x =
+  let n = ref 0 and x = ref x in
+  if Int64.logand !x 0xFFFFFFFFL = 0L then begin
+    n := !n + 32;
+    x := Int64.shift_right_logical !x 32
+  end;
+  if Int64.logand !x 0xFFFFL = 0L then begin
+    n := !n + 16;
+    x := Int64.shift_right_logical !x 16
+  end;
+  if Int64.logand !x 0xFFL = 0L then begin
+    n := !n + 8;
+    x := Int64.shift_right_logical !x 8
+  end;
+  if Int64.logand !x 0xFL = 0L then begin
+    n := !n + 4;
+    x := Int64.shift_right_logical !x 4
+  end;
+  if Int64.logand !x 0x3L = 0L then begin
+    n := !n + 2;
+    x := Int64.shift_right_logical !x 2
+  end;
+  if Int64.logand !x 1L = 0L then incr n;
+  !n
+
 (* The one deadline helper shared by the exact and approximate kernels: the
    absolute wall-clock deadline of the public API is converted to a
    monotonic target once, and the monotonic clock is polled every
@@ -121,11 +147,21 @@ let iter_view ?deadline ?instr ~(pattern : C.t) ~(target : C.view) f =
        per probe instead of two ref writes in the innermost loop *)
     let counting = instr <> None in
     let n_probes = ref 0 and n_backtracks = ref 0 in
-    (* core: pattern dense -> target dense (-1 unmapped); used: target dense *)
+    (* core: pattern dense -> target dense (-1 unmapped) *)
     let core = Array.make np (-1) in
-    let used = Bytes.make nt '\000' in
     let ps_off = pattern.C.succ_off and ps = pattern.C.succ_arr in
     let pp_off = pattern.C.pred_off and pp = pattern.C.pred_arr in
+    (* Bitset candidate domains: one [tw]-word row per search depth (the
+       recursion below a depth only touches deeper rows, so rows can live in
+       one flat scratch array), plus the used-target set as a bitset. *)
+    let tw = tb.C.words in
+    let tadj = tb.C.adj and tradj = tb.C.radj in
+    let tail_mask =
+      if nt land 63 = 0 then Int64.minus_one
+      else Int64.sub (Int64.shift_left 1L (nt land 63)) 1L
+    in
+    let used_bits = Array.make tw 0L in
+    let cand = Array.make (np * tw) 0L in
     let feasible u v =
       (* degree look-ahead, then: every already-mapped pattern neighbor of u
          must have the corresponding target edge (this also re-checks the
@@ -175,55 +211,65 @@ let iter_view ?deadline ?instr ~(pattern : C.t) ~(target : C.view) f =
       else begin
         check_deadline ();
         let u = order.(depth) in
-        (* If u has an already-mapped predecessor/successor, candidates come
-           from the smallest corresponding target adjacency slice (feasible
-           re-checks every mapped neighbor, so one slice suffices);
-           otherwise all unused target vertices. *)
-        let best_len = ref (-1) and best_arr = ref ps and best_off = ref 0 in
+        let row = depth * tw in
+        (* Candidate bitset: word-parallel intersection of the base
+           successor row of every mapped predecessor and the base
+           predecessor row (transpose) of every mapped successor, minus the
+           already-used targets.  [feasible] re-checks the deletion overlay,
+           so base rows suffice; with no mapped neighbor yet, every unused
+           vertex is a candidate.  Bits are scanned ascending, preserving
+           the enumeration order of the map-based reference engine. *)
+        let have = ref false in
         for i = pp_off.(u) to pp_off.(u + 1) - 1 do
           let w' = core.(pp.(i)) in
           if w' >= 0 then begin
-            let off = tb.C.succ_off.(w') in
-            let len = tb.C.succ_off.(w' + 1) - off in
-            if !best_len < 0 || len < !best_len then begin
-              best_len := len;
-              best_arr := tb.C.succ_arr;
-              best_off := off
+            let src = w' * tw in
+            if !have then
+              for k = 0 to tw - 1 do
+                cand.(row + k) <-
+                  Int64.logand cand.(row + k) (Array.unsafe_get tadj (src + k))
+              done
+            else begin
+              Array.blit tadj src cand row tw;
+              have := true
             end
           end
         done;
         for i = ps_off.(u) to ps_off.(u + 1) - 1 do
           let w' = core.(ps.(i)) in
           if w' >= 0 then begin
-            let off = tb.C.pred_off.(w') in
-            let len = tb.C.pred_off.(w' + 1) - off in
-            if !best_len < 0 || len < !best_len then begin
-              best_len := len;
-              best_arr := tb.C.pred_arr;
-              best_off := off
+            let src = w' * tw in
+            if !have then
+              for k = 0 to tw - 1 do
+                cand.(row + k) <-
+                  Int64.logand cand.(row + k) (Array.unsafe_get tradj (src + k))
+              done
+            else begin
+              Array.blit tradj src cand row tw;
+              have := true
             end
           end
         done;
-        let try_candidate v =
-          if Bytes.unsafe_get used v = '\000' then
+        if not !have then Array.fill cand row tw Int64.minus_one;
+        for k = 0 to tw - 1 do
+          cand.(row + k) <- Int64.logand cand.(row + k) (Int64.lognot used_bits.(k))
+        done;
+        cand.(row + tw - 1) <- Int64.logand cand.(row + tw - 1) tail_mask;
+        for k = 0 to tw - 1 do
+          let w = ref cand.(row + k) in
+          while !w <> 0L do
+            let v = (k lsl 6) + ntz64 !w in
+            w := Int64.logand !w (Int64.sub !w 1L);
             if feasible u v then begin
+              let bit = Int64.shift_left 1L (v land 63) in
               core.(u) <- v;
-              Bytes.unsafe_set used v '\001';
+              used_bits.(k) <- Int64.logor used_bits.(k) bit;
               extend (depth + 1);
               core.(u) <- -1;
-              Bytes.unsafe_set used v '\000'
+              used_bits.(k) <- Int64.logand used_bits.(k) (Int64.lognot bit)
             end
-        in
-        if !best_len >= 0 then begin
-          let arr = !best_arr and off = !best_off and len = !best_len in
-          for i = off to off + len - 1 do
-            try_candidate (Array.unsafe_get arr i)
           done
-        end
-        else
-          for v = 0 to nt - 1 do
-            try_candidate v
-          done
+        done
       end
     in
     let flush () =

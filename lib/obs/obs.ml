@@ -32,7 +32,13 @@ module Json = struct
   let float_str f =
     if not (Float.is_finite f) then "null"
     else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
-    else Printf.sprintf "%.12g" f
+    else
+      (* shortest-of-two round-trip: 12 significant digits read nicely and
+         suffice for almost every value; fall back to 17 (always exact for
+         binary64) when they don't re-parse to the same float, so record
+         diffs compare bit-identical metrics *)
+      let s = Printf.sprintf "%.12g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
   let rec emit buf = function
     | Null -> Buffer.add_string buf "null"

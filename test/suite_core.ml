@@ -959,12 +959,23 @@ let fig2_acg () =
 
 let render_decomp acg d = Format.asprintf "%a" (Decomp.pp_with_cost edge_count acg) d
 
+(* The determinism guarantee is scoped to completed searches: when the
+   node budget is exhausted mid-run, which subtrees were visited before
+   the shared counter ran out depends on worker scheduling, so the
+   anytime incumbent of an exhausted parallel search may legally differ
+   from the sequential one.  For those cases we only require a valid,
+   feasibility-equivalent answer. *)
 let check_parallel_equals_sequential ?options acg =
   let d1, s1 = Bb.decompose ?options ~library:(lib ()) acg in
   let d4, s4 = Bb.decompose ?options ~domains:4 ~library:(lib ()) acg in
-  s1.Bb.best_cost = s4.Bb.best_cost
-  && s1.Bb.constraints_met = s4.Bb.constraints_met
-  && render_decomp acg d1 = render_decomp acg d4
+  if s1.Bb.timed_out || s4.Bb.timed_out then
+    Decomp.is_valid_for acg d4
+    && s1.Bb.constraints_met = s4.Bb.constraints_met
+    && s4.Bb.best_cost < infinity
+  else
+    s1.Bb.best_cost = s4.Bb.best_cost
+    && s1.Bb.constraints_met = s4.Bb.constraints_met
+    && render_decomp acg d1 = render_decomp acg d4
 
 let test_parallel_fig2 () =
   Alcotest.(check bool) "fig2: 4 domains = sequential" true

@@ -139,19 +139,25 @@ let qcheck_deadlock_cdg = differential "deadlock check = independent CDG (oracle
 let qcheck_edge_partition = differential "decomposition partitions ACG edges (Eq. 2)" "edge-partition" 60_000 200
 let qcheck_routes_valid = differential "synthesized routes exist and carry the load" "routes-valid" 70_000 200
 
-(* The acceptance check: on 500 fixed-seed random ACGs (n <= 8) the default
-   branch-and-bound search attains exactly the exhaustive oracle's optimal
-   cost.  The default options' beam of one matching per primitive per node
-   never loses the optimum here because the only saver in the default
-   library is MGG4 and early remainder is allowed. *)
+(* The acceptance check: on 500 fixed-seed random ACGs with n <= 8 the
+   default branch-and-bound search attains exactly the exhaustive oracle's
+   optimal cost.  The default options' beam of one matching per primitive
+   per node never loses the optimum at these sizes because the only saver
+   in the default library is MGG4 and early remainder is allowed; the
+   fuzz generator's large size class (12-16-core communities graphs, with
+   several competing MGG4 sites) is outside that claim — there beam-1 is
+   a heuristic, and the differential decompose-oracle property brackets it
+   between the optimum and the all-remainder cost instead. *)
 let test_decompose_equals_oracle_500 () =
   for seed = 0 to 499 do
     let acg = Fuzz.gen_acg ~rng:(Prng.create ~seed) in
-    let oracle = Exact.optimal_cost ~library:(lib ()) (Acg.graph acg) in
-    let _, stats = Bb.decompose ~library:(lib ()) acg in
-    if abs_float (stats.Bb.best_cost -. oracle) > 1e-9 then
-      Alcotest.failf "seed %d: decompose cost %g, exhaustive optimum %g" seed
-        stats.Bb.best_cost oracle
+    if D.num_vertices (Acg.graph acg) <= 8 then begin
+      let oracle = Exact.optimal_cost ~library:(lib ()) (Acg.graph acg) in
+      let _, stats = Bb.decompose ~library:(lib ()) acg in
+      if abs_float (stats.Bb.best_cost -. oracle) > 1e-9 then
+        Alcotest.failf "seed %d: decompose cost %g, exhaustive optimum %g" seed
+          stats.Bb.best_cost oracle
+    end
   done
 
 (* -------------------------------------------------------------------- *)

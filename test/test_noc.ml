@@ -1,3 +1,8 @@
+(* The suite exercises multi-domain search paths (work stealing, portfolio)
+   even on single-core CI boxes: lift the recommended-domain-count clamp so
+   ~domains:4 really runs 4 workers (oversubscribed, but correct). *)
+let () = Unix.putenv "NOCSYNTH_MAX_DOMAINS" "8"
+
 let () =
   Alcotest.run "noc"
     [
@@ -7,6 +12,7 @@ let () =
       Suite_primitives.suite;
       Suite_energy.suite;
       Suite_core.suite;
+      Suite_scale.suite;
       Suite_obs.suite;
       Suite_oracle.suite;
       Suite_sim.suite;
