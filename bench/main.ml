@@ -35,9 +35,10 @@ let section title =
 
 let default_library = L.default ()
 
-let decompose_timed ?options acg =
+let decompose_timed ?options ?budget acg =
   let (d, stats), wall =
-    Noc_util.Timer.time (fun () -> Bb.decompose ?options ~library:default_library acg)
+    Noc_util.Timer.time (fun () ->
+        Bb.decompose ?options ?budget ~library:default_library acg)
   in
   (d, stats, wall)
 
@@ -81,10 +82,10 @@ let fig2 () =
    shows what the structural argument about cost-neutral primitives buys. *)
 let runtime_row ?(timeout = 5.0) acgs =
   let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
-  let measure options =
+  let measure ?budget options =
     List.fold_left
       (fun (ts, to_, nodes, pruned) acg ->
-        let _, stats, wall = decompose_timed ~options acg in
+        let _, stats, wall = decompose_timed ~options ?budget acg in
         ( wall :: ts,
           (to_ + if stats.Bb.timed_out then 1 else 0),
           nodes + stats.Bb.nodes,
@@ -92,7 +93,9 @@ let runtime_row ?(timeout = 5.0) acgs =
       ([], 0, 0, 0) acgs
   in
   let lit_t, lit_to, _, _ =
-    measure { Bb.default_options with neutrals = Bb.Branch; timeout_s = Some timeout }
+    measure
+      ~budget:Bb.Budget.(default |> with_timeout_s (Some timeout))
+      { Bb.default_options with neutrals = Bb.Branch }
   in
   let grd_t, _, grd_nodes, grd_pruned = measure Bb.default_options in
   let n = List.length acgs in
@@ -708,12 +711,14 @@ let micro ?(quota = 0.5) () =
         Test.make ~name:"decompose[lit,domains=2]: random 12v"
           (Staged.stage (fun () ->
                ignore
-                 (Bb.decompose ~options:literal ~domains:2 ~library:default_library
+                 (Bb.decompose ~options:literal ~budget:Bb.Budget.(default |> with_domains 2)
+                    ~library:default_library
                     fig4b12)));
         Test.make ~name:"decompose[lit,domains=4]: random 12v"
           (Staged.stage (fun () ->
                ignore
-                 (Bb.decompose ~options:literal ~domains:4 ~library:default_library
+                 (Bb.decompose ~options:literal ~budget:Bb.Budget.(default |> with_domains 4)
+                    ~library:default_library
                     fig4b12)));
         Test.make ~name:"build: gossip primitive MGG8"
           (Staged.stage (fun () -> ignore (Noc_primitives.Primitive.gossip 8)));
@@ -754,7 +759,9 @@ let micro ?(quota = 0.5) () =
   | Some s1, Some s4 when s4 > 0. ->
       let _, st1 = Bb.decompose ~options:literal ~library:default_library fig4b12 in
       let _, st4 =
-        Bb.decompose ~options:literal ~domains:4 ~library:default_library fig4b12
+        Bb.decompose ~options:literal
+          ~budget:Bb.Budget.(default |> with_domains 4)
+          ~library:default_library fig4b12
       in
       Printf.printf
         "  decompose speedup (1 -> 4 domains): %.2fx on %d core(s) (best cost %.0f = %.0f)\n"

@@ -71,7 +71,7 @@ let timeout_arg =
     value & opt (some float) None
     & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Wall-clock budget for the search.")
 
-let max_nodes_arg =
+let node_budget_arg =
   Arg.(
     value & opt int Bb.Budget.default.Bb.Budget.max_nodes
     & info [ "max-nodes" ] ~docv:"N" ~doc:"Search-tree node budget (backstop).")
@@ -168,9 +168,9 @@ let warn_anytime (st : Bb.stats) =
   | Some w -> Logs.info (fun k -> k "portfolio winner: %s ordering" w)
   | None -> ()
 
-let make_budget ~timeout ~max_nodes ~domains =
+let make_budget ~timeout ~node_budget ~domains =
   Bb.Budget.(
-    default |> with_timeout_s timeout |> with_max_nodes max_nodes |> with_domains domains)
+    default |> with_timeout_s timeout |> with_max_nodes node_budget |> with_domains domains)
 
 let make_observer ~trace ~metrics =
   if trace <> None || metrics then Obs.create () else Obs.disabled
@@ -240,12 +240,12 @@ let decompose_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print search statistics.")
   in
-  let run file lib cost tech beam timeout max_nodes domains portfolio fallback stats
+  let run file lib cost tech beam timeout node_budget domains portfolio fallback stats
       trace metrics =
     let acg = load_acg file in
     let library = resolve_library lib in
     let options = make_options ~portfolio ~fallback ~cost ~tech ~acg ~beam () in
-    let budget = make_budget ~timeout ~max_nodes ~domains in
+    let budget = make_budget ~timeout ~node_budget ~domains in
     let observe = make_observer ~trace ~metrics in
     let d, st = Bb.decompose ~options ~budget ~observe ~library acg in
     let listing = Format.asprintf "%a" (Decomp.pp_with_cost options.Bb.cost acg) d in
@@ -274,7 +274,7 @@ let decompose_cmd =
     (Cmd.info "decompose" ~doc:"Decompose an ACG into communication primitives.")
     Term.(
       const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
-      $ max_nodes_arg $ domains_arg $ portfolio_flag $ fallback_flag $ stats_flag
+      $ node_budget_arg $ domains_arg $ portfolio_flag $ fallback_flag $ stats_flag
       $ trace_arg $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
@@ -291,12 +291,12 @@ let synth_cmd =
       value & flag
       & info [ "check" ] ~doc:"Check the technology's bandwidth and bisection constraints.")
   in
-  let run file lib cost tech beam timeout max_nodes domains portfolio fallback dot check
+  let run file lib cost tech beam timeout node_budget domains portfolio fallback dot check
       trace metrics =
     let acg = load_acg file in
     let library = resolve_library lib in
     let options = make_options ~portfolio ~fallback ~cost ~tech ~acg ~beam () in
-    let budget = make_budget ~timeout ~max_nodes ~domains in
+    let budget = make_budget ~timeout ~node_budget ~domains in
     let observe = make_observer ~trace ~metrics in
     let d, stats = Bb.decompose ~options ~budget ~observe ~library acg in
     warn_anytime stats;
@@ -326,7 +326,7 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthesize the customized architecture for an ACG.")
     Term.(
       const run $ acg_file_arg $ library_arg $ cost_arg $ tech_arg $ beam_arg $ timeout_arg
-      $ max_nodes_arg $ domains_arg $ portfolio_flag $ fallback_flag $ dot_out
+      $ node_budget_arg $ domains_arg $ portfolio_flag $ fallback_flag $ dot_out
       $ check_flag $ trace_arg $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
@@ -852,6 +852,113 @@ let bench_cmd =
       const run $ smoke_flag $ tier_arg $ out $ rev_arg $ library_arg $ trace_arg
       $ metrics_flag)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+
+module Serve = Noc_serve
+
+let serve_cmd =
+  let library_name = function
+    | `Default -> "default"
+    | `Minimal -> "minimal"
+    | `Extended -> "extended"
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "replay" ] ~docv:"N"
+          ~doc:
+            "Load-test mode: replay 3*N requests (per base ACG one fresh request, one \
+             duplicate and one vertex-permuted copy) through a fresh daemon and report \
+             requests/sec and cache hit rates, instead of serving stdin.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Replay base ACGs from this directory instead of the seeded generator.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"Result-cache capacity (LRU entries).")
+  in
+  let assert_hit_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "assert-hit-rate" ] ~docv:"R"
+          ~doc:
+            "Load-test gate: exit 1 when the repeated-half hit rate is below R or a \
+             cache hit is not byte-identical to its original miss.")
+  in
+  let run replay corpus cache_capacity assert_hit seed timeout node_budget domains lib
+      trace metrics =
+    let observe = make_observer ~trace ~metrics in
+    let budget = make_budget ~timeout ~node_budget ~domains in
+    let library = library_name lib in
+    (match replay with
+    | Some cases ->
+        let stats =
+          Serve.Replay.run ~seed ~cases ?corpus_dir:corpus ~cache_capacity ~library
+            ~budget ~observe ()
+        in
+        let say s = if metrics then Logs.app (fun k -> k "%s" s) else print_endline s in
+        say (Format.asprintf "%a" Serve.Replay.pp stats);
+        if metrics then
+          print_endline
+            (Obs.Json.to_string
+               (Obs.Json.Obj
+                  [
+                    ("requests", Obs.Json.Int stats.Serve.Replay.requests);
+                    ("unique", Obs.Json.Int stats.Serve.Replay.unique);
+                    ("rps", Obs.Json.Float stats.Serve.Replay.rps);
+                    ("hit_rate", Obs.Json.Float stats.Serve.Replay.hit_rate);
+                    ( "repeated_hit_rate",
+                      Obs.Json.Float stats.Serve.Replay.repeated_hit_rate );
+                    ("byte_identical", Obs.Json.Bool stats.Serve.Replay.byte_identical);
+                    ("metrics", Obs.Json.Obj (Obs.metrics observe));
+                  ]));
+        write_trace observe trace;
+        let gate_failed =
+          match assert_hit with
+          | None -> false
+          | Some r ->
+              stats.Serve.Replay.repeated_hit_rate < r
+              || not stats.Serve.Replay.byte_identical
+        in
+        if gate_failed then begin
+          Logs.err (fun k ->
+              k "replay gate failed: repeated-half hit rate %.2f (want >= %.2f), \
+                 byte-identical %b"
+                stats.Serve.Replay.repeated_hit_rate
+                (Option.value ~default:0.0 assert_hit)
+                stats.Serve.Replay.byte_identical);
+          exit 1
+        end
+    | None ->
+        let daemon = Serve.Daemon.create ~cache_capacity ~observe () in
+        let served = Serve.Daemon.run_loop ~library ~budget daemon stdin stdout in
+        let c = Serve.Daemon.cache_stats daemon in
+        Logs.info (fun k ->
+            k "served %d request(s); cache: %d hits / %d misses / %d evictions" served
+              c.Serve.Cache.hits c.Serve.Cache.misses c.Serve.Cache.evictions);
+        write_trace observe trace)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the synthesis service: read ACG file paths from stdin (one per line, \
+          'quit' or EOF to stop) and answer each with a JSON response comparing the \
+          synthesized custom topology against 2D-mesh and sparse-Hamming regular \
+          alternatives.  Identical and isomorphic requests are answered from a \
+          content-addressed cache keyed by the canonical ACG hash.  With --replay, \
+          load-test the pipeline instead and report requests/sec and cache hit \
+          rates.")
+    Term.(
+      const run $ replay_arg $ corpus_arg $ cache_arg $ assert_hit_arg $ seed_arg
+      $ timeout_arg $ node_budget_arg $ domains_arg $ library_arg $ trace_arg
+      $ metrics_flag)
+
 let main =
   Cmd.group
     (Cmd.info "nocsynth" ~version:"1.0.0"
@@ -866,6 +973,7 @@ let main =
       bench_cmd;
       fuzz_cmd;
       faults_cmd;
+      serve_cmd;
     ]
 
 let () =

@@ -4,9 +4,10 @@ let schema = "nocsynth-bench"
 
 (* v2 added the per-scenario "resilience" object (single-link fault
    campaign); v3 added the "nodes_per_sec" and "speedup_vs_d1" search
-   columns (work-stealing scaling rows).  Older records fail the schema
-   check and must be re-recorded. *)
-let schema_version = 3
+   columns (work-stealing scaling rows); v4 added the "serve" object
+   (nocsynthd request mix: requests/sec and cache hit rate).  Older
+   records fail the schema check and must be re-recorded. *)
+let schema_version = 4
 
 let search_sample_json (s : Runner.search_sample) =
   J.Obj
@@ -67,6 +68,16 @@ let result_json (r : Runner.result) =
             ("critical_links", J.Int s.Runner.critical_links);
             ("survives_single_link", J.Bool s.Runner.survives_single_link);
             ("stranded", J.Int s.Runner.resil_stranded);
+          ] );
+      ( "serve",
+        let s = r.Runner.serve in
+        J.Obj
+          [
+            ("requests", J.Int s.Runner.serve_requests);
+            ("hits", J.Int s.Runner.serve_hits);
+            ("hit_rate", J.Float s.Runner.serve_hit_rate);
+            ("rps", J.Float s.Runner.serve_rps);
+            ("byte_identical", J.Bool s.Runner.serve_byte_identical);
           ] );
     ]
 

@@ -24,6 +24,14 @@ let rules ~time_limit_pct ~limit_pct =
     { suffix = ".critical_links"; limit_pct; min_abs = 0.0; direction = Increase_bad };
     { suffix = ".survives_single_link"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
     { suffix = "resilience.stranded"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    (* serve stage: the hit rate and byte-identity are deterministic given
+       the request mix, so they get the tight threshold; requests/sec is
+       pure wall-clock, so it shares the loose timing threshold with an
+       absolute floor against millisecond-run noise *)
+    { suffix = ".serve.hit_rate"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
+    { suffix = ".serve.byte_identical"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
+    { suffix = ".serve.rps"; limit_pct = time_limit_pct; min_abs = 200.0;
+      direction = Decrease_bad };
     { suffix = ".wall_s"; limit_pct = time_limit_pct; min_abs = 0.02; direction = Increase_bad };
     (* scaling cliffs: search throughput and multi-domain speedup are
        wall-clock-derived, so they share the loose timing threshold, with

@@ -7,8 +7,7 @@ module Obs = Noc_obs.Obs
 module Prng = Noc_util.Prng
 
 type settings = {
-  timeout_s : float option;
-  max_nodes : int;
+  budget : Bb.Budget.t;
   domains : int list;
   sweep_rates : float list;
   sweep_cycles : int;
@@ -17,12 +16,12 @@ type settings = {
   simulate : bool;
   fallback : bool;
   portfolio : bool;
+  serve : bool;
 }
 
 let full =
   {
-    timeout_s = Some 5.0;
-    max_nodes = 200_000;
+    budget = Bb.Budget.(default |> with_timeout_s (Some 5.0));
     domains = [ 1; 2 ];
     sweep_rates = [ 0.01; 0.02; 0.05; 0.10 ];
     sweep_cycles = 1000;
@@ -31,12 +30,13 @@ let full =
     simulate = true;
     fallback = false;
     portfolio = false;
+    serve = true;
   }
 
 let smoke =
   {
     full with
-    timeout_s = Some 2.0;
+    budget = Bb.Budget.(default |> with_timeout_s (Some 2.0));
     domains = [ 1 ];
     sweep_rates = [ 0.02; 0.08 ];
     sweep_cycles = 200;
@@ -49,15 +49,19 @@ let smoke =
 let scale =
   {
     full with
-    timeout_s = Some 8.0;
-    max_nodes = 2_000_000;
+    budget = Bb.Budget.(default |> with_timeout_s (Some 8.0) |> with_max_nodes 2_000_000);
     domains = [ 1; 8 ];
     simulate = false;
     fallback = true;
+    serve = false;
   }
 
 let scale_smoke =
-  { scale with timeout_s = Some 0.6; max_nodes = 60_000; domains = [ 1; 2 ] }
+  {
+    scale with
+    budget = Bb.Budget.(default |> with_timeout_s (Some 0.6) |> with_max_nodes 60_000);
+    domains = [ 1; 2 ];
+  }
 
 type search_sample = {
   domains : int;
@@ -76,6 +80,14 @@ type sweep_sample = {
   avg_latency : float;
   delivered : int;
   throughput : float;
+}
+
+type serve_sample = {
+  serve_requests : int;
+  serve_hits : int;
+  serve_hit_rate : float;
+  serve_rps : float;
+  serve_byte_identical : bool;
 }
 
 type resilience_sample = {
@@ -107,6 +119,7 @@ type result = {
   sweep : sweep_sample list;
   saturation_rate : float option;
   resilience : resilience_sample;
+  serve : serve_sample;
 }
 
 (* the grid floorplan must place every vertex id the ACG mentions, so size
@@ -121,18 +134,11 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
   let options =
     {
       Bb.default_options with
-      timeout_s = None;
       fallback = settings.fallback;
       portfolio = settings.portfolio;
     }
   in
-  let budget_for domains =
-    Bb.Budget.(
-      default
-      |> with_timeout_s settings.timeout_s
-      |> with_max_nodes settings.max_nodes
-      |> with_domains domains)
-  in
+  let budget_for domains = Bb.Budget.with_domains domains settings.budget in
   (* decompose once per requested domain count; for completed searches the
      reduction is deterministic, so every sample returns the same
      decomposition and the samples differ only in wall time *)
@@ -230,6 +236,64 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
         resil_stranded = rep.Noc_resil.Campaign.stranded_total;
       }
   in
+  let serve =
+    if not settings.serve then
+      (* vacuous placeholders: the serve stage did not run *)
+      {
+        serve_requests = 0;
+        serve_hits = 0;
+        serve_hit_rate = 0.0;
+        serve_rps = 0.0;
+        serve_byte_identical = true;
+      }
+    else
+      Obs.span observe ~cat:"bench" (s.name ^ ".serve") (fun () ->
+          (* deterministic request mix against a fresh daemon: one fresh
+             request, one exact duplicate, two vertex-permuted copies.  All
+             four share a cache key via canonicalization, so 3 of 4 must
+             hit and every hit must return the first miss's exact bytes. *)
+          let rng = Prng.create ~seed:settings.seed in
+          let daemon = Noc_serve.Daemon.create ~observe () in
+          let budget = Bb.Budget.with_domains 1 settings.budget in
+          let mix =
+            [
+              acg;
+              acg;
+              Noc_serve.Replay.permute ~rng acg;
+              Noc_serve.Replay.permute ~rng acg;
+            ]
+          in
+          let outcomes, wall =
+            Noc_util.Timer.time (fun () ->
+                List.map
+                  (fun a ->
+                    Noc_serve.Daemon.solve daemon (Noc_serve.Proto.Request.make ~budget a))
+                  mix)
+          in
+          let requests = List.length outcomes in
+          let hits =
+            List.length
+              (List.filter
+                 (fun (o : Noc_serve.Daemon.outcome) ->
+                   o.Noc_serve.Daemon.status = Noc_serve.Daemon.Hit)
+                 outcomes)
+          in
+          let first = (List.hd outcomes).Noc_serve.Daemon.bytes in
+          {
+            serve_requests = requests;
+            serve_hits = hits;
+            serve_hit_rate =
+              (if requests = 0 then 0.0
+               else float_of_int hits /. float_of_int requests);
+            serve_rps =
+              (if wall > 0.0 then float_of_int requests /. wall else 0.0);
+            serve_byte_identical =
+              List.for_all
+                (fun (o : Noc_serve.Daemon.outcome) ->
+                  String.equal o.Noc_serve.Daemon.bytes first)
+                outcomes;
+          })
+  in
   Obs.Counter.incr (Obs.counter observe "bench.scenarios");
   {
     name = s.name;
@@ -260,6 +324,7 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
         sweep_points;
     saturation_rate = Noc_sim.Sweep.saturation_rate sweep_points;
     resilience;
+    serve;
   }
 
 let run_corpus ?(observe = Obs.disabled) ?library ~settings scenarios =
@@ -274,12 +339,13 @@ let pp_row ppf r =
   (* the speedup column reports the last (widest) domain sample vs d1 *)
   let dn = List.nth r.search (List.length r.search - 1) in
   Format.fprintf ppf
-    "%-22s %-6s %5d %6d %9.4f %8d %8d %9.0f %8.0f %5.2fx %11.1f %8.2f %6s"
+    "%-22s %-6s %5d %6d %9.4f %8d %8d %9.0f %8.0f %5.2fx %11.1f %8.2f %6s %8.0f %5.2f"
     r.name r.kind r.cores r.flows d1.wall_s d1.nodes d1.pruned d1.best_cost
     d1.nodes_per_sec dn.speedup_vs_d1 r.energy_pj r.wormhole_latency
     (match r.saturation_rate with Some x -> Printf.sprintf "%.3f" x | None -> "-")
+    r.serve.serve_rps r.serve.serve_hit_rate
 
 let pp_header ppf () =
-  Format.fprintf ppf "%-22s %-6s %5s %6s %9s %8s %8s %9s %8s %6s %11s %8s %6s" "scenario"
-    "kind" "cores" "flows" "wall (s)" "nodes" "pruned" "cost" "nd/s" "spdup"
-    "energy (pJ)" "wh lat" "sat"
+  Format.fprintf ppf "%-22s %-6s %5s %6s %9s %8s %8s %9s %8s %6s %11s %8s %6s %8s %5s"
+    "scenario" "kind" "cores" "flows" "wall (s)" "nodes" "pruned" "cost" "nd/s" "spdup"
+    "energy (pJ)" "wh lat" "sat" "srv r/s" "hit"

@@ -1,15 +1,16 @@
 (** Runs the benchmark corpus through the full synthesis flow.
 
     Each scenario goes decompose -> glue -> deadlock analysis -> wormhole
-    burst simulation -> offered-load sweep -> single-link fault campaign,
-    with per-stage [Noc_obs] spans
+    burst simulation -> offered-load sweep -> single-link fault campaign
+    -> service-layer request mix, with per-stage [Noc_obs] spans
     (category ["bench"]) so a [--trace] of a bench run opens in Perfetto.
     Everything is seeded; apart from wall-clock fields the results are
     deterministic, which is what makes the regression gate possible. *)
 
 type settings = {
-  timeout_s : float option;  (** per-scenario decomposition budget *)
-  max_nodes : int;
+  budget : Noc_core.Branch_bound.Budget.t;
+      (** per-scenario decomposition budget; its [domains] field is
+          overridden by each entry of {!field-domains} *)
   domains : int list;  (** decompose once per domain count (scaling row) *)
   sweep_rates : float list;
   sweep_cycles : int;
@@ -21,6 +22,11 @@ type settings = {
           run would swamp the search-scaling signal *)
   fallback : bool;  (** seed the search with the greedy anytime fallback *)
   portfolio : bool;  (** race the branch-ordering portfolio *)
+  serve : bool;
+      (** run the service-layer stage: a 4-request mix (fresh, duplicate,
+          two isomorphic permutations) through a fresh [nocsynthd] daemon,
+          measuring requests/sec and cache hit rate; off in the scale
+          tiers, where the extra search would swamp the scaling signal *)
 }
 
 val full : settings
@@ -61,6 +67,18 @@ type sweep_sample = {
   throughput : float;
 }
 
+type serve_sample = {
+  serve_requests : int;  (** 4 when the stage ran, 0 when skipped *)
+  serve_hits : int;
+  serve_hit_rate : float;
+      (** hits / requests — 0.75 exactly when canonicalization collapses
+          the duplicate and both permuted copies onto the fresh miss *)
+  serve_rps : float;  (** requests / wall-clock of the whole mix *)
+  serve_byte_identical : bool;
+      (** every response (hit or miss) returned exactly the first miss's
+          bytes — vacuously [true] when the stage is skipped *)
+}
+
 type resilience_sample = {
   min_delivered_fraction : float;
       (** worst delivered/injected over the exhaustive single-link sweep *)
@@ -92,6 +110,9 @@ type result = {
   saturation_rate : float option;
   resilience : resilience_sample;
       (** exhaustive single-link fault campaign ({!Noc_resil.Campaign}) *)
+  serve : serve_sample;
+      (** service-layer request mix through {!Noc_serve.Daemon} — the
+          requests/sec and cache-hit-rate bench columns *)
 }
 
 val run :

@@ -71,6 +71,74 @@ let restrict t g =
     bandwidth = Edge_map.filter (fun (u, v) _ -> D.mem_edge g u v) t.bandwidth;
   }
 
+let map_vertices f t =
+  let remap m =
+    Edge_map.fold (fun (u, v) x acc -> Edge_map.add (f u, f v) x acc) m Edge_map.empty
+  in
+  { graph = D.map_vertices f t.graph; volume = remap t.volume; bandwidth = remap t.bandwidth }
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization: an isomorphism-invariant fingerprint (and relabeling)
+   built on the CSR canonical-labeling kernel.  Edge labels fed to the
+   kernel are the ranks of the distinct (volume, bandwidth) pairs — an
+   invariant of the attributed graph — so the canonical order respects
+   attributes, and the serialization below spells the attribute values
+   out in canonical edge order. *)
+
+module Compact = Noc_graph.Compact
+module Canon = Noc_graph.Canon
+
+let bw_bits f = Int64.bits_of_float f
+
+let canonical_rank t =
+  let frozen = Compact.freeze t.graph in
+  let attrs =
+    D.fold_edges (fun u v acc -> (volume t u v, bw_bits (bandwidth t u v)) :: acc) t.graph []
+    |> List.sort_uniq compare
+  in
+  let index = Hashtbl.create (List.length attrs) in
+  List.iteri (fun i a -> Hashtbl.replace index a i) attrs;
+  let edge_label ud vd =
+    let u = Compact.vertex frozen ud and v = Compact.vertex frozen vd in
+    Hashtbl.find index (volume t u v, bw_bits (bandwidth t u v))
+  in
+  match Canon.canonical_order ~edge_label frozen with
+  | `Canonical rank -> (frozen, Some rank)
+  | `Truncated -> (frozen, None)
+
+(* rank_of maps an original core id to its 0-based serialization position *)
+let serialize t rank_of =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "n=%d;e=%d;" (num_cores t) (num_flows t));
+  D.fold_edges
+    (fun u v acc -> (rank_of u, rank_of v, volume t u v, bw_bits (bandwidth t u v)) :: acc)
+    t.graph []
+  |> List.sort compare
+  |> List.iter (fun (ru, rv, vol, bw) ->
+         Buffer.add_string buf (Printf.sprintf "%d>%d:%d:%Lx;" ru rv vol bw));
+  Buffer.contents buf
+
+let canonical_hash t =
+  let frozen, rank = canonical_rank t in
+  match rank with
+  | Some rank ->
+      "canon:" ^ Digest.to_hex (Digest.string (serialize t (fun v -> rank.(Compact.index frozen v))))
+  | None ->
+      (* identity-only fallback: dense index = ascending original id, so
+         textually identical ACGs still collide (and only those) *)
+      "exact:" ^ Digest.to_hex (Digest.string (serialize t (fun v -> Compact.index frozen v)))
+
+let canonical_form t =
+  let frozen, rank = canonical_rank t in
+  match rank with
+  | None -> None
+  | Some rank ->
+      let f v = rank.(Compact.index frozen v) + 1 in
+      let mapping =
+        D.fold_vertices (fun v m -> D.Vmap.add v (f v) m) t.graph D.Vmap.empty
+      in
+      Some (map_vertices f t, mapping)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>ACG: %d cores, %d flows, total volume %d bits@ " (num_cores t)
     (num_flows t) (total_volume t);

@@ -47,4 +47,32 @@ val restrict : t -> Noc_graph.Digraph.t -> t
     of the ACG's graph), preserving attributes: used to carry attributes
     onto remaining graphs during decomposition. *)
 
+val map_vertices : (int -> int) -> t -> t
+(** [map_vertices f t] relabels every core by [f] (which must be injective
+    on the cores of [t]), carrying volumes and bandwidths along. *)
+
+(** {1 Canonicalization}
+
+    An isomorphism-invariant fingerprint over the CSR canonical-labeling
+    kernel ({!Noc_graph.Canon}), respecting edge attributes: two ACGs hash
+    identically exactly when some vertex relabeling maps one onto the other
+    with equal volumes and bandwidths edge-for-edge.  This is the key of
+    the content-addressed result cache in [lib/serve]. *)
+
+val canonical_hash : t -> string
+(** ["canon:<md5hex>"] of the ACG serialized in canonical vertex order —
+    equal for isomorphic ACGs, distinct (modulo MD5 collisions) otherwise.
+    When the canonical-labeling search exceeds its work budget (only
+    plausible on large highly symmetric graphs), falls back to
+    ["exact:<md5hex>"] over the original vertex order: still deterministic,
+    still equal for textually identical ACGs, and the distinct prefix
+    guarantees the two families never collide. *)
+
+val canonical_form : t -> (t * int Noc_graph.Digraph.Vmap.t) option
+(** [canonical_form t] is [Some (t', mapping)] where [t'] is [t] relabeled
+    onto cores [1..n] in canonical order and [mapping] sends each original
+    core to its canonical id — so isomorphic ACGs produce structurally
+    identical [t'].  [None] when canonical labeling was truncated (same
+    budget as {!canonical_hash}). *)
+
 val pp : Format.formatter -> t -> unit

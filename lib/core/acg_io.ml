@@ -113,17 +113,7 @@ let load path =
       | Ok acg -> Ok acg
       | Error (`Msg m) -> Error (`Msg (Printf.sprintf "%s: %s" path m)))
 
-let of_string s =
-  match parse s with
-  | Ok acg -> acg
-  | Error (`Msg m) -> invalid_arg ("Acg_io.of_string: " ^ m)
-
 let write_file ~path acg =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string acg))
 
-let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

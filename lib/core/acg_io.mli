@@ -24,12 +24,3 @@ val load : string -> (Acg.t, [ `Msg of string ]) result
     escape). *)
 
 val write_file : path:string -> Acg.t -> unit
-
-val of_string : string -> Acg.t
-(** @deprecated use {!parse}.
-    @raise Invalid_argument on malformed input. *)
-
-val read_file : string -> Acg.t
-(** @deprecated use {!load}.
-    @raise Sys_error if the file cannot be read, [Invalid_argument] on
-    malformed content. *)

@@ -59,8 +59,6 @@ type options = {
   cost : Cost.t;
   constraints : Constraints.t option;
   max_matches_per_step : int;
-  timeout_s : float option;
-  max_nodes : int;
   allow_early_remainder : bool;
   role_aware : bool;
   canonical_order : bool;
@@ -76,8 +74,6 @@ let default_options =
     cost = Cost.Edge_count;
     constraints = None;
     max_matches_per_step = 1;
-    timeout_s = None;
-    max_nodes = 200_000;
     allow_early_remainder = true;
     role_aware = false;
     canonical_order = true;
@@ -97,9 +93,8 @@ let energy_options ~tech ~fp =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Budget resolution: the single place where the legacy surface
-   ([options.timeout_s], [options.max_nodes], [?domains]) is folded into a
-   [Budget.t] and the domain count is clamped to what the machine can run. *)
+(* Budget resolution: the single place where the domain count is clamped
+   to what the machine can run. *)
 
 let domain_cap () =
   let recommended = max 1 (Domain.recommended_domain_count ()) in
@@ -113,30 +108,8 @@ let domain_cap () =
               k "ignoring invalid NOCSYNTH_MAX_DOMAINS=%S (want an int >= 1)" s);
           recommended)
 
-let legacy_budget_warned = Atomic.make false
-
-let resolve_budget ~options ?budget ?domains () =
-  let b =
-    match budget with
-    | Some b -> b
-    | None ->
-        let legacy_used =
-          options.timeout_s <> None
-          || options.max_nodes <> default_options.max_nodes
-          || domains <> None
-        in
-        if legacy_used && Atomic.compare_and_set legacy_budget_warned false true
-        then
-          Log.warn (fun k ->
-              k
-                "options.timeout_s / options.max_nodes / ?domains are \
-                 deprecated; pass ?budget:Budget.t to decompose instead");
-        {
-          Budget.timeout_s = options.timeout_s;
-          max_nodes = options.max_nodes;
-          domains = Option.value ~default:1 domains;
-        }
-  in
+let resolve_budget ?(budget = Budget.default) () =
+  let b = budget in
   let asked = max 1 b.Budget.domains in
   let cap = domain_cap () in
   let granted = min asked cap in
@@ -919,10 +892,10 @@ let fallback_seed env root_view rng =
   end
   else None
 
-let decompose ?(options = default_options) ?budget ?domains ?(observe = Obs.disabled)
+let decompose ?(options = default_options) ?budget ?(observe = Obs.disabled)
     ?rng ~library acg =
   let opts = options in
-  let budget = resolve_budget ~options ?budget ?domains () in
+  let budget = resolve_budget ?budget () in
   let base_rng =
     match rng with Some r -> r | None -> Noc_util.Prng.create ~seed:0x5eed
   in

@@ -77,12 +77,6 @@ type options = {
           are expanded at one tree node.  The paper's Fig. 2 tree branches
           on one isomorphism per library graph per node, which is the
           default (1); larger values widen the search *)
-  timeout_s : float option;
-      (** @deprecated superseded by {!Budget.t.timeout_s}; still honoured
-          when no [?budget] is passed to {!decompose} *)
-  max_nodes : int;
-      (** @deprecated superseded by {!Budget.t.max_nodes}; still honoured
-          when no [?budget] is passed to {!decompose} (default 200k) *)
   allow_early_remainder : bool;
       (** also consider stopping the decomposition at inner nodes (leaving
           a matchable graph as remainder).  A strict generalization of the
@@ -126,8 +120,8 @@ type options = {
 
 val default_options : options
 (** [Edge_count] cost, no constraints, one match per primitive per step,
-    no timeout, 200k-node budget, [allow_early_remainder = true],
-    [role_aware = false], [canonical_order = true]. *)
+    [allow_early_remainder = true], [role_aware = false],
+    [canonical_order = true].  Resource limits live in {!Budget.t}. *)
 
 val energy_options :
   tech:Noc_energy.Technology.t -> fp:Noc_energy.Floorplan.t -> options
@@ -186,19 +180,15 @@ val domain_cap : unit -> int
     [NOCSYNTH_MAX_DOMAINS] environment variable — the escape hatch for
     deliberately oversubscribing a small machine (tests, CI boxes). *)
 
-val resolve_budget :
-  options:options -> ?budget:Budget.t -> ?domains:int -> unit -> Budget.t
+val resolve_budget : ?budget:Budget.t -> unit -> Budget.t
 (** The single resolution point for the search budget, applied by
-    {!decompose}: an explicit [budget] wins; otherwise one is assembled
-    from the deprecated [options.timeout_s] / [options.max_nodes] /
-    [?domains] legacy surface (warning once per process via [Logs]).
-    Either way [Budget.domains] is forced to at least 1 and clamped to
-    {!domain_cap} (warning when the clamp bites). *)
+    {!decompose}: [Budget.domains] is forced to at least 1 and clamped to
+    {!domain_cap} (warning when the clamp bites).  [budget] defaults to
+    {!Budget.default}. *)
 
 val decompose :
   ?options:options ->
   ?budget:Budget.t ->
-  ?domains:int ->
   ?observe:Noc_obs.Obs.t ->
   ?rng:Noc_util.Prng.t ->
   library:Noc_primitives.Library.t ->
@@ -209,8 +199,8 @@ val decompose :
     deterministic).  The returned decomposition always satisfies
     {!Decomposition.is_valid_for}.
 
-    [budget] gathers every resource limit; it is resolved against the
-    deprecated legacy surface and clamped by {!resolve_budget}.
+    [budget] gathers every resource limit and is clamped by
+    {!resolve_budget}.
 
     [observe] (default {!Noc_obs.Obs.disabled}) attaches an observer:
     setup and search phases become trace spans, each root branch of the

@@ -31,13 +31,10 @@ let link_volume_weights acg (arch : Synthesis.t) =
 
 let evaluate ~tech ~library ~fp acg =
   let options =
-    {
-      (Branch_bound.energy_options ~tech ~fp) with
-      constraints = None;
-      max_nodes = 20_000;
-    }
+    { (Branch_bound.energy_options ~tech ~fp) with constraints = None }
   in
-  let decomposition, _ = Branch_bound.decompose ~options ~library acg in
+  let budget = Branch_bound.Budget.(default |> with_max_nodes 20_000) in
+  let decomposition, _ = Branch_bound.decompose ~options ~budget ~library acg in
   let arch = Synthesis.of_decomposition acg decomposition in
   let energy = Synthesis.total_energy ~tech ~fp acg arch in
   (decomposition, arch, energy)

@@ -1,0 +1,78 @@
+module Obs = Noc_obs.Obs
+
+type entry = { value : string * Proto.Response.t; mutable last_use : int }
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  c_hits : Obs.Counter.t;
+  c_misses : Obs.Counter.t;
+  c_evictions : Obs.Counter.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let create ?(capacity = 1024) ~observe () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    c_hits = Obs.counter observe "serve.cache.hits";
+    c_misses = Obs.counter observe "serve.cache.misses";
+    c_evictions = Obs.counter observe "serve.cache.evictions";
+  }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      touch t e;
+      t.hits <- t.hits + 1;
+      Obs.Counter.incr t.c_hits;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.Counter.incr t.c_misses;
+      None
+
+(* O(n) victim scan: capacities are small (hundreds to a few thousand
+   entries) and evictions only happen once the cache is full *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e best ->
+        match best with
+        | Some (_, b) when b.last_use <= e.last_use -> best
+        | _ -> Some (key, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1;
+      Obs.Counter.incr t.c_evictions
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some e -> touch t e
+  | None -> ());
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.table key { value; last_use = t.tick };
+  while Hashtbl.length t.table > t.capacity do
+    evict_lru t
+  done
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; size = Hashtbl.length t.table }

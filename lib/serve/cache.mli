@@ -1,0 +1,29 @@
+(** The content-addressed result cache: canonical request key -> rendered
+    response bytes.
+
+    Keys come from {!Proto.Request.cache_key}, so identical {e and
+    isomorphic} requests share an entry and hits return byte-identical
+    responses.  Eviction is least-recently-used at a fixed capacity.
+    Hit/miss/eviction counts are kept locally (for {!stats}) and mirrored
+    into the observer's [serve.cache.hits] / [serve.cache.misses] /
+    [serve.cache.evictions] counters.
+
+    Not domain-safe: the daemon serves its request loop from one domain
+    (the parallelism lives inside each search), which is the only client. *)
+
+type t
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val create : ?capacity:int -> observe:Noc_obs.Obs.t -> unit -> t
+(** Default capacity 1024 entries.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val find : t -> string -> (string * Proto.Response.t) option
+(** Lookup, counting a hit or a miss and refreshing the entry's recency. *)
+
+val add : t -> string -> string * Proto.Response.t -> unit
+(** Insert (or overwrite), evicting the least-recently-used entries while
+    over capacity. *)
+
+val stats : t -> stats

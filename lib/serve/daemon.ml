@@ -1,0 +1,129 @@
+module D = Noc_graph.Digraph
+module Acg = Noc_core.Acg
+module Bb = Noc_core.Branch_bound
+module Syn = Noc_core.Synthesis
+module Edge_map = D.Edge_map
+module Obs = Noc_obs.Obs
+module J = Obs.Json
+
+type t = { cache : Cache.t; observe : Obs.t; c_requests : Obs.Counter.t }
+
+type status = Hit | Miss
+
+type outcome = {
+  request_id : string;
+  key : string;
+  response : Proto.Response.t;
+  bytes : string;
+  status : status;
+  wall_s : float;
+}
+
+exception Bad_request of string
+
+let create ?cache_capacity ?(observe = Obs.disabled) () =
+  {
+    cache = Cache.create ?capacity:cache_capacity ~observe ();
+    observe;
+    c_requests = Obs.counter observe "serve.requests";
+  }
+
+let cache_stats t = Cache.stats t.cache
+
+let compute (req : Proto.Request.t) ~observe ~key =
+  let library =
+    match Proto.Request.library_of_name req.library with
+    | Some l -> l
+    | None -> raise (Bad_request (Printf.sprintf "unknown library %S" req.library))
+  in
+  (* synthesize on the canonical relabeling: the search is deterministic,
+     so every ACG isomorphic to this one produces these exact bytes *)
+  let canonical, acg =
+    match Acg.canonical_form req.acg with
+    | Some (acg, _mapping) -> (true, acg)
+    | None -> (false, req.acg)
+  in
+  let options = { Bb.default_options with constraints = req.constraints } in
+  let d, stats =
+    Bb.decompose ~options ~budget:req.budget ~observe ~library acg
+  in
+  let arch = Syn.custom acg d in
+  let topology =
+    D.fold_edges
+      (fun u v acc -> (min u v, max u v) :: acc)
+      arch.Syn.topology []
+    |> List.sort_uniq compare
+  in
+  let routes = Edge_map.bindings arch.Syn.routes in
+  {
+    Proto.Response.key;
+    cores = Acg.num_cores acg;
+    flows = Acg.num_flows acg;
+    cost = stats.Bb.best_cost;
+    timed_out = stats.Bb.timed_out;
+    constraints_met = stats.Bb.constraints_met;
+    topology;
+    routes;
+    backends = Backends.compare_all acg ~custom:arch;
+    provenance =
+      {
+        library = req.library;
+        budget_timeout_s = req.budget.Bb.Budget.timeout_s;
+        budget_max_nodes = req.budget.Bb.Budget.max_nodes;
+        canonical;
+      };
+  }
+
+let solve t (req : Proto.Request.t) =
+  Obs.Counter.incr t.c_requests;
+  let (key, response, bytes, status), wall_s =
+    Noc_util.Timer.time (fun () ->
+        Obs.span t.observe ~cat:"serve" "solve" (fun () ->
+            let key = Proto.Request.cache_key req in
+            match Cache.find t.cache key with
+            | Some (bytes, response) -> (key, response, bytes, Hit)
+            | None ->
+                let response = compute req ~observe:t.observe ~key in
+                let bytes = Proto.Response.to_string response in
+                Cache.add t.cache key (bytes, response);
+                (key, response, bytes, Miss)))
+  in
+  { request_id = req.id; key; response; bytes; status; wall_s }
+
+let serve_batch t reqs = List.map (solve t) reqs
+
+let run_loop ?library ?(budget = Bb.Budget.default) t ic oc =
+  let served = ref 0 in
+  let emit json =
+    output_string oc (J.to_string json);
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line -> (
+        let line = String.trim line in
+        if line = "" || String.length line > 0 && line.[0] = '#' then loop ()
+        else if line = "quit" then ()
+        else
+          match Noc_core.Acg_io.load line with
+          | Error (`Msg m) ->
+              emit (J.Obj [ ("id", J.Str line); ("error", J.Str m) ]);
+              loop ()
+          | Ok acg ->
+              let req = Proto.Request.make ~id:line ?library ~budget acg in
+              let o = solve t req in
+              incr served;
+              emit
+                (J.Obj
+                   [
+                     ("id", J.Str o.request_id);
+                     ("cache", J.Str (match o.status with Hit -> "hit" | Miss -> "miss"));
+                     ("wall_s", J.Float o.wall_s);
+                     ("response", Proto.Response.to_json o.response);
+                   ]);
+              loop ())
+  in
+  loop ();
+  !served

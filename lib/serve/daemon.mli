@@ -1,0 +1,59 @@
+(** [nocsynthd]: the long-running request pipeline.
+
+    Requests go through one funnel ({!solve}): compute the canonical cache
+    key, return the cached bytes on a hit, otherwise synthesize {e on the
+    canonical form of the ACG} and cache the rendered response.  Because
+    the search runs on the canonical relabeling, two isomorphic requests
+    don't just share a cache entry — the response computed for either is
+    byte-identical, so a hit is indistinguishable from a recomputation.
+
+    Concurrency model: the request loop runs on one domain and each search
+    fans out across [Budget.domains] via the branch-and-bound
+    work-stealing scheduler — parallelism lives inside requests, where the
+    work is.  {!serve_batch} is the batching entry point: requests that
+    share a cache key collapse onto one search (the first computes, the
+    rest hit), and responses keep submission order. *)
+
+type t
+
+type status = Hit | Miss
+
+type outcome = {
+  request_id : string;  (** echoed {!Proto.Request.t.id} *)
+  key : string;
+  response : Proto.Response.t;
+  bytes : string;  (** rendered response; byte-identical across hits *)
+  status : status;
+  wall_s : float;
+}
+
+exception Bad_request of string
+(** Unknown library name in a request. *)
+
+val create : ?cache_capacity:int -> ?observe:Noc_obs.Obs.t -> unit -> t
+(** A daemon with an empty cache.  [observe] feeds the [serve.*] counters
+    and per-request spans; default {!Noc_obs.Obs.disabled}. *)
+
+val solve : t -> Proto.Request.t -> outcome
+(** Serve one request.  @raise Bad_request on an unresolvable library. *)
+
+val serve_batch : t -> Proto.Request.t list -> outcome list
+(** Serve a batch in submission order; within-batch duplicates (same cache
+    key) are computed once. *)
+
+val cache_stats : t -> Cache.stats
+
+val run_loop :
+  ?library:string ->
+  ?budget:Noc_core.Branch_bound.Budget.t ->
+  t ->
+  in_channel ->
+  out_channel ->
+  int
+(** The line-oriented service loop behind [nocsynth serve]: each input
+    line names an ACG file ({!Noc_core.Acg_io.load} format), each output
+    line is one JSON object — either
+    [{"id", "cache", "wall_s", "response"}] or [{"id", "error"}] for
+    unreadable input.  Blank lines and [#] comments are skipped; ["quit"]
+    or end-of-file ends the loop.  Returns the number of requests
+    served. *)

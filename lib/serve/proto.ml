@@ -1,0 +1,120 @@
+module Acg = Noc_core.Acg
+module Bb = Noc_core.Branch_bound
+module Cons = Noc_core.Constraints
+module L = Noc_primitives.Library
+module J = Noc_obs.Obs.Json
+
+module Request = struct
+  type t = {
+    id : string;
+    acg : Acg.t;
+    library : string;
+    budget : Bb.Budget.t;
+    constraints : Cons.t option;
+  }
+
+  let make ?(id = "") ?(library = "default") ?(budget = Bb.Budget.default)
+      ?constraints acg =
+    { id; acg; library; budget; constraints }
+
+  let library_of_name = function
+    | "default" -> Some (L.default ())
+    | "extended" -> Some (L.extended ())
+    | "minimal" -> Some (L.minimal ())
+    | _ -> None
+
+  (* [%h] hex floats are exact, so two budgets/constraints collide exactly
+     when they are the same values *)
+  let cache_key t =
+    let timeout =
+      match t.budget.Bb.Budget.timeout_s with
+      | None -> "none"
+      | Some s -> Printf.sprintf "%h" s
+    in
+    let cons =
+      match t.constraints with
+      | None -> "none"
+      | Some c ->
+          Printf.sprintf "%h/%d" c.Cons.link_bandwidth c.Cons.max_bisection_links
+    in
+    Printf.sprintf "%s|lib=%s|t=%s|n=%d|c=%s" (Acg.canonical_hash t.acg)
+      t.library timeout t.budget.Bb.Budget.max_nodes cons
+end
+
+module Response = struct
+  type backend_score = {
+    backend : string;
+    links : int;
+    avg_hops : float;
+    max_hops : int;
+    energy_pj : float;
+  }
+
+  type provenance = {
+    library : string;
+    budget_timeout_s : float option;
+    budget_max_nodes : int;
+    canonical : bool;
+  }
+
+  type t = {
+    key : string;
+    cores : int;
+    flows : int;
+    cost : float;
+    timed_out : bool;
+    constraints_met : bool;
+    topology : (int * int) list;
+    routes : ((int * int) * int list) list;
+    backends : backend_score list;
+    provenance : provenance;
+  }
+
+  let backend_to_json b =
+    J.Obj
+      [
+        ("backend", J.Str b.backend);
+        ("links", J.Int b.links);
+        ("avg_hops", J.Float b.avg_hops);
+        ("max_hops", J.Int b.max_hops);
+        ("energy_pj", J.Float b.energy_pj);
+      ]
+
+  let to_json t =
+    J.Obj
+      [
+        ("key", J.Str t.key);
+        ("cores", J.Int t.cores);
+        ("flows", J.Int t.flows);
+        ("cost", J.Float t.cost);
+        ("timed_out", J.Bool t.timed_out);
+        ("constraints_met", J.Bool t.constraints_met);
+        ( "topology",
+          J.List (List.map (fun (u, v) -> J.List [ J.Int u; J.Int v ]) t.topology) );
+        ( "routes",
+          J.List
+            (List.map
+               (fun ((s, d), path) ->
+                 J.Obj
+                   [
+                     ("src", J.Int s);
+                     ("dst", J.Int d);
+                     ("path", J.List (List.map (fun v -> J.Int v) path));
+                   ])
+               t.routes) );
+        ("backends", J.List (List.map backend_to_json t.backends));
+        ( "provenance",
+          J.Obj
+            [
+              ("library", J.Str t.provenance.library);
+              ( "budget_timeout_s",
+                match t.provenance.budget_timeout_s with
+                | None -> J.Null
+                | Some s -> J.Float s );
+              ("budget_max_nodes", J.Int t.provenance.budget_max_nodes);
+              ("canonical", J.Bool t.provenance.canonical);
+            ] );
+      ]
+
+  let to_string t = J.to_string (to_json t)
+end

@@ -1,0 +1,87 @@
+(** The typed request/response surface of the synthesis service.
+
+    A {!Request.t} is everything one synthesis call needs: the ACG, the
+    primitive library (by name, so requests serialize), the search
+    {!Noc_core.Branch_bound.Budget.t} and optional bandwidth/bisection
+    constraints.  A {!Response.t} is the full answer: the synthesized
+    topology and routes (in {e canonical} vertex ids), the search report,
+    the multi-backend comparison (custom vs 2D mesh vs sparse-Hamming) and
+    provenance.
+
+    Responses are deliberately free of volatile data (wall times, cache
+    status, request ids live in {!Daemon.outcome} instead), so
+    {!Response.to_string} is a pure function of the cache key: the daemon
+    can hand back cached bytes and isomorphic requests receive
+    byte-identical responses. *)
+
+module Request : sig
+  type t = {
+    id : string;  (** client tag, echoed in the outcome; not part of the key *)
+    acg : Noc_core.Acg.t;
+    library : string;  (** ["default"], ["extended"] or ["minimal"] *)
+    budget : Noc_core.Branch_bound.Budget.t;
+    constraints : Noc_core.Constraints.t option;
+  }
+
+  val make :
+    ?id:string ->
+    ?library:string ->
+    ?budget:Noc_core.Branch_bound.Budget.t ->
+    ?constraints:Noc_core.Constraints.t ->
+    Noc_core.Acg.t ->
+    t
+  (** Defaults: id [""], library ["default"], {!Noc_core.Branch_bound.Budget.default},
+      no constraints. *)
+
+  val cache_key : t -> string
+  (** The content address: {!Noc_core.Acg.canonical_hash} of the ACG plus
+      the library name, the budget's [timeout_s]/[max_nodes] and the
+      constraints.  [Budget.domains] is deliberately excluded — it is an
+      execution hint, and a completed search returns the same answer at any
+      domain count — so a request served at [domains = 1] is a cache hit
+      for the same ACG at [domains = 8]. *)
+
+  val library_of_name : string -> Noc_primitives.Library.t option
+  (** Resolves the library field; [None] for unknown names. *)
+end
+
+module Response : sig
+  type backend_score = {
+    backend : string;  (** ["custom"], ["mesh"] or ["sparse_hamming"] *)
+    links : int;
+    avg_hops : float;
+    max_hops : int;
+    energy_pj : float;
+  }
+
+  type provenance = {
+    library : string;
+    budget_timeout_s : float option;
+    budget_max_nodes : int;
+    canonical : bool;
+        (** true when the ACG was served in canonical form; false on the
+            (truncated-canonicalization) exact fallback *)
+  }
+
+  type t = {
+    key : string;  (** the {!Request.cache_key} this response answers *)
+    cores : int;
+    flows : int;
+    cost : float;  (** best decomposition cost (Eq. 4) *)
+    timed_out : bool;
+    constraints_met : bool;
+    topology : (int * int) list;
+        (** undirected links of the custom architecture as [(min, max)]
+            pairs over canonical core ids, sorted *)
+    routes : ((int * int) * int list) list;
+        (** one route per flow, [(src, dst), path], canonical ids, sorted *)
+    backends : backend_score list;  (** custom first, then mesh, then Hamming *)
+    provenance : provenance;
+  }
+
+  val to_json : t -> Noc_obs.Obs.Json.t
+  val to_string : t -> string
+  (** [to_string r] is [Obs.Json.to_string (to_json r)]: deterministic,
+      single-line — the bytes the cache stores and the daemon replies
+      with. *)
+end

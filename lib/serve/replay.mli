@@ -1,0 +1,49 @@
+(** The replay load driver: hammer a fresh daemon with a seeded request
+    stream derived from the fuzz corpus and measure throughput and cache
+    behaviour.
+
+    The stream interleaves, per base ACG, one fresh request, one exact
+    duplicate and one vertex-permuted copy — so two thirds of the stream
+    (the "repeated half") should hit the cache, the permuted copies only
+    via canonicalization.  Every hit's bytes are compared against the
+    original miss's: {!stats.byte_identical} must come back [true]. *)
+
+type stats = {
+  requests : int;
+  unique : int;  (** distinct cache keys = expected misses *)
+  hits : int;
+  misses : int;
+  evictions : int;
+  wall_s : float;
+  rps : float;  (** requests / wall_s *)
+  hit_rate : float;  (** hits / requests *)
+  repeated_hit_rate : float;
+      (** hits over the duplicated + permuted requests only — the
+          acceptance gate ([>= 0.5]) *)
+  byte_identical : bool;
+      (** every hit returned exactly the bytes of its key's first miss *)
+}
+
+val permute : rng:Noc_util.Prng.t -> Noc_core.Acg.t -> Noc_core.Acg.t
+(** A uniformly random relabeling of the ACG over its own core ids — an
+    isomorphic copy whose canonical hash must match the original's.  Also
+    used by the benchkit serve stage to build its request mix. *)
+
+val run :
+  ?seed:int ->
+  ?cases:int ->
+  ?corpus_dir:string ->
+  ?cache_capacity:int ->
+  ?library:string ->
+  ?budget:Noc_core.Branch_bound.Budget.t ->
+  ?observe:Noc_obs.Obs.t ->
+  unit ->
+  stats
+(** [run ()] drives [3 * cases] requests (default [cases = 12], seed 42)
+    through a fresh daemon.  Base ACGs come from the seeded fuzz-corpus
+    generator ({!Noc_oracle.Fuzz.gen_acg}); with [corpus_dir] they are
+    instead loaded from every readable ACG file in that directory (sorted
+    by name; unreadable files are skipped, and the generator fills in when
+    the directory yields nothing). *)
+
+val pp : Format.formatter -> stats -> unit

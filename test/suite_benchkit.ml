@@ -79,7 +79,13 @@ let test_runner_sanity () =
   Alcotest.(check bool)
     "resilience latency factor sane" true
     (rs.Runner.max_latency_factor >= 1. || rs.Runner.max_latency_factor = 0.);
-  Alcotest.(check int) "resilience strands nothing" 0 rs.Runner.resil_stranded
+  Alcotest.(check int) "resilience strands nothing" 0 rs.Runner.resil_stranded;
+  let sv = r.Runner.serve in
+  Alcotest.(check int) "serve mix size" 4 sv.Runner.serve_requests;
+  Alcotest.(check int) "serve hits (dup + both permutations)" 3 sv.Runner.serve_hits;
+  Alcotest.(check (float 1e-9)) "serve hit rate" 0.75 sv.Runner.serve_hit_rate;
+  Alcotest.(check bool) "serve responses byte-identical" true sv.Runner.serve_byte_identical;
+  Alcotest.(check bool) "serve rps positive" true (sv.Runner.serve_rps > 0.)
 
 (* ---------------------------------------------------------------- *)
 (* Record                                                           *)

@@ -142,7 +142,7 @@ let test_matching_pp_format () =
 (* -------------------------------------------------------------------- *)
 (* Branch and bound: structural results                                  *)
 
-let decompose ?options acg = Bb.decompose ?options ~library:(lib ()) acg
+let decompose ?options ?budget acg = Bb.decompose ?options ?budget ~library:(lib ()) acg
 
 let test_decompose_planted_k4 () =
   let acg = Acg.uniform ~volume:1 ~bandwidth:0.0 (G.complete 4) in
@@ -198,8 +198,8 @@ let test_decompose_timeout () =
   let rng = Prng.create ~seed:77 in
   let g = G.erdos_renyi ~rng ~n:20 ~p:0.3 in
   let acg = Acg.uniform ~volume:1 ~bandwidth:0.0 g in
-  let options = { Bb.default_options with timeout_s = Some 0.0 } in
-  let d, stats = decompose ~options acg in
+  let budget = Bb.Budget.(default |> with_timeout_s (Some 0.0)) in
+  let d, stats = decompose ~budget acg in
   Alcotest.(check bool) "flagged" true stats.Bb.timed_out;
   Alcotest.(check bool) "still valid" true (Decomp.is_valid_for acg d)
 
@@ -209,8 +209,8 @@ let test_decompose_node_budget () =
   let acg = Acg.uniform ~volume:1 ~bandwidth:0.0 g in
   (* Branch mode keeps neutral primitives in the tree: big enough to hit
      a 10-node budget *)
-  let options = { Bb.default_options with max_nodes = 10; neutrals = Bb.Branch } in
-  let _, stats = decompose ~options acg in
+  let options = { Bb.default_options with neutrals = Bb.Branch } in
+  let _, stats = decompose ~options ~budget:Bb.Budget.(default |> with_max_nodes 10) acg in
   Alcotest.(check bool) "budget hit" true stats.Bb.timed_out;
   Alcotest.(check bool) "nodes bounded" true (stats.Bb.nodes <= 11)
 
@@ -293,10 +293,10 @@ let energy_setup () =
 let test_energy_decomposition_valid () =
   let tech, fp = energy_setup () in
   let acg = aes_acg () in
-  let options =
-    { (Bb.energy_options ~tech ~fp) with constraints = None; max_nodes = 2_000 }
+  let options = { (Bb.energy_options ~tech ~fp) with constraints = None } in
+  let d, stats =
+    decompose ~options ~budget:Bb.Budget.(default |> with_max_nodes 2_000) acg
   in
-  let d, stats = decompose ~options acg in
   Alcotest.(check bool) "valid" true (Decomp.is_valid_for acg d);
   Alcotest.(check bool) "finite cost" true (Float.is_finite stats.Bb.best_cost);
   (* the chosen decomposition's energy beats the all-remainder solution
@@ -427,10 +427,12 @@ let test_infeasible_constraints_fallback () =
   let rng = Prng.create ~seed:2 in
   let impossible = { Cons.link_bandwidth = infinity; max_bisection_links = 0 } in
   (* with no feasible incumbent nothing ever prunes, so bound the search *)
-  let options =
-    { Bb.default_options with constraints = Some impossible; max_nodes = 300 }
+  let options = { Bb.default_options with constraints = Some impossible } in
+  let d, stats =
+    Bb.decompose ~options
+      ~budget:Bb.Budget.(default |> with_max_nodes 300)
+      ~rng ~library:(lib ()) acg
   in
-  let d, stats = Bb.decompose ~options ~rng ~library:(lib ()) acg in
   Alcotest.(check bool) "flagged unmet" false stats.Bb.constraints_met;
   Alcotest.(check bool) "fallback still valid" true (Decomp.is_valid_for acg d)
 
@@ -582,9 +584,14 @@ let test_co_design_deterministic () =
 
 module Io = Noc_core.Acg_io
 
+let parse_exn s =
+  match Io.parse s with
+  | Ok acg -> acg
+  | Error (`Msg m) -> Alcotest.failf "parse failed: %s" m
+
 let test_acg_io_roundtrip () =
   let acg = Acg.of_weighted_edges [ (1, 2, 100, 0.5); (2, 3, 50, 0.25); (7, 1, 8, 1.5) ] in
-  let acg' = Io.of_string (Io.to_string acg) in
+  let acg' = parse_exn (Io.to_string acg) in
   Alcotest.(check int) "cores" (Acg.num_cores acg) (Acg.num_cores acg');
   Alcotest.(check int) "flows" (Acg.num_flows acg) (Acg.num_flows acg');
   Alcotest.(check int) "volume" 100 (Acg.volume acg' 1 2);
@@ -593,12 +600,12 @@ let test_acg_io_roundtrip () =
 let test_acg_io_isolated_vertices () =
   let g = D.add_vertex (D.of_edges [ (1, 2) ]) 9 in
   let acg = Acg.uniform ~volume:4 ~bandwidth:0.1 g in
-  let acg' = Io.of_string (Io.to_string acg) in
+  let acg' = parse_exn (Io.to_string acg) in
   Alcotest.(check int) "isolated vertex kept" 3 (Acg.num_cores acg');
   Alcotest.(check bool) "vertex 9" true (D.mem_vertex (Acg.graph acg') 9)
 
 let test_acg_io_comments_and_blanks () =
-  let acg = Io.of_string "# a comment
+  let acg = parse_exn "# a comment
 
 1 2 64 0.5
 
@@ -636,11 +643,7 @@ let test_acg_io_errors () =
   check_parse_error "self-loop" "line 2, column 1: self-loop 3 -> 3 is not a flow"
     "1 2 64 0.5\n3 3 5 0.5";
   check_parse_error "duplicate edge" "line 3, column 1: duplicate edge 1 -> 2"
-    "1 2 64 0.5\n2 3 32 0.1\n1 2 9 0.9";
-  (* the deprecated exception surface still reports the same message *)
-  Alcotest.check_raises "of_string raises"
-    (Invalid_argument "Acg_io.of_string: line 1, column 8: bad vertex id 'abc'")
-    (fun () -> ignore (Io.of_string "vertex abc"))
+    "1 2 64 0.5\n2 3 32 0.1\n1 2 9 0.9"
 
 let test_acg_io_load () =
   let acg = aes_acg () in
@@ -681,7 +684,11 @@ let test_acg_io_file_roundtrip () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       Io.write_file ~path acg;
-      let acg' = Io.read_file path in
+      let acg' =
+        match Io.load path with
+        | Ok acg -> acg
+        | Error (`Msg m) -> Alcotest.failf "load failed: %s" m
+      in
       Alcotest.(check int) "flows" (Acg.num_flows acg) (Acg.num_flows acg');
       Alcotest.(check int) "volume preserved" (Acg.volume acg 1 5) (Acg.volume acg' 1 5))
 
@@ -967,7 +974,9 @@ let render_decomp acg d = Format.asprintf "%a" (Decomp.pp_with_cost edge_count a
    feasibility-equivalent answer. *)
 let check_parallel_equals_sequential ?options acg =
   let d1, s1 = Bb.decompose ?options ~library:(lib ()) acg in
-  let d4, s4 = Bb.decompose ?options ~domains:4 ~library:(lib ()) acg in
+  let d4, s4 =
+    Bb.decompose ?options ~budget:Bb.Budget.(default |> with_domains 4) ~library:(lib ()) acg
+  in
   if s1.Bb.timed_out || s4.Bb.timed_out then
     Decomp.is_valid_for acg d4
     && s1.Bb.constraints_met = s4.Bb.constraints_met
@@ -980,7 +989,9 @@ let check_parallel_equals_sequential ?options acg =
 let test_parallel_fig2 () =
   Alcotest.(check bool) "fig2: 4 domains = sequential" true
     (check_parallel_equals_sequential (fig2_acg ()));
-  let d, stats = Bb.decompose ~domains:4 ~library:(lib ()) (fig2_acg ()) in
+  let d, stats =
+    Bb.decompose ~budget:Bb.Budget.(default |> with_domains 4) ~library:(lib ()) (fig2_acg ())
+  in
   Alcotest.(check (float 1e-9)) "fig2 cost is the paper's 16" 16.0 stats.Bb.best_cost;
   Alcotest.(check bool) "valid" true (Decomp.is_valid_for (fig2_acg ()) d)
 

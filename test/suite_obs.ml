@@ -152,10 +152,10 @@ let test_span_records_on_raise () =
 
 let render acg d = Format.asprintf "%a" (Decomp.pp_with_cost Noc_core.Cost.Edge_count acg) d
 
-let same_result ?options ?domains acg =
-  let d0, s0 = Bb.decompose ?options ?domains ~library:(lib ()) acg in
+let same_result ?options ?budget acg =
+  let d0, s0 = Bb.decompose ?options ?budget ~library:(lib ()) acg in
   let obs = Obs.create () in
-  let d1, s1 = Bb.decompose ?options ?domains ~observe:obs ~library:(lib ()) acg in
+  let d1, s1 = Bb.decompose ?options ?budget ~observe:obs ~library:(lib ()) acg in
   render acg d0 = render acg d1
   && s0.Bb.best_cost = s1.Bb.best_cost
   && s0.Bb.nodes = s1.Bb.nodes
@@ -171,7 +171,11 @@ let test_fig5_listing_observed () =
   Alcotest.(check (float 1e-9)) "cost 17" 17.0 s.Bb.best_cost;
   Alcotest.(check int) "same tree" s0.Bb.nodes s.Bb.nodes;
   let obs4 = Obs.create () in
-  let d4, s4 = Bb.decompose ~domains:4 ~observe:obs4 ~library:(lib ()) acg in
+  let d4, s4 =
+    Bb.decompose
+      ~budget:Bb.Budget.(default |> with_domains 4)
+      ~observe:obs4 ~library:(lib ()) acg
+  in
   Alcotest.(check string) "4-domain listing identical under observation"
     (render acg plain) (render acg d4);
   Alcotest.(check (float 1e-9)) "cost 17 (domains)" 17.0 s4.Bb.best_cost;
@@ -207,7 +211,7 @@ let qcheck_observer_differential_parallel =
       let rng = Prng.create ~seed:(seed + 9300) in
       let g = G.erdos_renyi ~rng ~n ~p:(3.0 /. float_of_int (n - 1)) in
       let acg = Acg.uniform ~volume:16 ~bandwidth:0.1 g in
-      same_result ~domains:4 acg)
+      same_result ~budget:Bb.Budget.(default |> with_domains 4) acg)
 
 let test_vf2_instr_order_unchanged () =
   let aes = Acg.graph (Noc_aes.Distributed.acg ()) in
@@ -226,30 +230,22 @@ let test_vf2_instr_order_unchanged () =
 (* ------------------------------------------------------------------ *)
 (* Budget                                                               *)
 
-let test_budget_equals_legacy_options () =
+let test_budget_limits_search () =
   let acg = Suite_core.fig2_acg () in
-  let legacy =
-    Bb.decompose
-      ~options:{ Bb.default_options with neutrals = Bb.Branch; max_nodes = 50 }
-      ~library:(lib ()) acg
-  in
-  let budgeted =
+  let _, s1 =
     Bb.decompose
       ~options:{ Bb.default_options with neutrals = Bb.Branch }
       ~budget:Bb.Budget.(default |> with_max_nodes 50)
       ~library:(lib ()) acg
   in
-  let (d0, s0), (d1, s1) = (legacy, budgeted) in
-  Alcotest.(check string) "same decomposition" (render acg d0) (render acg d1);
-  Alcotest.(check int) "same node count" s0.Bb.nodes s1.Bb.nodes;
-  Alcotest.(check bool) "both hit the node budget" true (s0.Bb.timed_out && s1.Bb.timed_out);
-  (* budget wins over the deprecated fields *)
+  Alcotest.(check bool) "hits the node budget" true s1.Bb.timed_out;
+  Alcotest.(check bool) "nodes bounded" true (s1.Bb.nodes <= 51);
   let _, s2 =
     Bb.decompose
-      ~options:{ Bb.default_options with neutrals = Bb.Branch; max_nodes = 50 }
+      ~options:{ Bb.default_options with neutrals = Bb.Branch }
       ~budget:Bb.Budget.default ~library:(lib ()) acg
   in
-  Alcotest.(check bool) "explicit budget overrides options.max_nodes" true
+  Alcotest.(check bool) "default budget completes the search" true
     (not s2.Bb.timed_out);
   let b = Bb.Budget.(default |> with_timeout_s (Some 1.0) |> with_domains 3) in
   Alcotest.(check bool) "builders" true
@@ -293,7 +289,11 @@ let test_stats_json () =
 let test_decompose_trace_smoke () =
   let acg = Noc_aes.Distributed.acg () in
   let obs = Obs.create () in
-  let _ = Bb.decompose ~domains:2 ~observe:obs ~library:(lib ()) acg in
+  let _ =
+    Bb.decompose
+      ~budget:Bb.Budget.(default |> with_domains 2)
+      ~observe:obs ~library:(lib ()) acg
+  in
   let path = Filename.temp_file "nocsynth_trace" ".json" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
@@ -386,7 +386,7 @@ let suite =
         test_fig6_listing_observed;
       Alcotest.test_case "vf2 instrumentation keeps order" `Quick
         test_vf2_instr_order_unchanged;
-      Alcotest.test_case "budget = legacy options" `Quick test_budget_equals_legacy_options;
+      Alcotest.test_case "budget limits the search" `Quick test_budget_limits_search;
       Alcotest.test_case "stats to json" `Quick test_stats_json;
       Alcotest.test_case "decompose trace smoke" `Quick test_decompose_trace_smoke;
       Alcotest.test_case "network metrics + contention" `Quick

@@ -32,41 +32,32 @@ let test_domain_cap_env () =
   Alcotest.(check int) "cap follows the env override" 8 (Bb.domain_cap ())
 
 let test_resolve_budget_clamps () =
-  let options = Bb.default_options in
-  let b =
-    Bb.resolve_budget ~options
-      ~budget:Bb.Budget.(default |> with_domains 64)
-      ()
-  in
+  let b = Bb.resolve_budget ~budget:Bb.Budget.(default |> with_domains 64) () in
   Alcotest.(check int) "over-ask clamps to the cap" (Bb.domain_cap ())
     b.Bb.Budget.domains;
-  let b = Bb.resolve_budget ~options ~budget:Bb.Budget.(default |> with_domains 0) () in
+  let b = Bb.resolve_budget ~budget:Bb.Budget.(default |> with_domains 0) () in
   Alcotest.(check int) "zero domains becomes one" 1 b.Bb.Budget.domains;
-  let b =
-    Bb.resolve_budget ~options ~budget:Bb.Budget.(default |> with_domains (-3)) ()
-  in
+  let b = Bb.resolve_budget ~budget:Bb.Budget.(default |> with_domains (-3)) () in
   Alcotest.(check int) "negative domains becomes one" 1 b.Bb.Budget.domains
 
-let test_resolve_budget_explicit_wins () =
-  (* an explicit budget silently supersedes the deprecated options fields *)
-  let options = { Bb.default_options with timeout_s = Some 99.0; max_nodes = 7 } in
+let test_resolve_budget_preserves_limits () =
+  (* clamping only touches domains: time and node limits pass through *)
   let b =
-    Bb.resolve_budget ~options
+    Bb.resolve_budget
       ~budget:Bb.Budget.(default |> with_timeout_s (Some 1.5) |> with_max_nodes 123)
-      ~domains:5 ()
+      ()
   in
-  Alcotest.(check (option (float 1e-9))) "timeout from the budget" (Some 1.5)
+  Alcotest.(check (option (float 1e-9))) "timeout preserved" (Some 1.5)
     b.Bb.Budget.timeout_s;
-  Alcotest.(check int) "max_nodes from the budget" 123 b.Bb.Budget.max_nodes
+  Alcotest.(check int) "max_nodes preserved" 123 b.Bb.Budget.max_nodes
 
-let test_resolve_budget_legacy () =
-  (* without ?budget the deprecated surface is assembled into one *)
-  let options = { Bb.default_options with timeout_s = Some 2.5; max_nodes = 321 } in
-  let b = Bb.resolve_budget ~options ~domains:2 () in
-  Alcotest.(check (option (float 1e-9))) "legacy timeout honoured" (Some 2.5)
-    b.Bb.Budget.timeout_s;
-  Alcotest.(check int) "legacy max_nodes honoured" 321 b.Bb.Budget.max_nodes;
-  Alcotest.(check int) "legacy ?domains honoured" 2 b.Bb.Budget.domains
+let test_resolve_budget_default () =
+  (* no budget resolves to the default *)
+  let b = Bb.resolve_budget () in
+  Alcotest.(check (option (float 1e-9))) "no timeout" None b.Bb.Budget.timeout_s;
+  Alcotest.(check int) "default max_nodes" Bb.Budget.default.Bb.Budget.max_nodes
+    b.Bb.Budget.max_nodes;
+  Alcotest.(check int) "one domain" 1 b.Bb.Budget.domains
 
 let test_ordering_names_roundtrip () =
   List.iter
@@ -87,7 +78,7 @@ let qcheck_ws_cost_equals_sequential =
     (fun (seed, n) ->
       let acg = sparse_acg ~seed:(seed + 7100) ~n in
       let d1, s1 = Bb.decompose ~library:(lib ()) acg in
-      let d8, s8 = Bb.decompose ~domains:8 ~library:(lib ()) acg in
+      let d8, s8 = Bb.decompose ~budget:Bb.Budget.(default |> with_domains 8) ~library:(lib ()) acg in
       if s1.Bb.timed_out || s8.Bb.timed_out then
         (* anytime result: only validity and feasibility are guaranteed *)
         Decomp.is_valid_for acg d8 && s8.Bb.best_cost < infinity
@@ -99,7 +90,7 @@ let qcheck_ws_cost_equals_sequential =
 let test_ws_counters () =
   (* the parallel engine reports its scheduler counters *)
   let acg = Corpus.clustered ~seed:3 ~n:32 in
-  let _, st = Bb.decompose ~domains:8 ~library:(lib ()) acg in
+  let _, st = Bb.decompose ~budget:Bb.Budget.(default |> with_domains 8) ~library:(lib ()) acg in
   Alcotest.(check bool) "at least one task" true (st.Bb.tasks >= 1);
   Alcotest.(check bool) "steals are non-negative" true (st.Bb.steals >= 0);
   let _, st1 = Bb.decompose ~library:(lib ()) acg in
@@ -125,7 +116,8 @@ let qcheck_portfolio_never_worse =
       let _, sp =
         Bb.decompose
           ~options:{ Bb.default_options with portfolio = true }
-          ~domains:3 ~library:(lib ()) acg
+          ~budget:Bb.Budget.(default |> with_domains 3)
+          ~library:(lib ()) acg
       in
       if sp.Bb.timed_out || List.exists (fun (_, s) -> s.Bb.timed_out) singles then
         true (* exhausted searches are anytime results; no ranking claim *)
@@ -198,10 +190,9 @@ let suite =
     [
       Alcotest.test_case "domain cap follows the env override" `Quick test_domain_cap_env;
       Alcotest.test_case "resolve_budget clamps domains" `Quick test_resolve_budget_clamps;
-      Alcotest.test_case "explicit budget beats deprecated options" `Quick
-        test_resolve_budget_explicit_wins;
-      Alcotest.test_case "deprecated surface still resolves" `Quick
-        test_resolve_budget_legacy;
+      Alcotest.test_case "resolve_budget preserves time and node limits" `Quick
+        test_resolve_budget_preserves_limits;
+      Alcotest.test_case "resolve_budget defaults" `Quick test_resolve_budget_default;
       Alcotest.test_case "ordering names round-trip" `Quick test_ordering_names_roundtrip;
       Alcotest.test_case "work-stealing scheduler counters" `Quick test_ws_counters;
       Alcotest.test_case "fallback on a 128-core clustered graph" `Quick

@@ -1,0 +1,215 @@
+(* Service-layer suite: the canonical-hash contract (cross-checked against
+   the exhaustive isomorphism oracle on small ACGs), the daemon's
+   content-addressed cache, and the replay load driver.  Everything here
+   leans on one invariant: the response bytes are a pure function of the
+   cache key, so isomorphic requests are indistinguishable on the wire. *)
+
+module D = Noc_graph.Digraph
+module G = Noc_graph.Generators
+module Acg = Noc_core.Acg
+module Bb = Noc_core.Branch_bound
+module Prng = Noc_util.Prng
+module Proto = Noc_serve.Proto
+module Daemon = Noc_serve.Daemon
+module Replay = Noc_serve.Replay
+module Iso = Noc_oracle.Iso
+
+let is_canon h = String.length h >= 6 && String.equal (String.sub h 0 6) "canon:"
+
+(* random attributed ACG on <= 8 vertices, attributes drawn from a tiny
+   alphabet so independently generated pairs collide structurally often
+   enough to exercise the oracle cross-check in both directions *)
+let small_acg ~rng ~n =
+  let g = G.erdos_renyi ~rng ~n ~p:0.35 in
+  let g = if D.num_edges g = 0 then D.add_edge g 1 2 else g in
+  let quads =
+    D.fold_edges
+      (fun u v acc ->
+        (u, v, 1 + Prng.int rng 3, 0.5 *. float_of_int (Prng.int rng 3)) :: acc)
+      g []
+  in
+  Acg.of_weighted_edges quads
+
+let quadruples acg =
+  D.fold_edges
+    (fun u v acc -> (u, v, Acg.volume acg u v, Acg.bandwidth acg u v) :: acc)
+    (Acg.graph acg) []
+  |> List.rev
+
+(* ground-truth attributed-graph isomorphism by exhaustive enumeration:
+   equal vertex and edge counts make any monomorphism a bijection, so it
+   only remains to check the attributes ride along *)
+let acg_isomorphic a b =
+  let ga = Acg.graph a and gb = Acg.graph b in
+  D.num_vertices ga = D.num_vertices gb
+  && D.num_edges ga = D.num_edges gb
+  && List.exists
+       (fun m ->
+         D.fold_edges
+           (fun u v ok ->
+             let u' = D.Vmap.find u m and v' = D.Vmap.find v m in
+             ok
+             && Acg.volume a u v = Acg.volume b u' v'
+             && Acg.bandwidth a u v = Acg.bandwidth b u' v')
+           ga true)
+       (Iso.find_all ~pattern:ga ~target:gb)
+
+(* Property: isomorphic relabelings never change the canonical hash. *)
+let qcheck_hash_permutation_invariant =
+  QCheck.Test.make ~name:"canonical hash is permutation-invariant" ~count:60
+    QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed:(seed + 9000) in
+      let acg = Noc_oracle.Fuzz.gen_acg ~rng in
+      let h = Acg.canonical_hash acg in
+      (not (is_canon h))
+      || String.equal h (Acg.canonical_hash (Replay.permute ~rng acg))
+         && String.equal h (Acg.canonical_hash (Replay.permute ~rng acg)))
+
+(* Property: on small ACGs the hash decides isomorphism exactly — equal
+   hashes iff the exhaustive oracle finds an attribute-preserving
+   bijection.  The pair generator mixes permutations (isomorphic by
+   construction), single-attribute mutations (almost never isomorphic) and
+   independent graphs, so both sides of the iff are exercised. *)
+let qcheck_hash_decides_isomorphism =
+  QCheck.Test.make ~name:"hash equality coincides with oracle isomorphism"
+    ~count:80
+    QCheck.(pair small_int (int_bound 2))
+    (fun (seed, which) ->
+      let rng = Prng.create ~seed:(seed + 4000) in
+      let n = 3 + Prng.int rng 6 in
+      let a = small_acg ~rng ~n in
+      let b =
+        match which with
+        | 0 -> Replay.permute ~rng a
+        | 1 ->
+            (* bump one volume: same shape, different attributed graph *)
+            let quads =
+              match quadruples a with
+              | (u, v, vol, bw) :: rest -> (u, v, vol + 1, bw) :: rest
+              | [] -> assert false
+            in
+            Replay.permute ~rng (Acg.of_weighted_edges quads)
+        | _ -> small_acg ~rng ~n
+      in
+      let ha = Acg.canonical_hash a and hb = Acg.canonical_hash b in
+      (not (is_canon ha && is_canon hb))
+      || Bool.equal (String.equal ha hb) (acg_isomorphic a b))
+
+let short_budget = Bb.Budget.(default |> with_timeout_s (Some 1.0))
+
+(* Property (cache determinism): a batch through one daemon and solo
+   requests through a fresh daemon each produce byte-identical responses,
+   whether an entry came from the search or from the cache. *)
+let qcheck_batch_matches_solo =
+  QCheck.Test.make ~name:"batched and solo responses are byte-identical"
+    ~count:15 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed:(seed + 500) in
+      let a = Noc_oracle.Fuzz.gen_acg ~rng and b = Noc_oracle.Fuzz.gen_acg ~rng in
+      (* duplicates and a permuted copy inside the stream: the batch path
+         must serve them from cache yet stay indistinguishable *)
+      let stream = [ a; b; a; Replay.permute ~rng a; b ] in
+      let reqs = List.map (fun g -> Proto.Request.make ~budget:short_budget g) stream in
+      let batched = Daemon.serve_batch (Daemon.create ()) reqs in
+      let solo =
+        List.map (fun r -> Daemon.solve (Daemon.create ()) r) reqs
+      in
+      List.for_all2
+        (fun (x : Daemon.outcome) (y : Daemon.outcome) ->
+          String.equal x.Daemon.bytes y.Daemon.bytes
+          && String.equal
+               (Proto.Response.to_string x.Daemon.response)
+               x.Daemon.bytes)
+        batched solo)
+
+let test_batch_dedup () =
+  let rng = Prng.create ~seed:11 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng in
+  let daemon = Daemon.create () in
+  let reqs =
+    List.map
+      (fun g -> Proto.Request.make ~budget:short_budget g)
+      [ a; a; Replay.permute ~rng a ]
+  in
+  let outcomes = Daemon.serve_batch daemon reqs in
+  let statuses = List.map (fun (o : Daemon.outcome) -> o.Daemon.status) outcomes in
+  Alcotest.(check int) "one key" 1
+    (List.sort_uniq compare (List.map (fun (o : Daemon.outcome) -> o.Daemon.key) outcomes)
+    |> List.length);
+  Alcotest.(check bool) "first misses" true (List.hd statuses = Daemon.Miss);
+  Alcotest.(check int) "rest hit" 2
+    (List.length (List.filter (fun s -> s = Daemon.Hit) statuses));
+  let c = Daemon.cache_stats daemon in
+  Alcotest.(check int) "cache hits" 2 c.Noc_serve.Cache.hits;
+  Alcotest.(check int) "cache misses" 1 c.Noc_serve.Cache.misses
+
+let test_cache_eviction () =
+  let rng = Prng.create ~seed:3 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng and b = Noc_oracle.Fuzz.gen_acg ~rng in
+  let daemon = Daemon.create ~cache_capacity:1 () in
+  let solve g = Daemon.solve daemon (Proto.Request.make ~budget:short_budget g) in
+  ignore (solve a);
+  ignore (solve b);
+  (* capacity 1: b evicted a, so a misses again *)
+  let o = solve a in
+  Alcotest.(check bool) "a recomputed" true (o.Daemon.status = Daemon.Miss);
+  let c = Daemon.cache_stats daemon in
+  Alcotest.(check bool) "evictions counted" true (c.Noc_serve.Cache.evictions >= 2);
+  Alcotest.(check int) "bounded size" 1 c.Noc_serve.Cache.size
+
+let test_domains_not_in_key () =
+  let rng = Prng.create ~seed:21 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng in
+  let daemon = Daemon.create () in
+  let solve budget = Daemon.solve daemon (Proto.Request.make ~budget a) in
+  let o1 = solve Bb.Budget.(short_budget |> with_domains 1) in
+  let o2 = solve Bb.Budget.(short_budget |> with_domains 4) in
+  Alcotest.(check string) "same key" o1.Daemon.key o2.Daemon.key;
+  Alcotest.(check bool) "domains=4 hits" true (o2.Daemon.status = Daemon.Hit);
+  let o3 = solve Bb.Budget.(short_budget |> with_max_nodes 123) in
+  Alcotest.(check bool) "max_nodes is keyed" true
+    (not (String.equal o1.Daemon.key o3.Daemon.key))
+
+let test_bad_request () =
+  let rng = Prng.create ~seed:9 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng in
+  let daemon = Daemon.create () in
+  match Daemon.solve daemon (Proto.Request.make ~library:"no-such-library" a) with
+  | exception Daemon.Bad_request _ -> ()
+  | _ -> Alcotest.fail "expected Bad_request"
+
+let test_replay_driver () =
+  let s = Replay.run ~seed:5 ~cases:4 ~budget:short_budget () in
+  Alcotest.(check int) "three requests per base" 12 s.Replay.requests;
+  Alcotest.(check int) "misses = unique keys" s.Replay.unique s.Replay.misses;
+  Alcotest.(check (float 1e-9)) "repeated half always hits" 1.0
+    s.Replay.repeated_hit_rate;
+  Alcotest.(check bool) "hits byte-identical" true s.Replay.byte_identical;
+  Alcotest.(check int) "nothing evicted" 0 s.Replay.evictions;
+  Alcotest.(check bool) "throughput measured" true (s.Replay.rps > 0.0)
+
+let test_replay_deterministic_responses () =
+  (* same seed, fresh daemons: the response byte streams must agree *)
+  let run () = Replay.run ~seed:13 ~cases:3 ~budget:short_budget () in
+  let a = run () and b = run () in
+  Alcotest.(check int) "unique" a.Replay.unique b.Replay.unique;
+  Alcotest.(check int) "hits" a.Replay.hits b.Replay.hits;
+  Alcotest.(check bool) "both byte-identical" true
+    (a.Replay.byte_identical && b.Replay.byte_identical)
+
+let suite =
+  ( "serve",
+    [
+      QCheck_alcotest.to_alcotest qcheck_hash_permutation_invariant;
+      QCheck_alcotest.to_alcotest qcheck_hash_decides_isomorphism;
+      QCheck_alcotest.to_alcotest qcheck_batch_matches_solo;
+      Alcotest.test_case "batch dedup" `Quick test_batch_dedup;
+      Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+      Alcotest.test_case "domains excluded from cache key" `Quick
+        test_domains_not_in_key;
+      Alcotest.test_case "unknown library rejected" `Quick test_bad_request;
+      Alcotest.test_case "replay driver" `Quick test_replay_driver;
+      Alcotest.test_case "replay deterministic" `Quick
+        test_replay_deterministic_responses;
+    ] )

@@ -20,4 +20,5 @@ let () =
       Suite_aes.suite;
       Suite_apps.suite;
       Suite_benchkit.suite;
+      Suite_serve.suite;
     ]
