@@ -19,6 +19,7 @@ module Acg = Noc_core.Acg
 module Acg_io = Noc_core.Acg_io
 module Bb = Noc_core.Branch_bound
 module Decomp = Noc_core.Decomposition
+module D = Noc_graph.Digraph
 module Syn = Noc_core.Synthesis
 module L = Noc_primitives.Library
 module Fp = Noc_energy.Floorplan
@@ -333,6 +334,14 @@ let synth_cmd =
 (* simulate                                                             *)
 
 let simulate_cmd =
+  let acg_file_opt =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"ACG"
+          ~doc:
+            "ACG file (see Acg_io format).  When omitted, the benchmark corpus is run \
+             instead (see $(b,--scenario)).")
+  in
   let rows = Arg.(value & opt int 4 & info [ "rows" ] ~docv:"R" ~doc:"Mesh rows.") in
   let cols = Arg.(value & opt int 4 & info [ "cols" ] ~docv:"C" ~doc:"Mesh columns.") in
   let cycles =
@@ -347,73 +356,217 @@ let simulate_cmd =
     in
     Arg.(
       value & opt policy_enum `Fixed
-      & info [ "policy" ] ~docv:"POLICY" ~doc:"Routing policy: fixed, adaptive or oblivious.")
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Routing policy: fixed, adaptive or oblivious (coarse engine only).")
   in
-  let run file lib tech rows cols cycles rate policy seed trace metrics =
-    let acg = load_acg file in
+  let engine_arg =
+    let engine_enum =
+      Arg.enum
+        (List.map (fun k -> (Noc_sim.Engine.kind_name k, k)) Noc_sim.Engine.all_kinds)
+    in
+    Arg.(
+      value & opt engine_enum Noc_sim.Engine.Coarse
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Simulation fidelity: $(b,coarse) (store-and-forward with contention and \
+             energy accounting), $(b,wormhole) (lockstep worms over virtual channels) \
+             or $(b,flit) (cycle-accurate VOQ routers with round-robin allocation, \
+             credit backpressure and byte-serial links).")
+  in
+  let scenario_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            "Corpus scenario to simulate (repeatable; default when no ACG file is \
+             given: all).  Each scenario is decomposed, glued and driven with one \
+             packet per flow on the selected engine; exits 1 if any scenario fails to \
+             drain cleanly.")
+  in
+  let size_flits_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "size-flits" ] ~docv:"N" ~doc:"Packet size in flits (engine bursts).")
+  in
+  (* corpus mode: every picked scenario must drain cleanly on the chosen
+     engine — the @flit-smoke CI gate runs exactly this with --engine flit *)
+  let run_corpus ~engine ~library ~size_flits ~metrics scenarios =
+    let say s = if metrics then Logs.app (fun k -> k "%s" s) else print_endline s in
+    let corpus = Noc_benchkit.Corpus.default () in
+    let picked =
+      match scenarios with
+      | [] -> corpus
+      | names ->
+          List.map
+            (fun n ->
+              match Noc_benchkit.Corpus.find n corpus with
+              | Some s -> s
+              | None ->
+                  Logs.err (fun k -> k "unknown scenario %S" n);
+                  exit 2)
+            names
+    in
+    say
+      (Printf.sprintf "%-22s %-8s %-8s %8s %8s %10s %6s" "scenario" "engine" "status"
+         "cycles" "packets" "avg lat" "cons");
+    let failed = ref false in
+    List.iter
+      (fun (s : Noc_benchkit.Corpus.scenario) ->
+        let d, _ = Bb.decompose ~library s.Noc_benchkit.Corpus.acg in
+        let arch = Syn.custom s.Noc_benchkit.Corpus.acg d in
+        let net = Noc_sim.Engine.create engine arch in
+        let flows = ref 0 in
+        D.iter_edges
+          (fun src dst ->
+            incr flows;
+            ignore (Noc_sim.Engine.inject ~size_flits net ~src ~dst))
+          (Acg.graph s.Noc_benchkit.Corpus.acg);
+        let verdict = Noc_sim.Engine.run_until_idle net in
+        let summary = Noc_sim.Engine.summary net in
+        let conserved =
+          match Noc_sim.Engine.flitsim net with
+          | Some f -> Noc_sim.Flitsim.conservation_ok f
+          | None -> true
+        in
+        let ok =
+          verdict = Noc_sim.Engine.Idle
+          && summary.Noc_sim.Stats.packets = !flows
+          && conserved
+        in
+        if not ok then failed := true;
+        if Noc_sim.Engine.vc_truncated net then
+          Logs.warn (fun k ->
+              k
+                "%s: VC assignment truncated (num_vcs too small) — a deadlock verdict \
+                 here is attributable to under-provisioned VCs"
+                s.Noc_benchkit.Corpus.name);
+        say
+          (Printf.sprintf "%-22s %-8s %-8s %8d %8d %10.2f %6s" s.Noc_benchkit.Corpus.name
+             (Noc_sim.Engine.name net)
+             (Noc_sim.Engine.verdict_name verdict)
+             (Noc_sim.Engine.now net) summary.Noc_sim.Stats.packets
+             summary.Noc_sim.Stats.avg_latency
+             (if conserved then "ok" else "BROKEN")))
+      picked;
+    if !failed then begin
+      Logs.err (fun k -> k "simulate: at least one scenario failed to drain cleanly");
+      exit 1
+    end
+  in
+  let run file lib tech rows cols cycles rate policy engine scenarios size_flits seed
+      trace metrics =
     let library = resolve_library lib in
-    let observe = make_observer ~trace ~metrics in
-    let d, _ = Bb.decompose ~observe ~library acg in
-    let tech' = resolve_tech tech in
-    (* the floorplan must place every mesh tile: routes may pass through
-       tiles that host no core *)
-    let fp =
-      Fp.grid ~cols
-        (Fp.uniform_cores ~n:(max (Acg.num_cores acg) (rows * cols)) ~size_mm:2.0)
-    in
-    let mk_policy () =
-      match policy with
-      | `Fixed -> Noc_sim.Network.Fixed
-      | `Adaptive -> Noc_sim.Network.Adaptive
-      | `Oblivious -> Noc_sim.Network.Oblivious (Noc_util.Prng.create ~seed:(seed + 1))
-    in
-    let header =
-      Printf.sprintf "%-12s %8s %10s %10s %12s %10s" "arch" "packets" "avg lat" "thpt"
-        "energy (pJ)" "power(mW)"
-    in
-    if metrics then Logs.app (fun k -> k "%s" header) else print_endline header;
-    let arch_metrics =
-      List.map
-        (fun (name, arch) ->
-          let net = Noc_sim.Network.create ~policy:(mk_policy ()) arch in
-          let rng = Noc_util.Prng.create ~seed in
-          let flows = Noc_sim.Traffic.flows_of_acg ~rate_scale:rate acg in
-          let ds =
-            Obs.span observe ~cat:"sim" name (fun () ->
-                Noc_sim.Traffic.run ~rng ~net ~flows ~cycles ())
-          in
-          let s = Noc_sim.Stats.summarize ds in
-          let row =
-            Printf.sprintf "%-12s %8d %10.2f %10.3f %12.1f %10.2f" name
-              s.Noc_sim.Stats.packets s.Noc_sim.Stats.avg_latency
-              s.Noc_sim.Stats.throughput
-              (Noc_sim.Stats.total_energy_pj ~tech:tech' ~fp net)
-              (Noc_sim.Stats.avg_power_mw ~tech:tech' ~fp net)
-          in
-          if metrics then Logs.app (fun k -> k "%s" row) else print_endline row;
-          (* surface the per-router/per-link activity as observer counters
-             so they land in the trace too *)
-          if Obs.enabled observe then
-            List.iter
-              (fun (key, v) ->
-                Obs.Gauge.set (Obs.gauge observe (Printf.sprintf "%s.%s" name key)) v)
-              (Noc_sim.Network.metrics net);
-          ( name,
-            Obs.Json.Obj
-              (float_metrics
-                 (Noc_sim.Stats.summary_metrics s
-                 @ Noc_sim.Network.metrics net
-                 @ Noc_sim.Stats.energy_metrics ~tech:tech' ~fp net)) ))
-        [ ("customized", Syn.custom acg d); ("mesh", Syn.mesh ~rows ~cols acg) ]
-    in
-    write_trace observe trace;
-    if metrics then print_endline (Obs.Json.to_string (Obs.Json.Obj arch_metrics))
+    match (file, scenarios) with
+    | None, _ | _, _ :: _ -> run_corpus ~engine ~library ~size_flits ~metrics scenarios
+    | Some file, [] ->
+        let acg = load_acg file in
+        let observe = make_observer ~trace ~metrics in
+        let d, _ = Bb.decompose ~observe ~library acg in
+        let tech' = resolve_tech tech in
+        (* the floorplan must place every mesh tile: routes may pass through
+           tiles that host no core *)
+        let fp =
+          Fp.grid ~cols
+            (Fp.uniform_cores ~n:(max (Acg.num_cores acg) (rows * cols)) ~size_mm:2.0)
+        in
+        let mk_policy () =
+          match policy with
+          | `Fixed -> Noc_sim.Network.Fixed
+          | `Adaptive -> Noc_sim.Network.Adaptive
+          | `Oblivious -> Noc_sim.Network.Oblivious (Noc_util.Prng.create ~seed:(seed + 1))
+        in
+        let header =
+          Printf.sprintf "%-12s %8s %10s %10s %12s %10s %8s" "arch" "packets" "avg lat"
+            "thpt" "energy (pJ)" "power(mW)" "verdict"
+        in
+        if metrics then Logs.app (fun k -> k "%s" header) else print_endline header;
+        let arch_metrics =
+          List.map
+            (fun (name, arch) ->
+              match engine with
+              | Noc_sim.Engine.Coarse ->
+                  (* the coarse engine keeps its richer pipeline: routing
+                     policies, contention counters and energy accounting *)
+                  let net = Noc_sim.Network.create ~policy:(mk_policy ()) arch in
+                  let rng = Noc_util.Prng.create ~seed in
+                  let flows = Noc_sim.Traffic.flows_of_acg ~rate_scale:rate acg in
+                  let ds =
+                    Obs.span observe ~cat:"sim" name (fun () ->
+                        Noc_sim.Traffic.run ~rng ~net ~flows ~cycles ())
+                  in
+                  let s = Noc_sim.Stats.summarize ds in
+                  let row =
+                    Printf.sprintf "%-12s %8d %10.2f %10.3f %12.1f %10.2f %8s" name
+                      s.Noc_sim.Stats.packets s.Noc_sim.Stats.avg_latency
+                      s.Noc_sim.Stats.throughput
+                      (Noc_sim.Stats.total_energy_pj ~tech:tech' ~fp net)
+                      (Noc_sim.Stats.avg_power_mw ~tech:tech' ~fp net)
+                      "idle"
+                  in
+                  if metrics then Logs.app (fun k -> k "%s" row) else print_endline row;
+                  (* surface the per-router/per-link activity as observer
+                     counters so they land in the trace too *)
+                  if Obs.enabled observe then
+                    List.iter
+                      (fun (key, v) ->
+                        Obs.Gauge.set (Obs.gauge observe (Printf.sprintf "%s.%s" name key)) v)
+                      (Noc_sim.Network.metrics net);
+                  ( name,
+                    Obs.Json.Obj
+                      (float_metrics
+                         (Noc_sim.Stats.summary_metrics s
+                         @ Noc_sim.Network.metrics net
+                         @ Noc_sim.Stats.energy_metrics ~tech:tech' ~fp net)) )
+              | _ ->
+                  (* higher-fidelity engines: Bernoulli traffic on the ACG
+                     flows, as in Sweep.latency_vs_load (no energy model) *)
+                  let net = Noc_sim.Engine.create engine arch in
+                  let rng = Noc_util.Prng.create ~seed in
+                  let edges = D.edges (Acg.graph acg) in
+                  let verdict =
+                    Obs.span observe ~cat:"sim" name (fun () ->
+                        for _ = 1 to cycles do
+                          List.iter
+                            (fun (src, dst) ->
+                              if Noc_util.Prng.bernoulli rng rate then
+                                ignore (Noc_sim.Engine.inject ~size_flits net ~src ~dst))
+                            edges;
+                          Noc_sim.Engine.step net
+                        done;
+                        Noc_sim.Engine.run_until_idle ~max_cycles:200_000 net)
+                  in
+                  if Noc_sim.Engine.vc_truncated net then
+                    Logs.warn (fun k ->
+                        k
+                          "%s: VC assignment truncated (num_vcs too small) — a deadlock \
+                           verdict here is attributable to under-provisioned VCs"
+                          name);
+                  let s = Noc_sim.Engine.summary net in
+                  let row =
+                    Printf.sprintf "%-12s %8d %10.2f %10.3f %12s %10s %8s" name
+                      s.Noc_sim.Stats.packets s.Noc_sim.Stats.avg_latency
+                      s.Noc_sim.Stats.throughput "-" "-"
+                      (Noc_sim.Engine.verdict_name verdict)
+                  in
+                  if metrics then Logs.app (fun k -> k "%s" row) else print_endline row;
+                  ( name,
+                    Obs.Json.Obj
+                      (float_metrics
+                         (Noc_sim.Stats.summary_metrics s @ Noc_sim.Engine.metrics net)) ))
+            [ ("customized", Syn.custom acg d); ("mesh", Syn.mesh ~rows ~cols acg) ]
+        in
+        write_trace observe trace;
+        if metrics then print_endline (Obs.Json.to_string (Obs.Json.Obj arch_metrics))
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Simulate random ACG traffic on customized vs mesh.")
+    (Cmd.info "simulate"
+       ~doc:
+         "Simulate ACG traffic on customized vs mesh (or drive the benchmark corpus) at \
+          a selectable engine fidelity.")
     Term.(
-      const run $ acg_file_arg $ library_arg $ tech_arg $ rows $ cols $ cycles $ rate
-      $ policy_arg $ seed_arg $ trace_arg $ metrics_flag)
+      const run $ acg_file_opt $ library_arg $ tech_arg $ rows $ cols $ cycles $ rate
+      $ policy_arg $ engine_arg $ scenario_arg $ size_flits_arg $ seed_arg $ trace_arg
+      $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
 (* codesign                                                             *)

@@ -5,9 +5,13 @@ let schema = "nocsynth-bench"
 (* v2 added the per-scenario "resilience" object (single-link fault
    campaign); v3 added the "nodes_per_sec" and "speedup_vs_d1" search
    columns (work-stealing scaling rows); v4 added the "serve" object
-   (nocsynthd request mix: requests/sec and cache hit rate).  Older
-   records fail the schema check and must be re-recorded. *)
-let schema_version = 4
+   (nocsynthd request mix: requests/sec and cache hit rate); v5 replaced
+   the single "wormhole" object with the per-engine "engines" list
+   (wormhole + cycle-accurate flit burst rows, keyed by engine name) and
+   moved the offered-load sweep to the flit engine, which moves every
+   saturation knee.  Older records fail the schema check and must be
+   re-recorded. *)
+let schema_version = 5
 
 let search_sample_json (s : Runner.search_sample) =
   J.Obj
@@ -47,14 +51,21 @@ let result_json (r : Runner.result) =
       ("energy_pj", J.Float r.Runner.energy_pj);
       ("deadlock_free", J.Bool r.Runner.deadlock_free);
       ("vcs_needed", J.Int r.Runner.vcs_needed);
-      ( "wormhole",
-        J.Obj
-          [
-            ("status", J.Str r.Runner.wormhole_status);
-            ("cycles", J.Int r.Runner.wormhole_cycles);
-            ("avg_latency", J.Float r.Runner.wormhole_latency);
-            ("delivered", J.Int r.Runner.wormhole_delivered);
-          ] );
+      ( "engines",
+        J.List
+          (List.map
+             (fun (e : Runner.engine_sample) ->
+               J.Obj
+                 [
+                   ("name", J.Str e.Runner.engine);
+                   ("status", J.Str e.Runner.e_status);
+                   ("cycles", J.Int e.Runner.e_cycles);
+                   ("avg_latency", J.Float e.Runner.e_latency);
+                   ("delivered", J.Int e.Runner.e_delivered);
+                   ("flit_hops", J.Int e.Runner.e_flit_hops);
+                   ("vc_truncated", J.Bool e.Runner.e_vc_truncated);
+                 ])
+             r.Runner.engines) );
       ("sweep", J.List (List.map sweep_sample_json r.Runner.sweep));
       ( "saturation_rate",
         match r.Runner.saturation_rate with Some x -> J.Float x | None -> J.Null );

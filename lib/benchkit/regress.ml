@@ -40,6 +40,11 @@ let rules ~time_limit_pct ~limit_pct =
       direction = Decrease_bad };
     { suffix = ".speedup_vs_d1"; limit_pct = time_limit_pct; min_abs = 0.3;
       direction = Decrease_bad };
+    (* engine burst rows: a VC-cap truncation appearing is a soundness
+       regression outright, and the deterministic flit-hop totals catch a
+       route or arbitration change the latency columns might round away *)
+    { suffix = ".vc_truncated"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".flit_hops"; limit_pct; min_abs = 0.0; direction = Increase_bad };
     { suffix = ".nodes"; limit_pct; min_abs = 8.0; direction = Increase_bad };
     { suffix = ".best_cost"; limit_pct; min_abs = 0.0; direction = Increase_bad };
     { suffix = ".energy_pj"; limit_pct; min_abs = 0.0; direction = Increase_bad };

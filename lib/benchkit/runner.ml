@@ -11,7 +11,8 @@ type settings = {
   domains : int list;
   sweep_rates : float list;
   sweep_cycles : int;
-  wormhole_size_flits : int;
+  sweep_engine : Noc_sim.Engine.kind;
+  wormhole_size_flits : int;  (** packet size for every engine stage *)
   seed : int;
   simulate : bool;
   fallback : bool;
@@ -25,6 +26,9 @@ let full =
     domains = [ 1; 2 ];
     sweep_rates = [ 0.01; 0.02; 0.05; 0.10 ];
     sweep_cycles = 1000;
+    (* the latency-vs-load knee is the whole point of the sweep, so it
+       runs at the fidelity where serialization and HOL blocking exist *)
+    sweep_engine = Noc_sim.Engine.Flit;
     wormhole_size_flits = 4;
     seed = 42;
     simulate = true;
@@ -82,6 +86,16 @@ type sweep_sample = {
   throughput : float;
 }
 
+type engine_sample = {
+  engine : string;
+  e_status : string;
+  e_cycles : int;
+  e_latency : float;
+  e_delivered : int;
+  e_flit_hops : int;
+  e_vc_truncated : bool;
+}
+
 type serve_sample = {
   serve_requests : int;
   serve_hits : int;
@@ -112,10 +126,8 @@ type result = {
   energy_pj : float;
   deadlock_free : bool;
   vcs_needed : int;
-  wormhole_status : string;
-  wormhole_cycles : int;
-  wormhole_latency : float;
-  wormhole_delivered : int;
+  engines : engine_sample list;
+      (** one row per simulation fidelity (wormhole, flit), same traffic *)
   sweep : sweep_sample list;
   saturation_rate : float option;
   resilience : resilience_sample;
@@ -184,30 +196,38 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
     Obs.span observe ~cat:"bench" (s.name ^ ".deadlock") (fun () ->
         Noc_core.Deadlock.analyze arch)
   in
-  let wormhole_status, wormhole_cycles, wormhole_summary =
-    if not settings.simulate then ("skipped", 0, Noc_sim.Stats.summarize [])
-    else
-      Obs.span observe ~cat:"bench" (s.name ^ ".wormhole") (fun () ->
-          let net = Noc_sim.Wormhole.create arch in
-          D.iter_edges
-            (fun src dst ->
-              ignore
-                (Noc_sim.Wormhole.inject ~size_flits:settings.wormhole_size_flits net ~src
-                   ~dst))
-            (Acg.graph acg);
-          let status =
-            match Noc_sim.Wormhole.run_until_idle net with
-            | `Idle -> "idle"
-            | `Deadlock -> "deadlock"
-            | `Limit -> "limit"
-          in
-          (status, Noc_sim.Wormhole.now net, Noc_sim.Wormhole.summary net))
+  (* one packet per ACG flow on each fidelity level: the delivery counts
+     must agree, the latencies rank coarse >= flit >= wormhole *)
+  let engine_stage kind =
+    let kname = Noc_sim.Engine.kind_name kind in
+    Obs.span observe ~cat:"bench" (s.name ^ "." ^ kname) (fun () ->
+        let net = Noc_sim.Engine.create kind arch in
+        D.iter_edges
+          (fun src dst ->
+            ignore
+              (Noc_sim.Engine.inject ~size_flits:settings.wormhole_size_flits net ~src ~dst))
+          (Acg.graph acg);
+        let status = Noc_sim.Engine.verdict_name (Noc_sim.Engine.run_until_idle net) in
+        let summary = Noc_sim.Engine.summary net in
+        {
+          engine = kname;
+          e_status = status;
+          e_cycles = Noc_sim.Engine.now net;
+          e_latency = summary.Noc_sim.Stats.avg_latency;
+          e_delivered = summary.Noc_sim.Stats.packets;
+          e_flit_hops = Noc_sim.Engine.flit_hops net;
+          e_vc_truncated = Noc_sim.Engine.vc_truncated net;
+        })
+  in
+  let engines =
+    if not settings.simulate then []
+    else [ engine_stage Noc_sim.Engine.Wormhole; engine_stage Noc_sim.Engine.Flit ]
   in
   let sweep_points =
     if not settings.simulate then []
     else
       Obs.span observe ~cat:"bench" (s.name ^ ".sweep") (fun () ->
-          Noc_sim.Sweep.latency_vs_load
+          Noc_sim.Sweep.latency_vs_load ~engine:settings.sweep_engine
             ~rng:(Prng.create ~seed:settings.seed)
             ~arch ~acg ~cycles:settings.sweep_cycles ~rates:settings.sweep_rates ())
   in
@@ -308,10 +328,7 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
     energy_pj;
     deadlock_free = dl.Noc_core.Deadlock.cdg_cycle = None;
     vcs_needed = dl.Noc_core.Deadlock.vcs_needed;
-    wormhole_status;
-    wormhole_cycles;
-    wormhole_latency = wormhole_summary.Noc_sim.Stats.avg_latency;
-    wormhole_delivered = wormhole_summary.Noc_sim.Stats.packets;
+    engines;
     sweep =
       List.map
         (fun (p : Noc_sim.Sweep.point) ->
@@ -330,6 +347,8 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
 let run_corpus ?(observe = Obs.disabled) ?library ~settings scenarios =
   List.map (fun s -> run ~observe ?library ~settings s) scenarios
 
+let engine_row r name = List.find_opt (fun e -> e.engine = name) r.engines
+
 let pp_row ppf r =
   let d1 =
     match r.search with
@@ -338,14 +357,15 @@ let pp_row ppf r =
   in
   (* the speedup column reports the last (widest) domain sample vs d1 *)
   let dn = List.nth r.search (List.length r.search - 1) in
+  let lat name = match engine_row r name with Some e -> e.e_latency | None -> 0.0 in
   Format.fprintf ppf
-    "%-22s %-6s %5d %6d %9.4f %8d %8d %9.0f %8.0f %5.2fx %11.1f %8.2f %6s %8.0f %5.2f"
+    "%-22s %-6s %5d %6d %9.4f %8d %8d %9.0f %8.0f %5.2fx %11.1f %8.2f %8.2f %6s %8.0f %5.2f"
     r.name r.kind r.cores r.flows d1.wall_s d1.nodes d1.pruned d1.best_cost
-    d1.nodes_per_sec dn.speedup_vs_d1 r.energy_pj r.wormhole_latency
+    d1.nodes_per_sec dn.speedup_vs_d1 r.energy_pj (lat "wormhole") (lat "flit")
     (match r.saturation_rate with Some x -> Printf.sprintf "%.3f" x | None -> "-")
     r.serve.serve_rps r.serve.serve_hit_rate
 
 let pp_header ppf () =
-  Format.fprintf ppf "%-22s %-6s %5s %6s %9s %8s %8s %9s %8s %6s %11s %8s %6s %8s %5s"
+  Format.fprintf ppf "%-22s %-6s %5s %6s %9s %8s %8s %9s %8s %6s %11s %8s %8s %6s %8s %5s"
     "scenario" "kind" "cores" "flows" "wall (s)" "nodes" "pruned" "cost" "nd/s" "spdup"
-    "energy (pJ)" "wh lat" "sat" "srv r/s" "hit"
+    "energy (pJ)" "wh lat" "fl lat" "sat" "srv r/s" "hit"

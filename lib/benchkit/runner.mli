@@ -1,7 +1,8 @@
 (** Runs the benchmark corpus through the full synthesis flow.
 
-    Each scenario goes decompose -> glue -> deadlock analysis -> wormhole
-    burst simulation -> offered-load sweep -> single-link fault campaign
+    Each scenario goes decompose -> glue -> deadlock analysis -> burst
+    simulation on each engine fidelity (wormhole, cycle-accurate flit) ->
+    offered-load sweep -> single-link fault campaign
     -> service-layer request mix, with per-stage [Noc_obs] spans
     (category ["bench"]) so a [--trace] of a bench run opens in Perfetto.
     Everything is seeded; apart from wall-clock fields the results are
@@ -14,7 +15,11 @@ type settings = {
   domains : int list;  (** decompose once per domain count (scaling row) *)
   sweep_rates : float list;
   sweep_cycles : int;
-  wormhole_size_flits : int;
+  sweep_engine : Noc_sim.Engine.kind;
+      (** fidelity of the offered-load sweep; the persisted records run it
+          at [Flit], where serialization and head-of-line blocking place
+          the saturation knee *)
+  wormhole_size_flits : int;  (** packet size for every engine burst stage *)
   seed : int;
   simulate : bool;
       (** run the wormhole burst, load sweep and fault campaign; the scale
@@ -67,6 +72,18 @@ type sweep_sample = {
   throughput : float;
 }
 
+type engine_sample = {
+  engine : string;  (** "wormhole" or "flit" *)
+  e_status : string;  (** "idle", "deadlock" or "limit" *)
+  e_cycles : int;
+  e_latency : float;
+  e_delivered : int;
+  e_flit_hops : int;
+  e_vc_truncated : bool;
+      (** wormhole only: the VC cap truncated the increasing-channel
+          assignment, voiding the deadlock-freedom argument *)
+}
+
 type serve_sample = {
   serve_requests : int;  (** 4 when the stage ran, 0 when skipped *)
   serve_hits : int;
@@ -102,10 +119,9 @@ type result = {
   energy_pj : float;  (** Eq. 5 energy on a grid floorplan, 180 nm *)
   deadlock_free : bool;
   vcs_needed : int;
-  wormhole_status : string;  (** "idle", "deadlock" or "limit" *)
-  wormhole_cycles : int;
-  wormhole_latency : float;
-  wormhole_delivered : int;
+  engines : engine_sample list;
+      (** one burst row per fidelity, same one-packet-per-flow traffic;
+          empty when [simulate] is off *)
   sweep : sweep_sample list;
   saturation_rate : float option;
   resilience : resilience_sample;
@@ -128,6 +144,9 @@ val run_corpus :
   settings:settings ->
   Corpus.scenario list ->
   result list
+
+val engine_row : result -> string -> engine_sample option
+(** The burst row of the named engine, if that fidelity ran. *)
 
 val pp_header : Format.formatter -> unit -> unit
 val pp_row : Format.formatter -> result -> unit

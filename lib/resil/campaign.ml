@@ -16,6 +16,8 @@ type run_result = {
   disconnected_pairs : int;
   retries : int;
   cycles : int;
+  engine_delivered : int;
+  engine_ok : bool;
 }
 
 type link_criticality = {
@@ -36,9 +38,33 @@ type report = {
   critical_links : int;
   survives_all : bool;
   stranded_total : int;
+  engine_validated : bool;
 }
 
-let run_one ?config ?fault_policy ~size_flits ~max_cycles acg arch faults =
+(* Cross-check a degraded mode on a second engine: rebuild the routing
+   tables over the surviving topology (exactly what the coarse engine's
+   replanning does internally), then drive the surviving flows through the
+   chosen fidelity and require a clean drain.  A flit-level [engine_ok]
+   certifies that the degraded tables not only exist but actually flow
+   through VOQ routers with finite buffers — reroute-induced deadlocks
+   show up here, not in the per-hop coarse model. *)
+let validate_degraded ~engine ~size_flits ~max_cycles arch faults =
+  let out = Reroute.apply arch ~faults in
+  let net = Noc_sim.Engine.create engine out.Reroute.arch in
+  let flows = out.Reroute.kept @ out.Reroute.rerouted in
+  List.iter
+    (fun (src, dst) -> ignore (Noc_sim.Engine.inject ~size_flits net ~src ~dst))
+    flows;
+  let verdict = Noc_sim.Engine.run_until_idle ~max_cycles net in
+  let delivered = List.length (Noc_sim.Engine.deliveries net) in
+  let conserved =
+    match Noc_sim.Engine.flitsim net with
+    | Some f -> Noc_sim.Flitsim.conservation_ok f
+    | None -> true
+  in
+  (delivered, verdict = Noc_sim.Engine.Idle && delivered = List.length flows && conserved)
+
+let run_one ?config ?fault_policy ?validate_engine ~size_flits ~max_cycles acg arch faults =
   let net = Net.create ?config ?fault_policy arch in
   List.iter (Fault.inject_into net) faults;
   D.iter_edges
@@ -53,6 +79,11 @@ let run_one ?config ?fault_policy ~size_flits ~max_cycles acg arch faults =
     if faults = [] then 0
     else List.length (Reroute.apply arch ~faults).Reroute.disconnected
   in
+  let engine_delivered, engine_ok =
+    match validate_engine with
+    | None -> (0, true)
+    | Some engine -> validate_degraded ~engine ~size_flits ~max_cycles arch faults
+  in
   {
     faults;
     injected;
@@ -66,6 +97,8 @@ let run_one ?config ?fault_policy ~size_flits ~max_cycles acg arch faults =
     disconnected_pairs;
     retries = Net.retries net;
     cycles = Net.now net;
+    engine_delivered;
+    engine_ok;
   }
 
 let fault_sets ~seed ~spec arch =
@@ -75,10 +108,10 @@ let fault_sets ~seed ~spec arch =
       let rng = Noc_util.Prng.create ~seed in
       Fault.multi_link_campaign ~rng ~links ~samples arch
 
-let run ?(observe = Obs.disabled) ?config ?fault_policy ?(size_flits = 2)
+let run ?(observe = Obs.disabled) ?config ?fault_policy ?validate_engine ?(size_flits = 2)
     ?(max_cycles = 200_000) ~name ~seed ~spec acg arch =
   Obs.span observe ~cat:"resil" ("resil." ^ name) @@ fun () ->
-  let run_one = run_one ?config ?fault_policy ~size_flits ~max_cycles acg arch in
+  let run_one = run_one ?config ?fault_policy ?validate_engine ~size_flits ~max_cycles acg arch in
   let baseline = run_one [] in
   let relative r =
     if r.avg_latency > 0.0 && baseline.avg_latency > 0.0 then
@@ -124,6 +157,9 @@ let run ?(observe = Obs.disabled) ?config ?fault_policy ?(size_flits = 2)
   let survives_all =
     List.for_all (fun (r : run_result) -> r.delivered_fraction >= 1.0 && r.stranded = 0) runs
   in
+  let engine_validated =
+    baseline.engine_ok && List.for_all (fun (r : run_result) -> r.engine_ok) runs
+  in
   if Obs.enabled observe then begin
     Obs.Counter.add (Obs.counter observe "resil.runs") (List.length runs);
     Obs.Counter.add (Obs.counter observe "resil.dropped") (fold ( + ) 0 (fun r -> r.dropped));
@@ -147,6 +183,7 @@ let run ?(observe = Obs.disabled) ?config ?fault_policy ?(size_flits = 2)
     critical_links = critical;
     survives_all;
     stranded_total;
+    engine_validated;
   }
 
 let pp_report ppf r =

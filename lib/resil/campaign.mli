@@ -28,6 +28,14 @@ type run_result = {
   disconnected_pairs : int;  (** flows statically disconnected by the faults *)
   retries : int;  (** source-NI retransmissions the run needed *)
   cycles : int;  (** makespan of the run *)
+  engine_delivered : int;
+      (** packets the validation engine delivered over the degraded
+          architecture; 0 when validation is off *)
+  engine_ok : bool;
+      (** the validation engine drained every surviving flow of the
+          degraded architecture cleanly (idle verdict, full delivery,
+          conservation for the flit engine); vacuously [true] when
+          validation is off *)
 }
 
 type link_criticality = {
@@ -54,12 +62,16 @@ type report = {
       (** every run delivered every packet (fraction 1.0, nothing
           stranded) *)
   stranded_total : int;  (** must be 0: packets the subsystem failed to classify *)
+  engine_validated : bool;
+      (** every run (baseline included) passed the validation engine's
+          degraded-mode check; vacuously [true] when validation is off *)
 }
 
 val run :
   ?observe:Noc_obs.Obs.t ->
   ?config:Noc_sim.Network.config ->
   ?fault_policy:Noc_sim.Network.fault_policy ->
+  ?validate_engine:Noc_sim.Engine.kind ->
   ?size_flits:int ->
   ?max_cycles:int ->
   name:string ->
@@ -71,8 +83,14 @@ val run :
 (** Run the campaign for one scenario.  [seed] drives multi-link sampling
     (single-link sweeps are deterministic anyway); [size_flits] is the
     burst packet size (default 2); [max_cycles] bounds each run (default
-    200_000).  Deterministic: identical arguments give identical
-    reports. *)
+    200_000).  Deterministic: identical arguments give identical reports.
+
+    [validate_engine] additionally pushes each fault set's {e degraded}
+    architecture ({!Reroute.apply}) through the named engine: the
+    surviving flows get one packet each and the fabric must drain
+    cleanly.  With {!Noc_sim.Engine.Flit} this catches reroute-induced
+    deadlocks and buffer pathologies the per-hop coarse model cannot
+    express ({!field-engine_ok} / {!field-engine_validated}). *)
 
 val pp_report : Format.formatter -> report -> unit
 (** One-line human summary (scenario, runs, worst numbers, verdict). *)

@@ -1,0 +1,138 @@
+(** Cycle-accurate flit-level simulation over {!Router} pipelines.
+
+    This is the high-fidelity end of the engine spectrum ({!Engine}): where
+    {!Network} moves whole packets hop-by-hop and {!Wormhole} advances
+    worms in lockstep, this engine clocks every flit through per-input
+    virtual output queues, a round-robin switch allocator, credit-based
+    link backpressure, and byte-serial link serialization — the effects
+    (head-of-line blocking, buffer depth, serialization stalls) that
+    decide where the saturation knee of a synthesized architecture really
+    sits.
+
+    {2 Microarchitecture}
+
+    Each topology vertex gets a {!Router.t}.  A cycle runs in fixed
+    phases, in this order:
+
+    + {b credit returns} scheduled for this cycle land (one wire cycle
+      after the downstream queue freed the slot);
+    + {b link arrivals}: a flit whose serialization finished enters the
+      downstream VOQ chosen by its route, becoming switch-eligible
+      [router_delay] cycles later (the router pipeline);
+    + {b ejection}: every router's sink port consumes one ready flit,
+      round-robin over the VOQs targeting it; a packet is delivered when
+      its tail flit ejects;
+    + {b switch allocation}: every free link output grants one ready flit
+      round-robin among its VOQs, gated on a credit for the downstream
+      queue; the link stays busy for [phits_per_flit] cycles
+      ([ceil (flit_bits / phit_bits)] — byte-serial links serialize each
+      flit into phits);
+    + {b injection}: each source NI moves at most one flit per cycle into
+      its local VOQ, space permitting (NI queues are unbounded — packets
+      wait at the source, not in the fabric).
+
+    Flits of one packet follow identical VOQs and FIFO links, so they
+    arrive in order and never interleave within a queue entry-wise; worms
+    from different packets {e do} interleave on shared links, which is
+    exactly the contention the coarse engines cannot see.
+
+    {2 Documented latency bound}
+
+    Uncontended, a packet of [n] flits over [h >= 1] hops with
+    [p = phits_per_flit] and [rd = router_delay] delivers at
+
+    [latency = 1 + rd + h*(rd + p) + (n - 1)*p]
+
+    cycles after injection (zero-hop flows, served entirely by the local
+    ejection port, take [1 + rd + (n - 1)]).  The bound is exact provided
+    [fifo_depth >= 1 + ceil ((rd + 1) / p)] — enough buffer to cover the
+    credit round trip, the standard sizing rule for credit-based flow
+    control; shallower FIFOs insert credit-stall bubbles and only
+    lengthen latency (the default config satisfies the rule).  With
+    [rd = 1] and [p = 1] the bound reads [2h + n + 1] — above the
+    wormhole model's idealized [h + n] and below store-and-forward; the
+    differential suite in [test/suite_flit.ml] holds the engine to it.
+
+    {2 Conservation}
+
+    Every cycle, [injected_flits = delivered_flits + in_flight_flits]
+    (NI + VOQ + wire occupancy); {!conservation_ok} exposes the check and
+    the qcheck harness asserts it after every step.
+
+    Routes are fixed and stalled flits hold buffer slots, so cyclic
+    channel dependencies can genuinely deadlock the fabric (no virtual
+    channels at this fidelity level); {!run_until_idle} detects the
+    fixpoint and reports [`Deadlock]. *)
+
+type config = {
+  fifo_depth : int;  (** VOQ capacity in flits, >= 1 *)
+  flit_bits : int;
+  phit_bits : int;
+      (** physical link width; a flit crosses a link in
+          [ceil (flit_bits / phit_bits)] cycles *)
+  router_delay : int;  (** buffer-write to switch-eligible pipeline depth, >= 1 *)
+}
+
+val default_config : config
+(** [fifo_depth = 4], [flit_bits = 32], [phit_bits = 8] (byte-serial:
+    4 phits per flit), [router_delay = 1]. *)
+
+val phits_per_flit : config -> int
+
+type delivery = { packet : Packet.t; delivered_at : int }
+
+type t
+
+val create : ?config:config -> Noc_core.Synthesis.t -> t
+(** @raise Invalid_argument on a non-positive config field. *)
+
+val now : t -> int
+val config : t -> config
+
+val inject :
+  ?tag:int -> ?payload:Bytes.t -> ?size_flits:int -> t -> src:int -> dst:int -> int
+(** Queues a packet ([size_flits] defaults to 1) at its source NI at the
+    current cycle; returns the packet id.
+    @raise Invalid_argument if the architecture has no route. *)
+
+val step : t -> unit
+
+val pending : t -> int
+(** Injected but not yet fully ejected packets. *)
+
+val run_until_idle : ?max_cycles:int -> t -> [ `Idle | `Deadlock | `Limit of int ]
+(** Steps until the fabric drains.  [`Deadlock] is returned the moment a
+    cycle moves no flit while no link transfer and no credit return is in
+    flight — with fixed routes that state is a fixpoint, so waiting longer
+    cannot help.  [`Limit pending] means the cycle budget ran out with
+    [pending] packets still in progress. *)
+
+val deliveries : t -> delivery list
+(** In ejection order. *)
+
+val injected_flits : t -> int
+val delivered_flits : t -> int
+
+val in_flight_flits : t -> int
+(** Flits buffered in NIs and VOQs plus flits on wires. *)
+
+val conservation_ok : t -> bool
+(** [injected_flits = delivered_flits + in_flight_flits]; holds after
+    every [step] unless the engine itself is broken. *)
+
+val flit_hops : t -> int
+(** Total flit-link traversals (energy-accounting compatible with
+    {!Stats}-style counting). *)
+
+val buffer_flit_cycles : t -> int
+(** Sum over cycles of VOQ occupancy (buffering energy proxy). *)
+
+val link_flits : t -> int Noc_graph.Digraph.Edge_map.t
+val switch_flits : t -> int Noc_graph.Digraph.Vmap.t
+
+val summary : t -> Stats.summary
+(** {!Stats.summarize} over a compatible delivery view. *)
+
+val metrics : t -> (string * float) list
+(** Flat snapshot: cycles, injected/delivered/pending packets, flit
+    totals, hops, buffer occupancy integral. *)

@@ -8,23 +8,24 @@ type point = {
   throughput : float;
 }
 
-let latency_vs_load ~rng ~arch ~acg ?(size_flits = 2) ?(cycles = 2000) ~rates () =
+let latency_vs_load ?(engine = Engine.Coarse) ~rng ~arch ~acg ?(size_flits = 2)
+    ?(cycles = 2000) ~rates () =
   let edges = D.edges (Noc_core.Acg.graph acg) in
   List.map
     (fun rate ->
       let rng = Noc_util.Prng.split rng in
-      let net = Network.create arch in
+      let net = Engine.create engine arch in
       for _ = 1 to cycles do
         List.iter
           (fun (src, dst) ->
             if Noc_util.Prng.bernoulli rng rate then
-              ignore (Network.inject ~size_flits net ~src ~dst))
+              ignore (Engine.inject ~size_flits net ~src ~dst))
           edges;
-        Network.step net
+        Engine.step net
       done;
-      (match Network.run_until_idle ~max_cycles:200_000 net with
-      | `Idle | `Limit _ -> ());
-      let s = Stats.summarize (Network.deliveries net) in
+      (match Engine.run_until_idle ~max_cycles:200_000 net with
+      | Engine.Idle | Engine.Deadlock | Engine.Limit _ -> ());
+      let s = Engine.summary net in
       {
         rate;
         offered = rate *. float_of_int (List.length edges);

@@ -14,6 +14,7 @@ type point = {
 }
 
 val latency_vs_load :
+  ?engine:Engine.kind ->
   rng:Noc_util.Prng.t ->
   arch:Noc_core.Synthesis.t ->
   acg:Noc_core.Acg.t ->
@@ -25,7 +26,11 @@ val latency_vs_load :
 (** One fresh network per rate; flows are the ACG's edges with equal rates
     ([Traffic.flows_of_acg] scaling is bypassed — the sweep sets the rate
     directly).  [cycles] (default 2000) of injection, then a bounded drain.
-    Deterministic: the PRNG is split per rate. *)
+    Deterministic: the PRNG is split per rate.  [engine] (default
+    {!Engine.Coarse} for speed) picks the simulation fidelity; a
+    saturated high-fidelity run that deadlocks or hits the drain bound
+    simply reports the packets it delivered, which is the regime the knee
+    detector looks for anyway. *)
 
 val saturation_rate : point list -> float option
 (** First rate at which average latency exceeds 4x the baseline latency — a

@@ -1,0 +1,334 @@
+(* Tests for the cycle-accurate flit engine stack (lib/sim: Credit,
+   Router, Flitsim, Engine) and the wormhole fixes that rode along with
+   it: zero-hop worms, O(1) injection, VC-cap truncation reporting.
+
+   The differential qcheck suites cross-validate the three fidelity
+   levels on the same random ACGs the oracle harness uses: every engine
+   must deliver exactly the injected packet set, the flit engine's
+   conservation invariant must hold after every cycle, and deeper VOQs
+   must never slow a burst down. *)
+
+module D = Noc_graph.Digraph
+module G = Noc_graph.Generators
+module Acg = Noc_core.Acg
+module Bb = Noc_core.Branch_bound
+module Syn = Noc_core.Synthesis
+module Dead = Noc_core.Deadlock
+module L = Noc_primitives.Library
+module Prng = Noc_util.Prng
+module Fuzz = Noc_oracle.Fuzz
+module Credit = Noc_sim.Credit
+module Flit = Noc_sim.Flitsim
+module Worm = Noc_sim.Wormhole
+module Engine = Noc_sim.Engine
+module Packet = Noc_sim.Packet
+module Edge_map = D.Edge_map
+
+let lib = L.default
+
+(* a line 0 - 1 - ... - h with the single flow 0 -> h routed along it *)
+let line_arch h =
+  let topology = ref (D.add_vertex D.empty 0) in
+  for v = 1 to h do
+    topology := D.add_edge !topology (v - 1) v
+  done;
+  let route = List.init (h + 1) Fun.id in
+  Syn.make ~topology:!topology ~routes:(Edge_map.singleton (0, h) route) ()
+
+(* the documented uncontended flit latency (flitsim.mli), valid when
+   [fifo_depth >= 1 + ceil ((router_delay + 1) / phits_per_flit)] *)
+let expected_latency ~h ~n ~p ~rd =
+  if h = 0 then 1 + rd + (n - 1) else 1 + rd + (h * (rd + p)) + ((n - 1) * p)
+
+(* ---------------------------------------------------------------- *)
+(* Credit counters                                                  *)
+
+let test_credit_basics () =
+  let c = Credit.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Credit.capacity c);
+  Alcotest.(check bool) "take 1" true (Credit.take c);
+  Alcotest.(check bool) "take 2" true (Credit.take c);
+  Alcotest.(check bool) "exhausted" false (Credit.take c);
+  Alcotest.(check int) "none left" 0 (Credit.available c);
+  Credit.put c;
+  Alcotest.(check bool) "replenished" true (Credit.take c);
+  Alcotest.(check bool) "balanced at 2 outstanding" true (Credit.balanced c ~outstanding:2);
+  Alcotest.check_raises "capacity >= 1 enforced"
+    (Invalid_argument "Credit.create: capacity must be >= 1") (fun () ->
+      ignore (Credit.create ~capacity:0));
+  Credit.put c;
+  Credit.put c;
+  Alcotest.check_raises "over-return rejected"
+    (Invalid_argument "Credit.put: counter already full") (fun () -> Credit.put c)
+
+(* ---------------------------------------------------------------- *)
+(* Flit engine: pinned uncontended latencies                        *)
+
+let single_packet_latency ~cfg ~h ~n =
+  let f = Flit.create ~config:cfg (line_arch h) in
+  ignore (Flit.inject ~size_flits:n f ~src:0 ~dst:h);
+  (match Flit.run_until_idle f with
+  | `Idle -> ()
+  | `Deadlock -> Alcotest.fail "deadlock on an uncontended line"
+  | `Limit _ -> Alcotest.fail "limit on an uncontended line");
+  Alcotest.(check bool) "conservation" true (Flit.conservation_ok f);
+  match Flit.deliveries f with
+  | [ d ] -> d.Flit.delivered_at - d.Flit.packet.Packet.injected_at
+  | ds -> Alcotest.failf "expected 1 delivery, got %d" (List.length ds)
+
+let test_flit_latency_formula () =
+  (* all combos satisfy the depth condition in flitsim.mli, so the
+     closed-form latency is exact, not just an upper bound *)
+  let cases =
+    [
+      (* h, n, config *)
+      (3, 5, Flit.default_config);
+      (1, 1, Flit.default_config);
+      (4, 8, { Flit.fifo_depth = 3; flit_bits = 8; phit_bits = 8; router_delay = 1 });
+      (4, 8, { Flit.fifo_depth = 5; flit_bits = 8; phit_bits = 8; router_delay = 3 });
+      (2, 3, { Flit.fifo_depth = 4; flit_bits = 32; phit_bits = 16; router_delay = 2 });
+    ]
+  in
+  List.iter
+    (fun (h, n, cfg) ->
+      let p = Flit.phits_per_flit cfg in
+      Alcotest.(check int)
+        (Printf.sprintf "h=%d n=%d p=%d rd=%d" h n p cfg.Flit.router_delay)
+        (expected_latency ~h ~n ~p ~rd:cfg.Flit.router_delay)
+        (single_packet_latency ~cfg ~h ~n))
+    cases
+
+let test_flit_zero_hop () =
+  (* src = dst: the packet still serializes through the local (NI ->
+     ejection) VOQ, one flit per cycle, without touching any link *)
+  let cfg = Flit.default_config in
+  Alcotest.(check int) "zero-hop latency"
+    (expected_latency ~h:0 ~n:5 ~p:(Flit.phits_per_flit cfg) ~rd:cfg.Flit.router_delay)
+    (single_packet_latency ~cfg ~h:0 ~n:5);
+  let f = Flit.create (line_arch 0) in
+  ignore (Flit.inject ~size_flits:4 f ~src:0 ~dst:0);
+  ignore (Flit.run_until_idle f);
+  Alcotest.(check int) "no link traversals" 0 (Flit.flit_hops f)
+
+let test_flit_accounting () =
+  let f = Flit.create (line_arch 3) in
+  ignore (Flit.inject ~size_flits:4 f ~src:0 ~dst:3);
+  ignore (Flit.inject ~size_flits:2 f ~src:0 ~dst:3);
+  Alcotest.(check int) "injected flits" 6 (Flit.injected_flits f);
+  (match Flit.run_until_idle f with
+  | `Idle -> ()
+  | _ -> Alcotest.fail "line burst must drain");
+  Alcotest.(check int) "delivered flits" 6 (Flit.delivered_flits f);
+  Alcotest.(check int) "nothing in flight" 0 (Flit.in_flight_flits f);
+  Alcotest.(check int) "flit hops = flits x hops" 18 (Flit.flit_hops f);
+  Alcotest.(check bool) "buffers were occupied" true (Flit.buffer_flit_cycles f > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Engine dispatch                                                  *)
+
+let test_engine_dispatch () =
+  List.iter
+    (fun k ->
+      Alcotest.(check (option reject))
+        (Engine.kind_name k ^ " name round-trips")
+        None
+        (if Engine.kind_of_name (Engine.kind_name k) = Some k then None else Some ()))
+    Engine.all_kinds;
+  Alcotest.(check (option reject)) "unknown engine name" None (Engine.kind_of_name "exact");
+  let arch = line_arch 2 in
+  List.iter
+    (fun k ->
+      let net = Engine.create k arch in
+      Alcotest.(check string) "name" (Engine.kind_name k) (Engine.name net);
+      ignore (Engine.inject ~size_flits:2 net ~src:0 ~dst:2);
+      match Engine.run_until_idle net with
+      | Engine.Idle ->
+          Alcotest.(check int)
+            (Engine.kind_name k ^ " delivers")
+            1
+            (List.length (Engine.deliveries net))
+      | v -> Alcotest.failf "%s: %s" (Engine.kind_name k) (Engine.verdict_name v))
+    Engine.all_kinds
+
+(* ---------------------------------------------------------------- *)
+(* Wormhole regressions                                             *)
+
+let test_wormhole_zero_hop () =
+  (* regression: a src = dst worm used to be marked delivered after a
+     single flit no matter its length; now the whole worm must drain
+     through the local port, one flit per cycle *)
+  let w = Worm.create (line_arch 0) in
+  ignore (Worm.inject ~size_flits:3 w ~src:0 ~dst:0);
+  (match Worm.run_until_idle w with
+  | `Idle -> ()
+  | `Deadlock -> Alcotest.fail "zero-hop worm deadlocked"
+  | `Limit -> Alcotest.fail "zero-hop worm never drained");
+  (match Worm.deliveries w with
+  | [ d ] ->
+      Alcotest.(check int) "latency = size_flits" 3
+        (d.Worm.delivered_at - d.Worm.packet.Packet.injected_at)
+  | ds -> Alcotest.failf "expected 1 delivery, got %d" (List.length ds));
+  Alcotest.(check int) "no link traversals" 0 (Worm.flit_hops w)
+
+let test_wormhole_mass_injection () =
+  (* regression for the quadratic [worms @ [worm]] injection path: a
+     burst of hundreds of worms must drain completely and in bounded
+     time through the growable-array queue *)
+  let w = Worm.create (line_arch 4) in
+  for _ = 1 to 300 do
+    ignore (Worm.inject ~size_flits:2 w ~src:0 ~dst:4)
+  done;
+  Alcotest.(check int) "pending" 300 (Worm.pending w);
+  (match Worm.run_until_idle ~max_cycles:10_000 w with
+  | `Idle -> ()
+  | _ -> Alcotest.fail "mass burst must drain");
+  Alcotest.(check int) "all delivered" 300 (List.length (Worm.deliveries w))
+
+let test_wormhole_vc_truncation () =
+  (* the route 4 -> 1 -> 2 on a 4-ring (vertices 1..4) needs 2 VCs under
+     the increasing-order discipline (channel order wraps at
+     (4,1) -> (1,2)); with num_vcs = 1 the assignment is capped and the
+     engine must say so *)
+  let arch =
+    Syn.make ~topology:(G.loop 4) ~routes:(Edge_map.singleton (4, 2) [ 4; 1; 2 ]) ()
+  in
+  let starved = Worm.create ~config:{ Worm.num_vcs = 1; flit_bits = 8 } arch in
+  ignore (Worm.inject ~size_flits:2 starved ~src:4 ~dst:2);
+  Alcotest.(check bool) "truncation flagged" true (Worm.vc_truncated starved);
+  Alcotest.(check int) "discipline wanted 2 VCs" 2 (Worm.vcs_required starved);
+  Alcotest.(check int) "one worm truncated" 1 (Worm.vc_truncated_count starved);
+  (* the same flow with enough VCs is sound and must not warn *)
+  let ok = Worm.create arch in
+  ignore (Worm.inject ~size_flits:2 ok ~src:4 ~dst:2);
+  Alcotest.(check bool) "no truncation at num_vcs = 2" false (Worm.vc_truncated ok);
+  (match Worm.run_until_idle ok with
+  | `Idle -> ()
+  | _ -> Alcotest.fail "sound assignment must drain")
+
+(* ---------------------------------------------------------------- *)
+(* Differential qcheck suites (>= 200 cases each, fixed seeds)       *)
+
+(* decompose + glue a random fuzz ACG, burst one packet per flow *)
+let random_case seed =
+  let acg = Fuzz.gen_acg ~rng:(Prng.create ~seed) in
+  let d, _ = Bb.decompose ~library:(lib ()) acg in
+  (acg, Syn.custom acg d)
+
+let burst ?wormhole_config ?flit_config kind acg arch =
+  let net = Engine.create ?wormhole_config ?flit_config kind arch in
+  D.iter_edges
+    (fun src dst -> ignore (Engine.inject ~size_flits:2 net ~src ~dst))
+    (Acg.graph acg);
+  let verdict = Engine.run_until_idle net in
+  (net, verdict)
+
+let delivery_set net =
+  Engine.deliveries net
+  |> List.map (fun (d : Noc_sim.Network.delivery) ->
+         (d.packet.Packet.id, d.packet.Packet.src, d.packet.Packet.dst))
+  |> List.sort compare
+
+let qcheck_engines_agree =
+  QCheck.Test.make ~name:"flit = wormhole = coarse on fuzz ACGs (deliveries)" ~count:200
+    QCheck.(int_range 0 800)
+    (fun k ->
+      let seed = 80_000 + k in
+      let acg, arch = random_case seed in
+      (* a generous VC budget keeps the wormhole assignment sound on
+         arbitrary routes, so both reference engines must drain *)
+      let wormhole_config = { Worm.num_vcs = 16; flit_bits = 8 } in
+      let coarse, cv = burst Engine.Coarse acg arch in
+      let worm, wv = burst ~wormhole_config Engine.Wormhole acg arch in
+      if cv <> Engine.Idle then
+        QCheck.Test.fail_reportf "seed %d: coarse verdict %s" seed (Engine.verdict_name cv);
+      if wv <> Engine.Idle then
+        QCheck.Test.fail_reportf "seed %d: wormhole verdict %s" seed (Engine.verdict_name wv);
+      let flit, fv = burst Engine.Flit acg arch in
+      (match fv with
+      | Engine.Idle ->
+          if delivery_set flit <> delivery_set worm then
+            QCheck.Test.fail_reportf "seed %d: flit/wormhole delivery sets differ" seed
+      | Engine.Deadlock ->
+          (* the flit engine has no VCs, so it may genuinely deadlock —
+             but only where the single-channel CDG is cyclic *)
+          if Dead.is_deadlock_free arch then
+            QCheck.Test.fail_reportf "seed %d: flit deadlock on an acyclic CDG" seed
+      | Engine.Limit n ->
+          QCheck.Test.fail_reportf "seed %d: flit hit the cycle limit (%d pending)" seed n);
+      if delivery_set coarse <> delivery_set worm then
+        QCheck.Test.fail_reportf "seed %d: coarse/wormhole delivery sets differ" seed;
+      (match Engine.flitsim flit with
+      | Some f ->
+          if not (Flit.conservation_ok f) then
+            QCheck.Test.fail_reportf "seed %d: flit conservation broken" seed
+      | None -> ());
+      true)
+
+let qcheck_conservation_every_cycle =
+  QCheck.Test.make ~name:"flit conservation holds after every cycle" ~count:200
+    QCheck.(int_range 0 800)
+    (fun k ->
+      let seed = 90_000 + k in
+      let acg, arch = random_case seed in
+      let f = Flit.create arch in
+      let flows = D.edges (Acg.graph acg) in
+      (* stagger the injections so arrivals, credit returns and NI pushes
+         overlap in as many phase combinations as possible *)
+      List.iteri
+        (fun i (src, dst) ->
+          ignore (Flit.inject ~size_flits:(1 + (i mod 3)) f ~src ~dst);
+          Flit.step f;
+          if not (Flit.conservation_ok f) then
+            QCheck.Test.fail_reportf "seed %d: conservation broken at cycle %d" seed
+              (Flit.now f))
+        flows;
+      let budget = ref 5_000 in
+      while Flit.pending f > 0 && !budget > 0 do
+        decr budget;
+        Flit.step f;
+        if not (Flit.conservation_ok f) then
+          QCheck.Test.fail_reportf "seed %d: conservation broken at cycle %d" seed
+            (Flit.now f)
+      done;
+      (* cyclic-CDG cases may deadlock with flits parked in VOQs; the
+         invariant must hold there too, which the loop above checked *)
+      true)
+
+let qcheck_deeper_fifos_monotone =
+  QCheck.Test.make ~name:"deeper FIFOs never slow an uncontended burst" ~count:200
+    QCheck.(int_range 0 800)
+    (fun k ->
+      let h = 1 + (k mod 5) and n = 1 + (k mod 4) and packets = 2 + (k mod 4) in
+      let makespan depth =
+        let cfg = { Flit.default_config with Flit.fifo_depth = depth } in
+        let f = Flit.create ~config:cfg (line_arch h) in
+        for _ = 1 to packets do
+          ignore (Flit.inject ~size_flits:n f ~src:0 ~dst:h)
+        done;
+        match Flit.run_until_idle f with
+        | `Idle -> Flit.now f
+        | _ -> QCheck.Test.fail_reportf "line burst failed at depth %d" depth
+      in
+      let shallow = makespan 1 and deep = makespan 4 in
+      if deep > shallow then
+        QCheck.Test.fail_reportf "h=%d n=%d x%d: depth 4 takes %d > depth 1's %d" h n
+          packets deep shallow;
+      true)
+
+let suite =
+  ( "flit",
+    [
+      Alcotest.test_case "credit counters" `Quick test_credit_basics;
+      Alcotest.test_case "flit: pinned latency formula" `Quick test_flit_latency_formula;
+      Alcotest.test_case "flit: zero-hop serialization" `Quick test_flit_zero_hop;
+      Alcotest.test_case "flit: accounting" `Quick test_flit_accounting;
+      Alcotest.test_case "engine: dispatch" `Quick test_engine_dispatch;
+      Alcotest.test_case "wormhole: zero-hop worm (regression)" `Quick test_wormhole_zero_hop;
+      Alcotest.test_case "wormhole: 300-worm burst (regression)" `Quick
+        test_wormhole_mass_injection;
+      Alcotest.test_case "wormhole: VC-cap truncation (regression)" `Quick
+        test_wormhole_vc_truncation;
+      QCheck_alcotest.to_alcotest qcheck_engines_agree;
+      QCheck_alcotest.to_alcotest qcheck_conservation_every_cycle;
+      QCheck_alcotest.to_alcotest qcheck_deeper_fifos_monotone;
+    ] )

@@ -16,6 +16,7 @@ let () =
       Suite_obs.suite;
       Suite_oracle.suite;
       Suite_sim.suite;
+      Suite_flit.suite;
       Suite_resil.suite;
       Suite_aes.suite;
       Suite_apps.suite;
