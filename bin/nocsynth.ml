@@ -7,6 +7,7 @@
      nocsynth simulate ...   customized vs mesh under random traffic
      nocsynth aes            the paper's Section 5.2 experiment
      nocsynth bench ...      run the benchmark corpus, write BENCH_<rev>.json
+     nocsynth explore ...    multi-objective Pareto exploration of the corpus
      nocsynth faults ...     fault-injection campaigns (+ optional hardening)
 
    All diagnostics go through Logs to stderr; stdout carries only data
@@ -1006,6 +1007,177 @@ let bench_cmd =
       $ metrics_flag)
 
 (* ------------------------------------------------------------------ *)
+(* explore                                                              *)
+
+module Explore = Noc_explore.Explore
+
+let explore_cmd =
+  let scenario_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Restrict to one corpus scenario (repeatable; default: all 12).")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "points" ] ~docv:"N"
+          ~doc:"Design points evaluated per scenario (0 = the whole space).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the fronts to FILE: CSV when the name ends in .csv, JSON \
+                otherwise (default: JSON on stdout with --metrics, table only \
+                without).")
+  in
+  let baseline_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Gate against a committed front record (a previous --out JSON file): \
+                exit 1 when any scenario's front is empty, smaller than the \
+                baseline's, or covers less hypervolume.")
+  in
+  (* the front record is a set of per-scenario Explore.to_json objects *)
+  let set_json results =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "nocsynth-explore-set");
+        ("version", Obs.Json.Int 1);
+        ( "scenarios",
+          Obs.Json.List
+            (List.map (fun (name, axes, r) -> Explore.to_json ~name axes r) results) );
+      ]
+  in
+  let load_baseline path =
+    let contents = In_channel.with_open_text path In_channel.input_all in
+    match Obs.Json.parse contents with
+    | Error (`Msg m) ->
+        Logs.err (fun k -> k "%s: %s" path m);
+        exit 2
+    | Ok json -> (
+        match Obs.Json.member "scenarios" json with
+        | Some (Obs.Json.List scenarios) ->
+            List.filter_map
+              (fun s ->
+                match
+                  ( Obs.Json.member "scenario" s,
+                    Obs.Json.member "front_size" s,
+                    Option.bind (Obs.Json.member "hypervolume" s) Obs.Json.to_float )
+                with
+                | Some (Obs.Json.Str name), Some (Obs.Json.Int fs), Some hv ->
+                    Some (name, (fs, hv))
+                | _ -> None)
+              scenarios
+        | _ ->
+            Logs.err (fun k -> k "%s: not a nocsynth-explore-set record" path);
+            exit 2)
+  in
+  let run scenarios points seed domains lib trace metrics out baseline =
+    (* worker count, like everywhere else, respects the machine clamp; the
+       front does not depend on it, only wall-clock does *)
+    let domains = max 1 (min domains (Bb.domain_cap ())) in
+    let library = resolve_library lib in
+    let observe = make_observer ~trace ~metrics in
+    let say s = if metrics then Logs.app (fun k -> k "%s" s) else print_endline s in
+    let corpus = Noc_benchkit.Corpus.default () in
+    let picked =
+      match scenarios with
+      | [] -> corpus
+      | names ->
+          List.map
+            (fun n ->
+              match Noc_benchkit.Corpus.find n corpus with
+              | Some s -> s
+              | None ->
+                  Logs.err (fun k -> k "unknown scenario %S" n);
+                  exit 2)
+            names
+    in
+    say
+      (Printf.sprintf "%-22s %6s %7s %6s %14s" "scenario" "space" "points" "front"
+         "hypervolume");
+    let results =
+      List.map
+        (fun (s : Noc_benchkit.Corpus.scenario) ->
+          let name = s.Noc_benchkit.Corpus.name in
+          let acg = s.Noc_benchkit.Corpus.acg in
+          let axes = Explore.axes ~seed ~library acg in
+          let r = Explore.run ~observe ~domains ~points ~seed axes acg in
+          say
+            (Printf.sprintf "%-22s %6d %7d %6d %14.2f" name r.Explore.space
+               (Array.length r.Explore.evaluated)
+               (List.length r.Explore.front)
+               r.Explore.hypervolume);
+          (name, axes, r))
+        picked
+    in
+    (match out with
+    | None -> ()
+    | Some path ->
+        let text =
+          if Filename.check_suffix path ".csv" then
+            String.concat "\n"
+              ((Explore.csv_header
+               :: List.concat_map
+                    (fun (name, axes, r) -> Explore.to_csv_rows ~name axes r)
+                    results)
+              @ [ "" ])
+          else Obs.Json.to_string (set_json results) ^ "\n"
+        in
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+        Logs.info (fun k -> k "wrote %s (%d scenario(s))" path (List.length results)));
+    write_trace observe trace;
+    if metrics then print_endline (Obs.Json.to_string (set_json results));
+    let failures = ref 0 in
+    let fail fmt =
+      Printf.ksprintf
+        (fun m ->
+          incr failures;
+          Logs.err (fun k -> k "%s" m))
+        fmt
+    in
+    List.iter
+      (fun (name, _, (r : Explore.result)) ->
+        if r.Explore.front = [] then fail "%s: empty Pareto front" name)
+      results;
+    (match baseline with
+    | None -> ()
+    | Some path ->
+        let base = load_baseline path in
+        List.iter
+          (fun (name, _, (r : Explore.result)) ->
+            match List.assoc_opt name base with
+            | None -> Logs.warn (fun k -> k "%s: not in baseline %s" name path)
+            | Some (base_fs, base_hv) ->
+                let fs = List.length r.Explore.front in
+                if fs < base_fs then
+                  fail "%s: front size %d below baseline %d" name fs base_fs;
+                (* exact reruns reproduce the baseline bit-for-bit; the
+                   epsilon only forgives float noise, not regressions *)
+                let tol = 1e-6 *. Float.max 1.0 (Float.abs base_hv) in
+                if r.Explore.hypervolume < base_hv -. tol then
+                  fail "%s: hypervolume %.6f below baseline %.6f" name
+                    r.Explore.hypervolume base_hv)
+          results);
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Multi-objective design-space exploration: sample the mapping x \
+          library-subset x bandwidth-provisioning space of each corpus scenario, \
+          score every point as (energy, latency, area) through the decomposition \
+          pipeline, and report the Pareto front and its dominated hypervolume.  \
+          Deterministic for a fixed seed regardless of --domains.  With --baseline, \
+          exits 1 on an empty front or a front-size/hypervolume regression.")
+    Term.(
+      const run $ scenario_arg $ points_arg $ seed_arg $ domains_arg $ library_arg
+      $ trace_arg $ metrics_flag $ out_arg $ baseline_arg)
+
+(* ------------------------------------------------------------------ *)
 (* serve                                                                *)
 
 module Serve = Noc_serve
@@ -1124,6 +1296,7 @@ let main =
       codesign_cmd;
       aes_cmd;
       bench_cmd;
+      explore_cmd;
       fuzz_cmd;
       faults_cmd;
       serve_cmd;

@@ -9,9 +9,11 @@ let schema = "nocsynth-bench"
    the single "wormhole" object with the per-engine "engines" list
    (wormhole + cycle-accurate flit burst rows, keyed by engine name) and
    moved the offered-load sweep to the flit engine, which moves every
-   saturation knee.  Older records fail the schema check and must be
-   re-recorded. *)
-let schema_version = 5
+   saturation knee; v6 added the "explore" object (Pareto-exploration
+   stage: design-space size, points evaluated, front size, dominated
+   hypervolume, steal count).  Older records fail the schema check and
+   must be re-recorded. *)
+let schema_version = 6
 
 let search_sample_json (s : Runner.search_sample) =
   J.Obj
@@ -89,6 +91,16 @@ let result_json (r : Runner.result) =
             ("hit_rate", J.Float s.Runner.serve_hit_rate);
             ("rps", J.Float s.Runner.serve_rps);
             ("byte_identical", J.Bool s.Runner.serve_byte_identical);
+          ] );
+      ( "explore",
+        let s = r.Runner.explore in
+        J.Obj
+          [
+            ("space", J.Int s.Runner.explore_space);
+            ("points", J.Int s.Runner.explore_points);
+            ("front_size", J.Int s.Runner.front_size);
+            ("hypervolume", J.Float s.Runner.hypervolume);
+            ("steals", J.Int s.Runner.explore_steals);
           ] );
     ]
 

@@ -24,6 +24,13 @@ let rules ~time_limit_pct ~limit_pct =
     { suffix = ".critical_links"; limit_pct; min_abs = 0.0; direction = Increase_bad };
     { suffix = ".survives_single_link"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
     { suffix = "resilience.stranded"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    (* exploration stage: the sampled point set is a pure function of the
+       seed and the front/hypervolume of the evaluated vectors, so both
+       are exactly reproducible; a shrinking front or covered volume means
+       the synthesis pipeline got worse somewhere on the trade-off surface
+       (the steal count is scheduling noise and deliberately unmatched) *)
+    { suffix = ".explore.front_size"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
+    { suffix = ".explore.hypervolume"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
     (* serve stage: the hit rate and byte-identity are deterministic given
        the request mix, so they get the tight threshold; requests/sec is
        pure wall-clock, so it shares the loose timing threshold with an

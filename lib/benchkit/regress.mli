@@ -2,7 +2,8 @@
 
     Flattens both records ({!Record.flatten}), matches metric keys against
     a small rule table (wall time, search nodes, cost, energy, latency,
-    cycles, links, virtual channels, delivered/throughput) and flags
+    cycles, links, virtual channels, delivered/throughput, exploration
+    front size and hypervolume) and flags
     beyond-threshold changes in the bad direction.  Non-timing metrics are
     deterministic given the corpus seeds, so their default threshold is
     tight; wall-clock has a looser threshold plus an absolute floor to

@@ -18,6 +18,7 @@ type settings = {
   fallback : bool;
   portfolio : bool;
   serve : bool;
+  explore_points : int;
 }
 
 let full =
@@ -35,6 +36,7 @@ let full =
     fallback = false;
     portfolio = false;
     serve = true;
+    explore_points = 24;
   }
 
 let smoke =
@@ -58,6 +60,9 @@ let scale =
     simulate = false;
     fallback = true;
     serve = false;
+    (* a 512-core point evaluation is itself a bounded search; the
+       exploration signal lives in the default corpus, not here *)
+    explore_points = 0;
   }
 
 let scale_smoke =
@@ -104,6 +109,14 @@ type serve_sample = {
   serve_byte_identical : bool;
 }
 
+type explore_sample = {
+  explore_space : int;
+  explore_points : int;
+  front_size : int;
+  hypervolume : float;
+  explore_steals : int;
+}
+
 type resilience_sample = {
   min_delivered_fraction : float;
   max_latency_factor : float;
@@ -132,6 +145,7 @@ type result = {
   saturation_rate : float option;
   resilience : resilience_sample;
   serve : serve_sample;
+  explore : explore_sample;
 }
 
 (* the grid floorplan must place every vertex id the ACG mentions, so size
@@ -314,6 +328,34 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
                 outcomes;
           })
   in
+  let explore =
+    if settings.explore_points <= 0 then
+      (* vacuous placeholders: the exploration stage did not run *)
+      {
+        explore_space = 0;
+        explore_points = 0;
+        front_size = 0;
+        hypervolume = 0.0;
+        explore_steals = 0;
+      }
+    else
+      Obs.span observe ~cat:"bench" (s.name ^ ".explore") (fun () ->
+          (* seed-deterministic whatever the sharding: the front and
+             hypervolume are gateable, the steal count is informational *)
+          let module E = Noc_explore.Explore in
+          let axes = E.axes ~seed:settings.seed ~library acg in
+          let r =
+            E.run ~observe ~domains:(List.fold_left max 1 settings.domains)
+              ~points:settings.explore_points ~seed:settings.seed axes acg
+          in
+          {
+            explore_space = r.E.space;
+            explore_points = Array.length r.E.evaluated;
+            front_size = List.length r.E.front;
+            hypervolume = r.E.hypervolume;
+            explore_steals = r.E.steals;
+          })
+  in
   Obs.Counter.incr (Obs.counter observe "bench.scenarios");
   {
     name = s.name;
@@ -342,6 +384,7 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
     saturation_rate = Noc_sim.Sweep.saturation_rate sweep_points;
     resilience;
     serve;
+    explore;
   }
 
 let run_corpus ?(observe = Obs.disabled) ?library ~settings scenarios =
@@ -359,13 +402,14 @@ let pp_row ppf r =
   let dn = List.nth r.search (List.length r.search - 1) in
   let lat name = match engine_row r name with Some e -> e.e_latency | None -> 0.0 in
   Format.fprintf ppf
-    "%-22s %-6s %5d %6d %9.4f %8d %8d %9.0f %8.0f %5.2fx %11.1f %8.2f %8.2f %6s %8.0f %5.2f"
+    "%-22s %-6s %5d %6d %9.4f %8d %8d %9.0f %8.0f %5.2fx %11.1f %8.2f %8.2f %6s %8.0f %5.2f %5d %12.1f"
     r.name r.kind r.cores r.flows d1.wall_s d1.nodes d1.pruned d1.best_cost
     d1.nodes_per_sec dn.speedup_vs_d1 r.energy_pj (lat "wormhole") (lat "flit")
     (match r.saturation_rate with Some x -> Printf.sprintf "%.3f" x | None -> "-")
-    r.serve.serve_rps r.serve.serve_hit_rate
+    r.serve.serve_rps r.serve.serve_hit_rate r.explore.front_size r.explore.hypervolume
 
 let pp_header ppf () =
-  Format.fprintf ppf "%-22s %-6s %5s %6s %9s %8s %8s %9s %8s %6s %11s %8s %8s %6s %8s %5s"
+  Format.fprintf ppf
+    "%-22s %-6s %5s %6s %9s %8s %8s %9s %8s %6s %11s %8s %8s %6s %8s %5s %5s %12s"
     "scenario" "kind" "cores" "flows" "wall (s)" "nodes" "pruned" "cost" "nd/s" "spdup"
-    "energy (pJ)" "wh lat" "fl lat" "sat" "srv r/s" "hit"
+    "energy (pJ)" "wh lat" "fl lat" "sat" "srv r/s" "hit" "front" "hv"

@@ -32,6 +32,10 @@ type settings = {
           two isomorphic permutations) through a fresh [nocsynthd] daemon,
           measuring requests/sec and cache hit rate; off in the scale
           tiers, where the extra search would swamp the scaling signal *)
+  explore_points : int;
+      (** design points of the Pareto-exploration stage
+          ({!Noc_explore.Explore}); [0] skips the stage (the scale tiers —
+          every point is itself a bounded search) *)
 }
 
 val full : settings
@@ -96,6 +100,18 @@ type serve_sample = {
           bytes — vacuously [true] when the stage is skipped *)
 }
 
+type explore_sample = {
+  explore_space : int;  (** design points in the scenario's full space *)
+  explore_points : int;  (** points actually evaluated (0 when skipped) *)
+  front_size : int;  (** non-dominated points among those evaluated *)
+  hypervolume : float;
+      (** dominated hypervolume against the per-scenario reference point —
+          with the front size, the gated exploration column *)
+  explore_steals : int;
+      (** work-stealing migrations during sharded evaluation —
+          scheduling-dependent, informational only *)
+}
+
 type resilience_sample = {
   min_delivered_fraction : float;
       (** worst delivered/injected over the exhaustive single-link sweep *)
@@ -129,6 +145,10 @@ type result = {
   serve : serve_sample;
       (** service-layer request mix through {!Noc_serve.Daemon} — the
           requests/sec and cache-hit-rate bench columns *)
+  explore : explore_sample;
+      (** Pareto-exploration stage ({!Noc_explore.Explore.run} over the
+          scenario's mapping x library-subset x bandwidth space) — the
+          front-size and hypervolume bench columns *)
 }
 
 val run :

@@ -585,9 +585,10 @@ let rec explore ctx remaining matchings_rev cost_so_far min_id ~rem_c ~lb_c
 (* ------------------------------------------------------------------ *)
 (* Work-stealing scheduler.
 
-   Each worker owns a deque of open subproblems: it pushes and pops at the
-   bottom (depth-first, keeping the hot view overlays cache-local) while
-   idle workers steal from the top (breadth-first, stealing the biggest
+   Each worker owns a deque ({!Ws.Deque}, shared with the exploration
+   driver) of open subproblems: it pushes and pops at the bottom
+   (depth-first, keeping the hot view overlays cache-local) while idle
+   workers steal from the top (breadth-first, stealing the biggest
    subtrees).  [explore] turns a branch into a task instead of recursing
    while the node is shallower than [spawn_depth] — a deterministic,
    depth-only policy, so the set of tasks (and hence the searched tree
@@ -597,63 +598,11 @@ let rec explore ctx remaining matchings_rev cost_so_far min_id ~rem_c ~lb_c
    increments it before the push; a worker decrements it only after the
    task's subtree is fully explored and its result recorded.  Workers spin
    (with a micro-sleep once the machine is clearly oversubscribed) until
-   [pending] drops to zero, at which point no task exists or can appear. *)
+   [pending] drops to zero, at which point no task exists or can appear.
+   (Ws.map's simpler exit rule does not apply here: search tasks spawn
+   subtasks, so empty deques alone do not mean the tree is exhausted.) *)
 
-module Deque = struct
-  type 'a t = {
-    mutex : Mutex.t;
-    mutable buf : 'a option array;
-    mutable head : int;
-    mutable len : int;
-  }
-
-  let create () = { mutex = Mutex.create (); buf = Array.make 64 None; head = 0; len = 0 }
-
-  let push_bottom t x =
-    Mutex.lock t.mutex;
-    let cap = Array.length t.buf in
-    if t.len = cap then begin
-      let nbuf = Array.make (2 * cap) None in
-      for i = 0 to t.len - 1 do
-        nbuf.(i) <- t.buf.((t.head + i) mod cap)
-      done;
-      t.buf <- nbuf;
-      t.head <- 0
-    end;
-    t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
-    t.len <- t.len + 1;
-    Mutex.unlock t.mutex
-
-  let pop_bottom t =
-    Mutex.lock t.mutex;
-    let r =
-      if t.len = 0 then None
-      else begin
-        let i = (t.head + t.len - 1) mod Array.length t.buf in
-        let x = t.buf.(i) in
-        t.buf.(i) <- None;
-        t.len <- t.len - 1;
-        x
-      end
-    in
-    Mutex.unlock t.mutex;
-    r
-
-  let steal_top t =
-    Mutex.lock t.mutex;
-    let r =
-      if t.len = 0 then None
-      else begin
-        let x = t.buf.(t.head) in
-        t.buf.(t.head) <- None;
-        t.head <- (t.head + 1) mod Array.length t.buf;
-        t.len <- t.len - 1;
-        x
-      end
-    in
-    Mutex.unlock t.mutex;
-    r
-end
+module Deque = Ws.Deque
 
 (* Branches above this depth become stealable tasks; below it a worker
    recurses inline.  Depth-only (deterministic) by design — see above. *)

@@ -6,6 +6,36 @@ type t = int Vmap.t
 let identity acg =
   D.fold_vertices (fun v acc -> Vmap.add v v acc) (Acg.graph acg) Vmap.empty
 
+(* cores in ascending id order: the domain of every permutation mapping *)
+let sorted_cores acg = List.sort compare (D.vertex_list (Acg.graph acg))
+
+let of_image cores image =
+  List.fold_left2 (fun acc v t -> Vmap.add v t acc) Vmap.empty cores image
+
+let random ~rng acg =
+  let cores = sorted_cores acg in
+  let image = Array.of_list cores in
+  Noc_util.Prng.shuffle rng image;
+  of_image cores (Array.to_list image)
+
+let all ?(max_cores = 7) acg =
+  let cores = sorted_cores acg in
+  if List.length cores > max_cores then
+    invalid_arg
+      (Printf.sprintf "Mapping.all: %d cores exceed the %d-core enumeration guard"
+         (List.length cores) max_cores);
+  (* permutations of [xs] in lexicographic order: [xs] is sorted, and each
+     prefix choice scans the remaining elements in ascending order *)
+  let rec perms xs =
+    match xs with
+    | [] -> [ [] ]
+    | _ ->
+        List.concat_map
+          (fun x -> List.map (fun p -> x :: p) (perms (List.filter (( <> ) x) xs)))
+          xs
+  in
+  List.map (of_image cores) (perms cores)
+
 let apply m acg =
   let f v =
     match Vmap.find_opt v m with
@@ -28,9 +58,14 @@ let tile_distance cols a b =
 
 let mesh_hop_cost ~rows ~cols acg m =
   ignore rows;
+  let tile v =
+    match Vmap.find_opt v m with
+    | Some t -> t
+    | None -> invalid_arg (Printf.sprintf "Mapping.mesh_hop_cost: core %d not mapped" v)
+  in
   D.fold_edges
     (fun u v acc ->
-      let tu = Vmap.find u m and tv = Vmap.find v m in
+      let tu = tile u and tv = tile v in
       acc
       +. (float_of_int (Acg.volume acg u v) *. float_of_int (tile_distance cols tu tv)))
     (Acg.graph acg) 0.0

@@ -20,6 +20,18 @@ type t = int Noc_graph.Digraph.Vmap.t
 
 val identity : Acg.t -> t
 
+val random : rng:Noc_util.Prng.t -> Acg.t -> t
+(** A uniformly random permutation of the ACG's own core ids (a seeded
+    Fisher–Yates shuffle): the sampled mapping axis of the design-space
+    exploration driver.  Deterministic for a given PRNG state. *)
+
+val all : ?max_cores:int -> Acg.t -> t list
+(** Every permutation of the ACG's core ids, in lexicographic order of the
+    image sequence (the identity first): the exhaustively enumerable
+    mapping axis for oracle-sized graphs.  @raise Invalid_argument when
+    the ACG has more than [max_cores] (default 7) cores — 8! permutations
+    is already past what any caller should enumerate. *)
+
 val apply : t -> Acg.t -> Acg.t
 (** Relabels the ACG's vertices by the mapping (volumes and bandwidths
     follow). @raise Invalid_argument if the mapping is not injective on the
@@ -27,7 +39,9 @@ val apply : t -> Acg.t -> Acg.t
 
 val mesh_hop_cost : rows:int -> cols:int -> Acg.t -> t -> float
 (** Σ over flows of volume × Manhattan tile distance under the mapping: the
-    mapping objective for a mesh with dimension-ordered routing. *)
+    mapping objective for a mesh with dimension-ordered routing.
+    @raise Invalid_argument if some core of the ACG is unmapped (the
+    historical behaviour was a bare [Not_found] escape). *)
 
 val optimize_mesh :
   rng:Noc_util.Prng.t ->

@@ -1,0 +1,112 @@
+module Deque = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    mutable buf : 'a option array;
+    mutable head : int;
+    mutable len : int;
+  }
+
+  let create () = { mutex = Mutex.create (); buf = Array.make 64 None; head = 0; len = 0 }
+
+  let push_bottom t x =
+    Mutex.lock t.mutex;
+    let cap = Array.length t.buf in
+    if t.len = cap then begin
+      let nbuf = Array.make (2 * cap) None in
+      for i = 0 to t.len - 1 do
+        nbuf.(i) <- t.buf.((t.head + i) mod cap)
+      done;
+      t.buf <- nbuf;
+      t.head <- 0
+    end;
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+    t.len <- t.len + 1;
+    Mutex.unlock t.mutex
+
+  let pop_bottom t =
+    Mutex.lock t.mutex;
+    let r =
+      if t.len = 0 then None
+      else begin
+        let i = (t.head + t.len - 1) mod Array.length t.buf in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.len <- t.len - 1;
+        x
+      end
+    in
+    Mutex.unlock t.mutex;
+    r
+
+  let steal_top t =
+    Mutex.lock t.mutex;
+    let r =
+      if t.len = 0 then None
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        x
+      end
+    in
+    Mutex.unlock t.mutex;
+    r
+end
+
+type stats = { workers : int; steals : int }
+
+let map ?(domains = 1) f xs =
+  let n = Array.length xs in
+  if domains <= 1 || n <= 1 then (Array.map f xs, { workers = 1; steals = 0 })
+  else begin
+    let n_dom = min domains n in
+    let deques = Array.init n_dom (fun _ -> Deque.create ()) in
+    (* deal indices round-robin, highest first, so each owner pops its own
+       work in ascending input order (pop_bottom is LIFO) *)
+    for i = n - 1 downto 0 do
+      Deque.push_bottom deques.(i mod n_dom) i
+    done;
+    let results = Array.make n None in
+    let first_exn = Atomic.make None in
+    let steal_count = Atomic.make 0 in
+    let worker slot () =
+      let my = deques.(slot) in
+      let try_steal () =
+        let stolen = ref None in
+        let k = ref 1 in
+        while Option.is_none !stolen && !k < n_dom do
+          (match Deque.steal_top deques.((slot + !k) mod n_dom) with
+          | Some i ->
+              Atomic.incr steal_count;
+              stolen := Some i
+          | None -> ());
+          incr k
+        done;
+        !stolen
+      in
+      let continue = ref true in
+      while !continue do
+        (* no task ever spawns another, so empty-everywhere means the only
+           remaining work is already in flight on some other worker *)
+        match (if Atomic.get first_exn <> None then None
+               else match Deque.pop_bottom my with Some i -> Some i | None -> try_steal ())
+        with
+        | None -> continue := false
+        | Some i -> (
+            match f xs.(i) with
+            | y -> results.(i) <- Some y
+            | exception e ->
+                ignore (Atomic.compare_and_set first_exn None (Some e)))
+      done
+    in
+    let doms = Array.init (n_dom - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1) ())) in
+    worker 0 ();
+    Array.iter Domain.join doms;
+    (match Atomic.get first_exn with Some e -> raise e | None -> ());
+    ( Array.mapi
+        (fun i r ->
+          match r with Some y -> y | None -> raise (Invalid_argument (Printf.sprintf "Ws.map: slot %d unevaluated" i)))
+        results,
+      { workers = n_dom; steals = Atomic.get steal_count } )
+  end

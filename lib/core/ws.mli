@@ -1,0 +1,41 @@
+(** Work-stealing building blocks shared by the parallel drivers.
+
+    The branch-and-bound search (PR 6) and the design-space exploration
+    driver both shard independent subproblems across OCaml domains with the
+    same discipline: every worker owns a deque, pushes and pops work at the
+    bottom (depth-first, cache-local) and steals from other workers' tops
+    when idle (breadth-first, stealing the biggest units).  This module
+    holds the deque itself plus a ready-made parallel map for the common
+    "N independent tasks, results by index" case. *)
+
+(** A mutex-protected double-ended work queue.  [push_bottom]/[pop_bottom]
+    are the owner's LIFO end; [steal_top] is the thieves' FIFO end.  The
+    mutex is uncontended in the common case (one owner, occasional
+    thieves), which keeps the implementation obviously correct without a
+    lock-free protocol. *)
+module Deque : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push_bottom : 'a t -> 'a -> unit
+  val pop_bottom : 'a t -> 'a option
+  val steal_top : 'a t -> 'a option
+end
+
+type stats = {
+  workers : int;  (** domains that actually ran (1 = sequential path) *)
+  steals : int;  (** tasks taken from another worker's deque *)
+}
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array * stats
+(** [map ~domains f xs] applies [f] to every element of [xs] on a
+    work-stealing pool of [domains] workers (default 1 = plain sequential
+    [Array.map]) and returns the results {e in input order}: slot [i] of
+    the result is [f xs.(i)] no matter which worker computed it or in what
+    order, so the output is deterministic for deterministic [f] regardless
+    of the domain count or steal interleaving.  Tasks are dealt round-robin
+    across the workers' deques before any worker starts; no new tasks are
+    spawned mid-run, so a worker exits once its own deque and every
+    steal probe come up empty.  An exception raised by [f] is re-raised
+    after the pool is joined.  [domains] is used as given — callers clamp
+    against {!Branch_bound.domain_cap} as appropriate. *)

@@ -1,0 +1,142 @@
+module Pareto = Noc_explore.Pareto
+module Explore = Noc_explore.Explore
+module Mapping = Noc_core.Mapping
+module Acg = Noc_core.Acg
+
+type t = {
+  points : Explore.point list;  (** every design point of the space, evaluated *)
+  front : Explore.point list;  (** exact non-dominated subset, canonical order *)
+  ref_point : Pareto.vector;
+  hypervolume : float;
+}
+
+let max_cores_guard = 6
+
+let dominated_by_some vs v =
+  List.exists (fun w -> Pareto.dominates w v) vs
+
+(* exact non-dominated subset by the definition alone: keep a point iff no
+   other evaluated point dominates it; canonicalize with the same order the
+   driver uses so fronts compare with (=) *)
+let exact_front points =
+  let vecs = List.map (fun (p : Explore.point) -> p.Explore.vec) points in
+  points
+  |> List.filter (fun (p : Explore.point) -> not (dominated_by_some vecs p.Explore.vec))
+  |> List.sort (fun (a : Explore.point) b ->
+         match Pareto.compare_vector a.Explore.vec b.Explore.vec with
+         | 0 -> compare a.Explore.index b.Explore.index
+         | c -> c)
+
+(* |union of boxes [v, ref]| by inclusion-exclusion over all 2^n non-empty
+   subsets: a subset's intersection is the box of the component-wise
+   maxima.  Exponential and obviously correct - the point of an oracle. *)
+let hypervolume_ie ~(ref_point : Pareto.vector) vs =
+  let vs =
+    List.filter
+      (fun (v : Pareto.vector) ->
+        v.Pareto.energy_pj < ref_point.Pareto.energy_pj
+        && v.Pareto.latency < ref_point.Pareto.latency
+        && v.Pareto.area_mm2 < ref_point.Pareto.area_mm2)
+      vs
+    (* duplicate vectors span the same box; drop them so the subset count
+       reflects distinct boxes only *)
+    |> List.sort_uniq compare
+  in
+  let arr = Array.of_list vs in
+  let n = Array.length arr in
+  if n > 20 then invalid_arg "Front.hypervolume_ie: more than 20 boxes";
+  let total = ref 0.0 in
+  for mask = 1 to (1 lsl n) - 1 do
+    let corner = ref None and bits = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        incr bits;
+        let v = arr.(i) in
+        corner :=
+          Some
+            (match !corner with
+            | None -> v
+            | Some c ->
+                {
+                  Pareto.energy_pj = Float.max c.Pareto.energy_pj v.Pareto.energy_pj;
+                  latency = Float.max c.Pareto.latency v.Pareto.latency;
+                  area_mm2 = Float.max c.Pareto.area_mm2 v.Pareto.area_mm2;
+                })
+      end
+    done;
+    match !corner with
+    | None -> ()
+    | Some c ->
+        let vol =
+          (ref_point.Pareto.energy_pj -. c.Pareto.energy_pj)
+          *. (ref_point.Pareto.latency -. c.Pareto.latency)
+          *. (ref_point.Pareto.area_mm2 -. c.Pareto.area_mm2)
+        in
+        let sign = if !bits land 1 = 1 then 1.0 else -1.0 in
+        total := !total +. (sign *. vol)
+  done;
+  !total
+
+(* |union of boxes| by cell decomposition: the distinct coordinate values
+   cut the dominated region into axis-aligned cells inside which dominance
+   is constant, so summing the volume of every cell whose lower corner is
+   dominated is exact for any number of boxes.  O(n^4), no subset
+   explosion - the oracle for fronts past the inclusion-exclusion guard. *)
+let hypervolume_grid ~(ref_point : Pareto.vector) vs =
+  let vs =
+    List.filter
+      (fun (v : Pareto.vector) ->
+        v.Pareto.energy_pj < ref_point.Pareto.energy_pj
+        && v.Pareto.latency < ref_point.Pareto.latency
+        && v.Pareto.area_mm2 < ref_point.Pareto.area_mm2)
+      vs
+  in
+  let axis proj limit =
+    Array.of_list (List.sort_uniq compare (limit :: List.map proj vs))
+  in
+  let xs = axis (fun v -> v.Pareto.energy_pj) ref_point.Pareto.energy_pj in
+  let ys = axis (fun v -> v.Pareto.latency) ref_point.Pareto.latency in
+  let zs = axis (fun v -> v.Pareto.area_mm2) ref_point.Pareto.area_mm2 in
+  let dominated x y z =
+    List.exists
+      (fun (v : Pareto.vector) ->
+        v.Pareto.energy_pj <= x && v.Pareto.latency <= y && v.Pareto.area_mm2 <= z)
+      vs
+  in
+  let total = ref 0.0 in
+  for i = 0 to Array.length xs - 2 do
+    for j = 0 to Array.length ys - 2 do
+      for k = 0 to Array.length zs - 2 do
+        if dominated xs.(i) ys.(j) zs.(k) then
+          total :=
+            !total
+            +. ((xs.(i + 1) -. xs.(i)) *. (ys.(j + 1) -. ys.(j)) *. (zs.(k + 1) -. zs.(k)))
+      done
+    done
+  done;
+  !total
+
+let compute ?tech ?budget ?max_subset_bits ~library acg =
+  let n = Acg.num_cores acg in
+  if n > max_cores_guard then
+    invalid_arg
+      (Printf.sprintf "Front.compute: %d cores exceed the %d-core exhaustive guard" n
+         max_cores_guard);
+  (* full enumeration: every permutation (n! <= 720), every subset, every
+     bandwidth scale - the same axes the driver builds when its mapping cap
+     admits the whole permutation group *)
+  let axes = Explore.axes ~max_mappings:720 ?max_subset_bits ~seed:0 ~library acg in
+  let points =
+    List.init (Explore.space_size axes) (fun i -> Explore.evaluate ?tech ?budget axes acg i)
+  in
+  let front = exact_front points in
+  let ref_point =
+    Pareto.reference_point (List.map (fun (p : Explore.point) -> p.Explore.vec) points)
+  in
+  let front_vecs = List.map (fun (p : Explore.point) -> p.Explore.vec) front in
+  let distinct = List.length (List.sort_uniq compare front_vecs) in
+  let hv =
+    if distinct <= 20 then hypervolume_ie ~ref_point front_vecs
+    else hypervolume_grid ~ref_point front_vecs
+  in
+  { points; front; ref_point; hypervolume = hv }

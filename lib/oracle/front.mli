@@ -1,0 +1,64 @@
+(** Brute-force Pareto-front oracle for the exploration driver.
+
+    For oracle-sized ACGs (at most 6 cores) the whole design space —
+    every core permutation, every library subset, every bandwidth scale —
+    is small enough to evaluate outright, so the exact front and the exact
+    hypervolume can be computed with none of the driver's incremental
+    machinery:
+
+    - the front is the literal definition: keep a point iff no evaluated
+      point dominates it (no archive, no streaming, no eviction);
+    - the hypervolume is inclusion–exclusion over all [2^n] subsets of the
+      front's boxes — exponential and term-by-term checkable, where the
+      driver sweeps slabs and staircases — switching to an equally-exact
+      cell-decomposition sum when the front has too many distinct vectors
+      for [2^n] terms.
+
+    Points themselves are scored by {!Noc_explore.Explore.evaluate}, so the
+    oracle checks the {e front and indicator} machinery, not the objective
+    model: the driver under full enumeration must recover exactly this
+    front ([test/suite_explore.ml] asserts equality point-for-point), and
+    under sampling a subset of it. *)
+
+type t = {
+  points : Noc_explore.Explore.point list;
+      (** every design point of the space, in index order *)
+  front : Noc_explore.Explore.point list;
+      (** the exact non-dominated subset, in the driver's canonical order
+          ({!Noc_explore.Pareto.compare_vector}, ties by index) *)
+  ref_point : Noc_explore.Pareto.vector;
+  hypervolume : float;
+}
+
+val max_cores_guard : int
+(** 6 — beyond this, [n!] permutations make exhaustion unreasonable. *)
+
+val exact_front : Noc_explore.Explore.point list -> Noc_explore.Explore.point list
+(** The definitional non-dominated filter over arbitrary evaluated points
+    (each tested against all others), canonically ordered. *)
+
+val hypervolume_ie :
+  ref_point:Noc_explore.Pareto.vector -> Noc_explore.Pareto.vector list -> float
+(** Exact dominated hypervolume by inclusion–exclusion.  Vectors not
+    strictly inside the reference are ignored; duplicates are collapsed.
+    @raise Invalid_argument beyond 20 distinct boxes ([2^n] terms). *)
+
+val hypervolume_grid :
+  ref_point:Noc_explore.Pareto.vector -> Noc_explore.Pareto.vector list -> float
+(** Exact dominated hypervolume by cell decomposition: the distinct
+    coordinate values cut space into cells inside which dominance is
+    constant, and every dominated cell's volume is summed.  O(n⁴) with no
+    subset explosion — used by {!compute} past the inclusion–exclusion
+    guard, and cross-checked against {!hypervolume_ie} below it. *)
+
+val compute :
+  ?tech:Noc_energy.Technology.t ->
+  ?budget:Noc_core.Branch_bound.Budget.t ->
+  ?max_subset_bits:int ->
+  library:Noc_primitives.Library.t ->
+  Noc_core.Acg.t ->
+  t
+(** Evaluates the entire design space of the ACG (axes built exactly as the
+    driver builds them, with the mapping cap opened to the full permutation
+    group) and returns the exact front and hypervolume.
+    @raise Invalid_argument above {!max_cores_guard} cores. *)

@@ -15,6 +15,7 @@ let () =
       Suite_scale.suite;
       Suite_obs.suite;
       Suite_oracle.suite;
+      Suite_explore.suite;
       Suite_sim.suite;
       Suite_flit.suite;
       Suite_resil.suite;
