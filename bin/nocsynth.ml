@@ -1216,13 +1216,72 @@ let serve_cmd =
             "Load-test gate: exit 1 when the repeated-half hit rate is below R or a \
              cache hit is not byte-identical to its original miss.")
   in
-  let run replay corpus cache_capacity assert_hit seed timeout node_budget domains lib
-      trace metrics =
+  let chaos_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos" ] ~docv:"N"
+          ~doc:
+            "Chaos mode: drive N seeded adversarial requests (malformed inputs, \
+             starved budgets, injected faults, overload bursts) through a fresh \
+             daemon and gate the crash-only contract — zero daemon deaths, one typed \
+             reply per request, preserved cache behaviour for the well-formed subset. \
+             Exits 1 when the gate fails.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int Serve.Daemon.default_config.Serve.Daemon.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission bound: batch requests beyond the first N are shed with a typed \
+             'shed' error instead of queued.")
+  in
+  let max_cores_arg =
+    Arg.(
+      value & opt int Serve.Daemon.default_config.Serve.Daemon.max_cores
+      & info [ "max-cores" ] ~docv:"N"
+          ~doc:
+            "Input-size guard: ACGs with more than N cores are rejected with a typed \
+             'bad_request' error before any search work.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "snapshot" ] ~docv:"PATH"
+          ~doc:
+            "Crash-only cache persistence: restore the result cache from PATH at \
+             startup (a corrupt or missing snapshot is discarded for a cold start, \
+             never an error) and write a checksummed snapshot back on clean exit.")
+  in
+  let run replay corpus cache_capacity assert_hit chaos max_inflight max_cores snapshot
+      seed timeout node_budget domains lib trace metrics =
     let observe = make_observer ~trace ~metrics in
     let budget = make_budget ~timeout ~node_budget ~domains in
     let library = library_name lib in
-    (match replay with
-    | Some cases ->
+    (match (chaos, replay) with
+    | Some requests, _ ->
+        let stats =
+          Serve.Chaos.run ~seed ~requests ~max_inflight ~cache_capacity ~observe ()
+        in
+        let say s = if metrics then Logs.app (fun k -> k "%s" s) else print_endline s in
+        say (Format.asprintf "%a" Serve.Chaos.pp stats);
+        if metrics then
+          print_endline
+            (Obs.Json.to_string
+               (Obs.Json.Obj
+                  [
+                    ("chaos", Serve.Chaos.to_json stats);
+                    ("metrics", Obs.Json.Obj (Obs.metrics observe));
+                  ]));
+        write_trace observe trace;
+        (match Serve.Chaos.gate stats with
+        | Ok () ->
+            Logs.info (fun k ->
+                k "chaos gate passed: %d requests, %d replies, 0 deaths" stats.requests
+                  stats.Serve.Chaos.replies)
+        | Error msg ->
+            Logs.err (fun k -> k "chaos gate failed: %s" msg);
+            exit 1)
+    | None, Some cases ->
         let stats =
           Serve.Replay.run ~seed ~cases ?corpus_dir:corpus ~cache_capacity ~library
             ~budget ~observe ()
@@ -1260,13 +1319,32 @@ let serve_cmd =
                 stats.Serve.Replay.byte_identical);
           exit 1
         end
-    | None ->
-        let daemon = Serve.Daemon.create ~cache_capacity ~observe () in
-        let served = Serve.Daemon.run_loop ~library ~budget daemon stdin stdout in
+    | None, None ->
+        let config =
+          { Serve.Daemon.default_config with Serve.Daemon.max_inflight; max_cores }
+        in
+        let daemon = Serve.Daemon.create ~cache_capacity ~config ~observe () in
+        (match snapshot with
+        | None -> ()
+        | Some path -> (
+            match Serve.Cache.restore (Serve.Daemon.cache daemon) ~path with
+            | Ok n -> Logs.info (fun k -> k "restored %d cache entr(ies) from %s" n path)
+            | Error (`Msg m) ->
+                Logs.warn (fun k -> k "cold start, snapshot discarded: %s" m)));
+        let ls = Serve.Daemon.run_loop ~library ~budget daemon stdin stdout in
         let c = Serve.Daemon.cache_stats daemon in
         Logs.info (fun k ->
-            k "served %d request(s); cache: %d hits / %d misses / %d evictions" served
-              c.Serve.Cache.hits c.Serve.Cache.misses c.Serve.Cache.evictions);
+            k
+              "served %d request(s) (%d ok / %d errors / %d shed); cache: %d hits / %d \
+               misses / %d evictions"
+              ls.Serve.Daemon.served ls.Serve.Daemon.ok ls.Serve.Daemon.errors
+              ls.Serve.Daemon.shed c.Serve.Cache.hits c.Serve.Cache.misses
+              c.Serve.Cache.evictions);
+        (match snapshot with
+        | None -> ()
+        | Some path ->
+            Serve.Cache.snapshot (Serve.Daemon.cache daemon) ~path;
+            Logs.info (fun k -> k "cache snapshot written to %s" path));
         write_trace observe trace)
   in
   Cmd.v
@@ -1276,13 +1354,15 @@ let serve_cmd =
           'quit' or EOF to stop) and answer each with a JSON response comparing the \
           synthesized custom topology against 2D-mesh and sparse-Hamming regular \
           alternatives.  Identical and isomorphic requests are answered from a \
-          content-addressed cache keyed by the canonical ACG hash.  With --replay, \
+          content-addressed cache keyed by the canonical ACG hash.  Every request \
+          gets exactly one reply: failures are typed JSON errors (bad_request, \
+          over_budget, shed, internal), never a dead daemon.  With --replay, \
           load-test the pipeline instead and report requests/sec and cache hit \
-          rates.")
+          rates.  With --chaos, run the seeded adversarial gate.")
     Term.(
-      const run $ replay_arg $ corpus_arg $ cache_arg $ assert_hit_arg $ seed_arg
-      $ timeout_arg $ node_budget_arg $ domains_arg $ library_arg $ trace_arg
-      $ metrics_flag)
+      const run $ replay_arg $ corpus_arg $ cache_arg $ assert_hit_arg $ chaos_arg
+      $ max_inflight_arg $ max_cores_arg $ snapshot_arg $ seed_arg $ timeout_arg
+      $ node_budget_arg $ domains_arg $ library_arg $ trace_arg $ metrics_flag)
 
 let main =
   Cmd.group

@@ -11,9 +11,12 @@ let schema = "nocsynth-bench"
    moved the offered-load sweep to the flit engine, which moves every
    saturation knee; v6 added the "explore" object (Pareto-exploration
    stage: design-space size, points evaluated, front size, dominated
-   hypervolume, steal count).  Older records fail the schema check and
-   must be re-recorded. *)
-let schema_version = 6
+   hypervolume, steal count); v7 extended the "serve" object with the
+   crash-only service columns (ok/errors/shed counts, error_rate,
+   shed_rate, snapshot restore_ok) from the hardened request mix, whose
+   hit_rate denominator is now successful outcomes only.  Older records
+   fail the schema check and must be re-recorded. *)
+let schema_version = 7
 
 let search_sample_json (s : Runner.search_sample) =
   J.Obj
@@ -87,10 +90,16 @@ let result_json (r : Runner.result) =
         J.Obj
           [
             ("requests", J.Int s.Runner.serve_requests);
+            ("ok", J.Int s.Runner.serve_ok);
             ("hits", J.Int s.Runner.serve_hits);
             ("hit_rate", J.Float s.Runner.serve_hit_rate);
             ("rps", J.Float s.Runner.serve_rps);
             ("byte_identical", J.Bool s.Runner.serve_byte_identical);
+            ("errors", J.Int s.Runner.serve_errors);
+            ("shed", J.Int s.Runner.serve_shed);
+            ("error_rate", J.Float s.Runner.serve_error_rate);
+            ("shed_rate", J.Float s.Runner.serve_shed_rate);
+            ("restore_ok", J.Bool s.Runner.serve_restore_ok);
           ] );
       ( "explore",
         let s = r.Runner.explore in

@@ -37,6 +37,13 @@ let rules ~time_limit_pct ~limit_pct =
        absolute floor against millisecond-run noise *)
     { suffix = ".serve.hit_rate"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
     { suffix = ".serve.byte_identical"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
+    (* crash-only service columns: the error/shed counts of the hardened
+       request mix are exact by construction, so any rise means a
+       well-formed request started failing or admission got stingier; a
+       lost restore_ok means snapshot persistence broke *)
+    { suffix = ".serve.error_rate"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".serve.shed_rate"; limit_pct; min_abs = 0.0; direction = Increase_bad };
+    { suffix = ".serve.restore_ok"; limit_pct; min_abs = 0.0; direction = Decrease_bad };
     { suffix = ".serve.rps"; limit_pct = time_limit_pct; min_abs = 200.0;
       direction = Decrease_bad };
     { suffix = ".wall_s"; limit_pct = time_limit_pct; min_abs = 0.02; direction = Increase_bad };

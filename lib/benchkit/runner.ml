@@ -103,10 +103,16 @@ type engine_sample = {
 
 type serve_sample = {
   serve_requests : int;
+  serve_ok : int;
   serve_hits : int;
   serve_hit_rate : float;
   serve_rps : float;
   serve_byte_identical : bool;
+  serve_errors : int;
+  serve_shed : int;
+  serve_error_rate : float;
+  serve_shed_rate : float;
+  serve_restore_ok : bool;
 }
 
 type explore_sample = {
@@ -275,19 +281,33 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
       (* vacuous placeholders: the serve stage did not run *)
       {
         serve_requests = 0;
+        serve_ok = 0;
         serve_hits = 0;
         serve_hit_rate = 0.0;
         serve_rps = 0.0;
         serve_byte_identical = true;
+        serve_errors = 0;
+        serve_shed = 0;
+        serve_error_rate = 0.0;
+        serve_shed_rate = 0.0;
+        serve_restore_ok = true;
       }
     else
       Obs.span observe ~cat:"bench" (s.name ^ ".serve") (fun () ->
-          (* deterministic request mix against a fresh daemon: one fresh
-             request, one exact duplicate, two vertex-permuted copies.  All
-             four share a cache key via canonicalization, so 3 of 4 must
-             hit and every hit must return the first miss's exact bytes. *)
+          (* deterministic request mix against a fresh daemon: four
+             well-formed requests (fresh, exact duplicate, two permuted
+             copies — all one cache key via canonicalization, so 3 of 4
+             hit byte-identically), two typed failures (unknown library,
+             dead-on-arrival deadline), and a 3-request burst through a
+             2-slot admission queue (2 hits + 1 shed).  Then the cache is
+             snapshotted, restored into a fresh daemon, and the restored
+             daemon must answer a duplicate from cache with the exact same
+             bytes. *)
+          let module Sd = Noc_serve.Daemon in
+          let module Sp = Noc_serve.Proto in
           let rng = Prng.create ~seed:settings.seed in
-          let daemon = Noc_serve.Daemon.create ~observe () in
+          let config = { Sd.default_config with max_inflight = 2 } in
+          let daemon = Sd.create ~config ~observe () in
           let budget = Bb.Budget.with_domains 1 settings.budget in
           let mix =
             [
@@ -297,35 +317,82 @@ let run ?(observe = Obs.disabled) ?(library = L.default ()) ~(settings : setting
               Noc_serve.Replay.permute ~rng acg;
             ]
           in
-          let outcomes, wall =
-            Noc_util.Timer.time (fun () ->
-                List.map
-                  (fun a ->
-                    Noc_serve.Daemon.solve daemon (Noc_serve.Proto.Request.make ~budget a))
-                  mix)
+          let error_probes d =
+            [
+              Sd.solve d (Sp.Request.make ~library:"no-such-library" ~budget acg);
+              Sd.solve d
+                (Sp.Request.make
+                   ~budget:Bb.Budget.(default |> with_timeout_s (Some 0.0))
+                   acg);
+            ]
           in
-          let requests = List.length outcomes in
+          let (outcomes, failures, burst), wall =
+            Noc_util.Timer.time (fun () ->
+                let outcomes =
+                  List.map (fun a -> Sd.solve_exn daemon (Sp.Request.make ~budget a)) mix
+                in
+                let failures = error_probes daemon in
+                let burst =
+                  Sd.serve_batch daemon
+                    (List.map (fun a -> Sp.Request.make ~budget a) [ acg; acg; acg ])
+                in
+                (outcomes, failures, burst))
+          in
+          let ok_outcomes =
+            outcomes @ List.filter_map Result.to_option burst
+          in
+          let requests = List.length outcomes + List.length failures + List.length burst
+          in
           let hits =
             List.length
-              (List.filter
-                 (fun (o : Noc_serve.Daemon.outcome) ->
-                   o.Noc_serve.Daemon.status = Noc_serve.Daemon.Hit)
-                 outcomes)
+              (List.filter (fun (o : Sd.outcome) -> o.Sd.status = Sd.Hit) ok_outcomes)
           in
-          let first = (List.hd outcomes).Noc_serve.Daemon.bytes in
+          let errors =
+            List.length
+              (List.filter
+                 (function Error (Sp.Error.Shed _) | Ok _ -> false | Error _ -> true)
+                 (failures @ burst))
+          in
+          let shed =
+            List.length
+              (List.filter
+                 (function Error (Sp.Error.Shed _) -> true | _ -> false)
+                 burst)
+          in
+          let first = (List.hd outcomes).Sd.bytes in
+          let restore_ok =
+            (* crash-only persistence probe: snapshot -> cold daemon ->
+               restore -> the duplicate must hit with identical bytes *)
+            let path = Filename.temp_file "nocsynth-bench" ".cache" in
+            Fun.protect
+              ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+              (fun () ->
+                Sd.cache daemon |> fun c ->
+                Noc_serve.Cache.snapshot c ~path;
+                let fresh = Sd.create ~config ~observe () in
+                match Noc_serve.Cache.restore (Sd.cache fresh) ~path with
+                | Error _ -> false
+                | Ok _ -> (
+                    match Sd.solve fresh (Sp.Request.make ~budget acg) with
+                    | Ok o -> o.Sd.status = Sd.Hit && String.equal o.Sd.bytes first
+                    | Error _ -> false))
+          in
+          let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
           {
             serve_requests = requests;
+            serve_ok = List.length ok_outcomes;
             serve_hits = hits;
-            serve_hit_rate =
-              (if requests = 0 then 0.0
-               else float_of_int hits /. float_of_int requests);
-            serve_rps =
-              (if wall > 0.0 then float_of_int requests /. wall else 0.0);
+            serve_hit_rate = ratio hits (List.length ok_outcomes);
+            serve_rps = (if wall > 0.0 then float_of_int requests /. wall else 0.0);
             serve_byte_identical =
               List.for_all
-                (fun (o : Noc_serve.Daemon.outcome) ->
-                  String.equal o.Noc_serve.Daemon.bytes first)
-                outcomes;
+                (fun (o : Sd.outcome) -> String.equal o.Sd.bytes first)
+                ok_outcomes;
+            serve_errors = errors;
+            serve_shed = shed;
+            serve_error_rate = ratio errors requests;
+            serve_shed_rate = ratio shed requests;
+            serve_restore_ok = restore_ok;
           })
   in
   let explore =

@@ -89,15 +89,27 @@ type engine_sample = {
 }
 
 type serve_sample = {
-  serve_requests : int;  (** 4 when the stage ran, 0 when skipped *)
+  serve_requests : int;  (** 9 when the stage ran, 0 when skipped *)
+  serve_ok : int;  (** successful outcomes — 6 (4 wf mix + 2 admitted burst) *)
   serve_hits : int;
   serve_hit_rate : float;
-      (** hits / requests — 0.75 exactly when canonicalization collapses
-          the duplicate and both permuted copies onto the fresh miss *)
+      (** hits / ok — 5/6 exactly when canonicalization collapses the
+          duplicate, both permuted copies and the admitted burst members
+          onto the fresh miss *)
   serve_rps : float;  (** requests / wall-clock of the whole mix *)
   serve_byte_identical : bool;
-      (** every response (hit or miss) returned exactly the first miss's
-          bytes — vacuously [true] when the stage is skipped *)
+      (** every successful response (hit or miss) returned exactly the
+          first miss's bytes — vacuously [true] when the stage is
+          skipped *)
+  serve_errors : int;
+      (** typed non-shed failures — 2 exactly (unknown library +
+          dead-on-arrival deadline probes) *)
+  serve_shed : int;  (** 1 exactly: the 3-request burst through 2 slots *)
+  serve_error_rate : float;  (** errors / requests *)
+  serve_shed_rate : float;  (** shed / requests *)
+  serve_restore_ok : bool;
+      (** snapshot -> cold daemon -> restore answered a duplicate from
+          cache byte-identically *)
 }
 
 type explore_sample = {

@@ -53,6 +53,25 @@ module Budget = struct
   let with_timeout_s timeout_s t = { t with timeout_s }
   let with_max_nodes max_nodes t = { t with max_nodes }
   let with_domains domains t = { t with domains }
+
+  let starved t = match t.timeout_s with Some s -> s <= 0.0 | None -> false
+
+  let clamp_service ?default_timeout_s ?max_timeout_s ?max_nodes_cap t =
+    let timeout_s =
+      let requested =
+        match t.timeout_s with None -> default_timeout_s | Some s -> Some s
+      in
+      match (requested, max_timeout_s) with
+      | None, cap -> cap
+      | Some s, None -> Some s
+      | Some s, Some cap -> Some (Float.min s cap)
+    in
+    let max_nodes =
+      match max_nodes_cap with
+      | None -> t.max_nodes
+      | Some cap -> min t.max_nodes (max 1 cap)
+    in
+    { t with timeout_s; max_nodes }
 end
 
 type options = {

@@ -66,6 +66,21 @@ module Budget : sig
   val with_timeout_s : float option -> t -> t
   val with_max_nodes : int -> t -> t
   val with_domains : int -> t -> t
+
+  val starved : t -> bool
+  (** [starved t] is [true] when [timeout_s] is declared non-positive: the
+      deadline is unsatisfiable before any work starts, so a service should
+      answer [Over_budget] instead of admitting the request. *)
+
+  val clamp_service : ?default_timeout_s:float -> ?max_timeout_s:float ->
+    ?max_nodes_cap:int -> t -> t
+  (** The service-side budget guard: requests with no wall-clock deadline
+      inherit [default_timeout_s], declared deadlines are clamped to
+      [max_timeout_s], and [max_nodes] is capped at [max_nodes_cap] — so no
+      admitted request can hold a worker longer than the daemon's hard
+      per-request wall budget.  Omitted bounds leave the corresponding
+      field untouched; [domains] is never changed (it is an execution
+      hint). *)
 end
 
 type options = {

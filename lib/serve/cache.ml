@@ -17,10 +17,10 @@ type t = {
 type stats = { hits : int; misses : int; evictions : int; size : int }
 
 let create ?(capacity = 1024) ~observe () =
-  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  if capacity < 0 then invalid_arg "Cache.create: capacity must be >= 0";
   {
     capacity;
-    table = Hashtbl.create (min capacity 64);
+    table = Hashtbl.create (min (max capacity 1) 64);
     tick = 0;
     hits = 0;
     misses = 0;
@@ -29,6 +29,8 @@ let create ?(capacity = 1024) ~observe () =
     c_misses = Obs.counter observe "serve.cache.misses";
     c_evictions = Obs.counter observe "serve.cache.evictions";
   }
+
+let capacity t = t.capacity
 
 let touch t e =
   t.tick <- t.tick + 1;
@@ -65,14 +67,135 @@ let evict_lru t =
       Obs.Counter.incr t.c_evictions
 
 let add t key value =
-  (match Hashtbl.find_opt t.table key with
-  | Some e -> touch t e
-  | None -> ());
-  t.tick <- t.tick + 1;
-  Hashtbl.replace t.table key { value; last_use = t.tick };
-  while Hashtbl.length t.table > t.capacity do
-    evict_lru t
-  done
+  (* capacity 0 = caching disabled: store nothing, count nothing *)
+  if t.capacity > 0 then begin
+    (match Hashtbl.find_opt t.table key with
+    | Some e -> touch t e
+    | None -> ());
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.table key { value; last_use = t.tick };
+    while Hashtbl.length t.table > t.capacity do
+      evict_lru t
+    done
+  end
 
 let stats (t : t) =
   { hits = t.hits; misses = t.misses; evictions = t.evictions; size = Hashtbl.length t.table }
+
+(* ------------------------------------------------------------------ *)
+(* Crash-only persistence.
+
+   Snapshot layout (all lengths in bytes, entries oldest-first so a
+   restore replays them in LRU order):
+
+     nocsynth-cache 1 <n>\n
+     <key_len> <bytes_len>\n<key><bytes>\n     (n times)
+     md5 <hex digest of everything above>\n
+
+   The trailing whole-file digest makes truncation and byte corruption
+   detectable: restore verifies it before touching the cache, parses every
+   entry (responses must round-trip through Proto.Response.of_string), and
+   only then inserts — so a bad snapshot is discarded for a cold start and
+   restore never raises and never leaves a partial cache. *)
+
+let magic = "nocsynth-cache 1"
+
+let snapshot t ~path =
+  let entries =
+    Hashtbl.fold (fun key e acc -> (key, e) :: acc) t.table []
+    |> List.sort (fun (_, a) (_, b) -> compare a.last_use b.last_use)
+  in
+  let body = Buffer.create 4096 in
+  Buffer.add_string body (Printf.sprintf "%s %d\n" magic (List.length entries));
+  List.iter
+    (fun (key, e) ->
+      let bytes = fst e.value in
+      Buffer.add_string body
+        (Printf.sprintf "%d %d\n" (String.length key) (String.length bytes));
+      Buffer.add_string body key;
+      Buffer.add_string body bytes;
+      Buffer.add_char body '\n')
+    entries;
+  let body = Buffer.contents body in
+  let digest = Digest.to_hex (Digest.string body) in
+  (* write-then-rename: a crash mid-snapshot leaves the old file intact *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc body;
+      output_string oc (Printf.sprintf "md5 %s\n" digest));
+  Sys.rename tmp path
+
+let restore t ~path =
+  let fail fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt in
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error m -> fail "unreadable snapshot: %s" m
+  | text -> (
+      let trailer = Printf.sprintf "md5 %s\n" in
+      let digest_line_len = String.length (trailer (String.make 32 '0')) in
+      if String.length text < digest_line_len then fail "truncated snapshot %s" path
+      else
+        let body = String.sub text 0 (String.length text - digest_line_len) in
+        let claimed = String.sub text (String.length body) digest_line_len in
+        if not (String.equal claimed (trailer (Digest.to_hex (Digest.string body))))
+        then fail "checksum mismatch in snapshot %s: cold start" path
+        else
+          (* checksum holds; parse strictly, collecting entries before any
+             insertion so a malformed body can still be discarded whole *)
+          let pos = ref 0 in
+          let len = String.length body in
+          let read_line () =
+            match String.index_from_opt body !pos '\n' with
+            | None -> None
+            | Some nl ->
+                let line = String.sub body !pos (nl - !pos) in
+                pos := nl + 1;
+                Some line
+          in
+          let read_exact n =
+            if !pos + n > len then None
+            else begin
+              let s = String.sub body !pos n in
+              pos := !pos + n;
+              Some s
+            end
+          in
+          let header = read_line () in
+          match header with
+          | Some h when String.length h > String.length magic
+                        && String.sub h 0 (String.length magic) = magic -> (
+              match int_of_string_opt (String.trim (String.sub h (String.length magic)
+                                                      (String.length h - String.length magic)))
+              with
+              | None -> fail "malformed snapshot header %S" h
+              | Some n ->
+                  let rec entries acc i =
+                    if i = n then
+                      if !pos = len then Ok (List.rev acc)
+                      else fail "trailing garbage in snapshot %s" path
+                    else
+                      match read_line () with
+                      | None -> fail "truncated entry header in %s" path
+                      | Some sizes -> (
+                          match String.split_on_char ' ' sizes with
+                          | [ klen; blen ] -> (
+                              match (int_of_string_opt klen, int_of_string_opt blen) with
+                              | Some klen, Some blen when klen >= 0 && blen >= 0 -> (
+                                  match (read_exact klen, read_exact blen, read_exact 1) with
+                                  | Some key, Some bytes, Some "\n" -> (
+                                      match Proto.Response.of_string bytes with
+                                      | Ok resp -> entries ((key, bytes, resp) :: acc) (i + 1)
+                                      | Error (`Msg m) ->
+                                          fail "unparseable cached response in %s: %s" path m)
+                                  | _ -> fail "truncated entry body in %s" path)
+                              | _ -> fail "malformed entry sizes %S" sizes)
+                          | _ -> fail "malformed entry sizes %S" sizes)
+                  in
+                  (match entries [] 0 with
+                  | Error e -> Error e
+                  | Ok parsed ->
+                      List.iter (fun (key, bytes, resp) -> add t key (bytes, resp)) parsed;
+                      Ok (List.length parsed)))
+          | _ -> fail "not a %s snapshot: %s" magic path)

@@ -8,6 +8,13 @@
     into the observer's [serve.cache.hits] / [serve.cache.misses] /
     [serve.cache.evictions] counters.
 
+    {b Persistence} is crash-only: {!snapshot} writes the whole cache to a
+    checksummed, length-prefixed file (atomically, via write-then-rename),
+    and {!restore} either verifies and replays the whole file or discards
+    it for a cold start — it never raises and never leaves a partial
+    cache, so killing the daemon at any instant costs at most the entries
+    since the last snapshot.
+
     Not domain-safe: the daemon serves its request loop from one domain
     (the parallelism lives inside each search), which is the only client. *)
 
@@ -16,14 +23,33 @@ type t
 type stats = { hits : int; misses : int; evictions : int; size : int }
 
 val create : ?capacity:int -> observe:Noc_obs.Obs.t -> unit -> t
-(** Default capacity 1024 entries.
-    @raise Invalid_argument if [capacity < 1]. *)
+(** Default capacity 1024 entries.  Capacity 0 disables caching entirely
+    (every {!find} misses, {!add} stores nothing).
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : t -> int
 
 val find : t -> string -> (string * Proto.Response.t) option
 (** Lookup, counting a hit or a miss and refreshing the entry's recency. *)
 
 val add : t -> string -> string * Proto.Response.t -> unit
 (** Insert (or overwrite), evicting the least-recently-used entries while
-    over capacity. *)
+    over capacity.  A no-op at capacity 0. *)
 
 val stats : t -> stats
+
+val snapshot : t -> path:string -> unit
+(** Persist every entry (oldest-first, so a restore replays them in LRU
+    order) under a whole-file MD5 checksum.  The file is written to
+    [path ^ ".tmp"] and renamed, so a crash mid-write leaves any previous
+    snapshot intact.
+    @raise Sys_error when the path is unwritable — snapshotting is an
+    operator action; serving never calls it implicitly. *)
+
+val restore : t -> path:string -> (int, [ `Msg of string ]) result
+(** Verify and replay a snapshot into the cache, returning the number of
+    entries restored.  Any defect — unreadable file, bad magic, checksum
+    mismatch (truncation, byte corruption), malformed framing, or an entry
+    whose bytes no longer parse as a {!Proto.Response.t} — discards the
+    whole snapshot and returns [Error] with the cache {e unchanged} (a
+    cold start when the cache was fresh).  Never raises. *)

@@ -45,6 +45,42 @@ module Request : sig
   (** Resolves the library field; [None] for unknown names. *)
 end
 
+(** The wire error taxonomy: every way a request can fail maps onto one of
+    four classes, each with a stable [class] tag and a JSON encoding, so a
+    client can always parse the reply — the daemon never answers with a
+    stack trace or a closed pipe.
+
+    - [Bad_request]: the input is unusable (unparseable ACG, self-loop,
+      unknown library, oversized request) — retrying is pointless;
+    - [Over_budget]: the declared deadline was unsatisfiable at admission
+      (non-positive timeout) — retry with a real budget;
+    - [Shed]: the admission queue was full — back off and retry;
+    - [Internal]: an exception escaped the pipeline; the message is the
+      exception text, the daemon survives. *)
+module Error : sig
+  type t =
+    | Bad_request of string
+    | Over_budget of string
+    | Shed of string
+    | Internal of string
+
+  val class_name : t -> string
+  (** ["bad_request"], ["over_budget"], ["shed"] or ["internal"]. *)
+
+  val message : t -> string
+
+  val counter_name : t -> string
+  (** The per-class observability counter, ["serve.errors.<class>"]. *)
+
+  val to_json : t -> Noc_obs.Obs.Json.t
+  (** [{"class": ..., "message": ...}]. *)
+
+  val to_string : t -> string
+
+  val of_json : Noc_obs.Obs.Json.t -> t option
+  (** Inverse of {!to_json}; [None] on unknown class or shape. *)
+end
+
 module Response : sig
   type backend_score = {
     backend : string;  (** ["custom"], ["mesh"] or ["sparse_hamming"] *)
@@ -69,6 +105,12 @@ module Response : sig
     flows : int;
     cost : float;  (** best decomposition cost (Eq. 4) *)
     timed_out : bool;
+    degraded : bool;
+        (** the answer is the greedy anytime fallback — the search found
+            nothing better within its (possibly clamped) deadline *)
+    gap_pct : float option;
+        (** on a timed-out search, the reported cost's distance above the
+            root lower bound — an upper bound on the optimality gap *)
     constraints_met : bool;
     topology : (int * int) list;
         (** undirected links of the custom architecture as [(min, max)]
@@ -84,4 +126,11 @@ module Response : sig
   (** [to_string r] is [Obs.Json.to_string (to_json r)]: deterministic,
       single-line — the bytes the cache stores and the daemon replies
       with. *)
+
+  val of_json : Noc_obs.Obs.Json.t -> (t, [ `Msg of string ]) result
+  (** Total inverse of {!to_json} (used by the cache snapshot restore);
+      malformed shapes come back as [Error], never an exception. *)
+
+  val of_string : string -> (t, [ `Msg of string ]) result
+  (** {!Noc_obs.Obs.Json.parse} composed with {!of_json}. *)
 end

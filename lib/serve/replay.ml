@@ -71,7 +71,7 @@ let run ?(seed = 42) ?(cases = 12) ?corpus_dir ?cache_capacity ?library
     Noc_util.Timer.time (fun () ->
         List.map
           (fun (acg, repeated) ->
-            let o = Daemon.solve daemon (Proto.Request.make ?library ~budget acg) in
+            let o = Daemon.solve_exn daemon (Proto.Request.make ?library ~budget acg) in
             (o, repeated))
           stream)
   in

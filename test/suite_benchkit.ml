@@ -93,11 +93,18 @@ let test_runner_sanity () =
     (rs.Runner.max_latency_factor >= 1. || rs.Runner.max_latency_factor = 0.);
   Alcotest.(check int) "resilience strands nothing" 0 rs.Runner.resil_stranded;
   let sv = r.Runner.serve in
-  Alcotest.(check int) "serve mix size" 4 sv.Runner.serve_requests;
-  Alcotest.(check int) "serve hits (dup + both permutations)" 3 sv.Runner.serve_hits;
-  Alcotest.(check (float 1e-9)) "serve hit rate" 0.75 sv.Runner.serve_hit_rate;
+  Alcotest.(check int) "serve mix size" 9 sv.Runner.serve_requests;
+  Alcotest.(check int) "serve ok (wf mix + admitted burst)" 6 sv.Runner.serve_ok;
+  Alcotest.(check int) "serve hits (dup + permutations + burst)" 5 sv.Runner.serve_hits;
+  Alcotest.(check (float 1e-9)) "serve hit rate" (5.0 /. 6.0) sv.Runner.serve_hit_rate;
   Alcotest.(check bool) "serve responses byte-identical" true sv.Runner.serve_byte_identical;
-  Alcotest.(check bool) "serve rps positive" true (sv.Runner.serve_rps > 0.)
+  Alcotest.(check bool) "serve rps positive" true (sv.Runner.serve_rps > 0.);
+  Alcotest.(check int) "serve errors (unknown lib + dead deadline)" 2
+    sv.Runner.serve_errors;
+  Alcotest.(check int) "serve shed (3-burst through 2 slots)" 1 sv.Runner.serve_shed;
+  Alcotest.(check (float 1e-9)) "serve error rate" (2.0 /. 9.0) sv.Runner.serve_error_rate;
+  Alcotest.(check (float 1e-9)) "serve shed rate" (1.0 /. 9.0) sv.Runner.serve_shed_rate;
+  Alcotest.(check bool) "serve snapshot restore" true sv.Runner.serve_restore_ok
 
 (* ---------------------------------------------------------------- *)
 (* Record                                                           *)

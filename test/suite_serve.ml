@@ -11,8 +11,14 @@ module Bb = Noc_core.Branch_bound
 module Prng = Noc_util.Prng
 module Proto = Noc_serve.Proto
 module Daemon = Noc_serve.Daemon
+module Cache = Noc_serve.Cache
+module Chaos = Noc_serve.Chaos
 module Replay = Noc_serve.Replay
 module Iso = Noc_oracle.Iso
+
+let ok_exn = function
+  | Ok (o : Daemon.outcome) -> o
+  | Error e -> Alcotest.fail ("unexpected error reply: " ^ Proto.Error.to_string e)
 
 let is_canon h = String.length h >= 6 && String.equal (String.sub h 0 6) "canon:"
 
@@ -113,14 +119,17 @@ let qcheck_batch_matches_solo =
       let reqs = List.map (fun g -> Proto.Request.make ~budget:short_budget g) stream in
       let batched = Daemon.serve_batch (Daemon.create ()) reqs in
       let solo =
-        List.map (fun r -> Daemon.solve (Daemon.create ()) r) reqs
+        List.map (fun r -> Daemon.solve_exn (Daemon.create ()) r) reqs
       in
       List.for_all2
-        (fun (x : Daemon.outcome) (y : Daemon.outcome) ->
-          String.equal x.Daemon.bytes y.Daemon.bytes
-          && String.equal
-               (Proto.Response.to_string x.Daemon.response)
-               x.Daemon.bytes)
+        (fun reply (y : Daemon.outcome) ->
+          match reply with
+          | Error _ -> false
+          | Ok (x : Daemon.outcome) ->
+              String.equal x.Daemon.bytes y.Daemon.bytes
+              && String.equal
+                   (Proto.Response.to_string x.Daemon.response)
+                   x.Daemon.bytes)
         batched solo)
 
 let test_batch_dedup () =
@@ -132,7 +141,7 @@ let test_batch_dedup () =
       (fun g -> Proto.Request.make ~budget:short_budget g)
       [ a; a; Replay.permute ~rng a ]
   in
-  let outcomes = Daemon.serve_batch daemon reqs in
+  let outcomes = List.map ok_exn (Daemon.serve_batch daemon reqs) in
   let statuses = List.map (fun (o : Daemon.outcome) -> o.Daemon.status) outcomes in
   Alcotest.(check int) "one key" 1
     (List.sort_uniq compare (List.map (fun (o : Daemon.outcome) -> o.Daemon.key) outcomes)
@@ -148,7 +157,7 @@ let test_cache_eviction () =
   let rng = Prng.create ~seed:3 in
   let a = Noc_oracle.Fuzz.gen_acg ~rng and b = Noc_oracle.Fuzz.gen_acg ~rng in
   let daemon = Daemon.create ~cache_capacity:1 () in
-  let solve g = Daemon.solve daemon (Proto.Request.make ~budget:short_budget g) in
+  let solve g = Daemon.solve_exn daemon (Proto.Request.make ~budget:short_budget g) in
   ignore (solve a);
   ignore (solve b);
   (* capacity 1: b evicted a, so a misses again *)
@@ -162,7 +171,7 @@ let test_domains_not_in_key () =
   let rng = Prng.create ~seed:21 in
   let a = Noc_oracle.Fuzz.gen_acg ~rng in
   let daemon = Daemon.create () in
-  let solve budget = Daemon.solve daemon (Proto.Request.make ~budget a) in
+  let solve budget = Daemon.solve_exn daemon (Proto.Request.make ~budget a) in
   let o1 = solve Bb.Budget.(short_budget |> with_domains 1) in
   let o2 = solve Bb.Budget.(short_budget |> with_domains 4) in
   Alcotest.(check string) "same key" o1.Daemon.key o2.Daemon.key;
@@ -175,9 +184,243 @@ let test_bad_request () =
   let rng = Prng.create ~seed:9 in
   let a = Noc_oracle.Fuzz.gen_acg ~rng in
   let daemon = Daemon.create () in
-  match Daemon.solve daemon (Proto.Request.make ~library:"no-such-library" a) with
-  | exception Daemon.Bad_request _ -> ()
-  | _ -> Alcotest.fail "expected Bad_request"
+  (match Daemon.solve daemon (Proto.Request.make ~library:"no-such-library" a) with
+  | Error (Proto.Error.Bad_request _) -> ()
+  | Error e -> Alcotest.fail ("wrong error class: " ^ Proto.Error.class_name e)
+  | Ok _ -> Alcotest.fail "expected a bad_request reply");
+  (* request isolation: the daemon keeps serving after the error *)
+  let o = ok_exn (Daemon.solve daemon (Proto.Request.make ~budget:short_budget a)) in
+  Alcotest.(check bool) "daemon survives" true (o.Daemon.status = Daemon.Miss);
+  let es = Daemon.error_stats daemon in
+  Alcotest.(check int) "error counted" 1 es.Daemon.bad_request;
+  Alcotest.(check int) "every reply counted" 2 es.Daemon.replies
+
+let test_over_budget () =
+  let rng = Prng.create ~seed:14 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng in
+  let daemon = Daemon.create () in
+  let dead = Bb.Budget.(default |> with_timeout_s (Some 0.0)) in
+  (match Daemon.solve daemon (Proto.Request.make ~budget:dead a) with
+  | Error (Proto.Error.Over_budget _) -> ()
+  | Error e -> Alcotest.fail ("wrong error class: " ^ Proto.Error.class_name e)
+  | Ok _ -> Alcotest.fail "expected an over_budget reply");
+  Alcotest.(check int) "counted" 1 (Daemon.error_stats daemon).Daemon.over_budget
+
+let test_oversized_rejected () =
+  let rng = Prng.create ~seed:15 in
+  let a = small_acg ~rng ~n:8 in
+  let config = { Daemon.default_config with Daemon.max_cores = 4 } in
+  let daemon = Daemon.create ~config () in
+  match Daemon.solve daemon (Proto.Request.make ~budget:short_budget a) with
+  | Error (Proto.Error.Bad_request _) -> ()
+  | Error e -> Alcotest.fail ("wrong error class: " ^ Proto.Error.class_name e)
+  | Ok _ -> Alcotest.fail "expected oversized ACG to be rejected"
+
+let test_injected_fault_isolated () =
+  let rng = Prng.create ~seed:16 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng in
+  let arm = ref true in
+  let fault_hook () =
+    let fire = !arm in
+    arm := false;
+    fire
+  in
+  let daemon = Daemon.create ~fault_hook () in
+  let req = Proto.Request.make ~budget:short_budget a in
+  (match Daemon.solve daemon req with
+  | Error (Proto.Error.Internal _) -> ()
+  | Error e -> Alcotest.fail ("wrong error class: " ^ Proto.Error.class_name e)
+  | Ok _ -> Alcotest.fail "expected the injected fault to surface as internal");
+  (* the failed request was not cached and the daemon still answers it *)
+  let o = ok_exn (Daemon.solve daemon req) in
+  Alcotest.(check bool) "recomputed after fault" true (o.Daemon.status = Daemon.Miss);
+  Alcotest.(check int) "internal counted" 1
+    (Daemon.error_stats daemon).Daemon.internal
+
+let test_batch_shedding () =
+  let rng = Prng.create ~seed:17 in
+  let acgs = List.init 4 (fun _ -> Noc_oracle.Fuzz.gen_acg ~rng) in
+  let config = { Daemon.default_config with Daemon.max_inflight = 2 } in
+  let daemon = Daemon.create ~config () in
+  let reqs = List.map (fun g -> Proto.Request.make ~budget:short_budget g) acgs in
+  let replies = Daemon.serve_batch daemon reqs in
+  let shed = function Error (Proto.Error.Shed _) -> true | _ -> false in
+  Alcotest.(check (list bool)) "first max_inflight admitted, rest shed"
+    [ false; false; true; true ] (List.map shed replies);
+  Alcotest.(check int) "shed counted" 2 (Daemon.error_stats daemon).Daemon.shed
+
+let test_solve_text_guards () =
+  let daemon =
+    Daemon.create
+      ~config:{ Daemon.default_config with Daemon.max_request_bytes = 64 }
+      ()
+  in
+  (match Daemon.solve_text daemon ~id:"garbage" "\255\000 not an acg" with
+  | Error (Proto.Error.Bad_request _) -> ()
+  | _ -> Alcotest.fail "garbage bytes must be a bad_request");
+  match Daemon.solve_text daemon ~id:"big" (String.make 100 'x') with
+  | Error (Proto.Error.Bad_request _) -> ()
+  | _ -> Alcotest.fail "oversized text must be a bad_request"
+
+let test_cache_capacity_zero () =
+  (* capacity 0 = caching disabled: add is a no-op, every lookup misses *)
+  let c = Cache.create ~capacity:0 ~observe:Noc_obs.Obs.disabled () in
+  let rng = Prng.create ~seed:19 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng in
+  let daemon = Daemon.create ~cache_capacity:0 () in
+  let o1 = ok_exn (Daemon.solve daemon (Proto.Request.make ~budget:short_budget a)) in
+  Cache.add c o1.Daemon.key (o1.Daemon.bytes, o1.Daemon.response);
+  Alcotest.(check bool) "add is a no-op" true (Cache.find c o1.Daemon.key = None);
+  Alcotest.(check int) "stays empty" 0 (Cache.stats c).Cache.size;
+  let o2 = ok_exn (Daemon.solve daemon (Proto.Request.make ~budget:short_budget a)) in
+  Alcotest.(check bool) "duplicate recomputed" true (o2.Daemon.status = Daemon.Miss);
+  Alcotest.(check string) "still deterministic" o1.Daemon.bytes o2.Daemon.bytes;
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Cache.create: capacity must be >= 0") (fun () ->
+      ignore (Cache.create ~capacity:(-1) ~observe:Noc_obs.Obs.disabled ()))
+
+let test_cache_capacity_one () =
+  let c = Cache.create ~capacity:1 ~observe:Noc_obs.Obs.disabled ()
+  and resp o = (o.Daemon.bytes, o.Daemon.response) in
+  let rng = Prng.create ~seed:20 in
+  let daemon = Daemon.create () in
+  let solve g = ok_exn (Daemon.solve daemon (Proto.Request.make ~budget:short_budget g)) in
+  let oa = solve (Noc_oracle.Fuzz.gen_acg ~rng) in
+  let ob = solve (Noc_oracle.Fuzz.gen_acg ~rng) in
+  Cache.add c oa.Daemon.key (resp oa);
+  Alcotest.(check bool) "a cached" true (Cache.find c oa.Daemon.key <> None);
+  Cache.add c ob.Daemon.key (resp ob);
+  Alcotest.(check bool) "b evicted a" true (Cache.find c oa.Daemon.key = None);
+  Alcotest.(check bool) "b cached" true (Cache.find c ob.Daemon.key <> None);
+  Alcotest.(check int) "bounded" 1 (Cache.stats c).Cache.size
+
+let with_temp_file f =
+  let path = Filename.temp_file "nocsynth-test" ".snap" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () ->
+      f path)
+
+let test_snapshot_roundtrip () =
+  let rng = Prng.create ~seed:23 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng and b = Noc_oracle.Fuzz.gen_acg ~rng in
+  let d1 = Daemon.create () in
+  let solve d g = ok_exn (Daemon.solve d (Proto.Request.make ~budget:short_budget g)) in
+  let oa = solve d1 a and _ob = solve d1 b in
+  with_temp_file (fun path ->
+      Cache.snapshot (Daemon.cache d1) ~path;
+      let d2 = Daemon.create () in
+      (match Cache.restore (Daemon.cache d2) ~path with
+      | Ok n -> Alcotest.(check int) "both entries restored" 2 n
+      | Error (`Msg m) -> Alcotest.fail ("restore failed: " ^ m));
+      (* a warm duplicate through the restored daemon hits byte-identically *)
+      let oa' = solve d2 a in
+      Alcotest.(check bool) "restored hit" true (oa'.Daemon.status = Daemon.Hit);
+      Alcotest.(check string) "restored bytes identical" oa.Daemon.bytes oa'.Daemon.bytes;
+      Alcotest.(check int) "restored size" 2 (Cache.stats (Daemon.cache d2)).Cache.size)
+
+(* Property: a snapshot with any single byte flipped or any truncation is
+   detected — restore reports an error, leaves the cache cold and never
+   raises. *)
+let qcheck_corrupt_snapshot_cold_start =
+  QCheck.Test.make ~name:"corrupt snapshot -> clean cold start" ~count:40
+    QCheck.(pair small_int small_int)
+    (fun (seed, pos_seed) ->
+      let rng = Prng.create ~seed:(seed + 7700) in
+      let a = Noc_oracle.Fuzz.gen_acg ~rng in
+      let d = Daemon.create () in
+      let _ =
+        match Daemon.solve d (Proto.Request.make ~budget:short_budget a) with
+        | Ok o -> o
+        | Error _ -> QCheck.assume_fail ()
+      in
+      with_temp_file (fun path ->
+          Cache.snapshot (Daemon.cache d) ~path;
+          let body = In_channel.with_open_bin path In_channel.input_all in
+          let n = String.length body in
+          let corrupt =
+            if pos_seed mod 2 = 0 && n > 1 then
+              (* truncate strictly short of the full file *)
+              String.sub body 0 (1 + (pos_seed mod (n - 1)))
+            else begin
+              let bs = Bytes.of_string body in
+              let i = pos_seed mod n in
+              Bytes.set bs i (Char.chr ((Char.code (Bytes.get bs i) + 1) land 0xff));
+              Bytes.to_string bs
+            end
+          in
+          Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc corrupt);
+          let fresh = Cache.create ~capacity:16 ~observe:Noc_obs.Obs.disabled () in
+          match Cache.restore fresh ~path with
+          | Ok _ -> false (* corruption must never restore silently *)
+          | Error (`Msg _) -> (Cache.stats fresh).Cache.size = 0
+          | exception _ -> false))
+
+let test_restore_missing_file () =
+  let c = Cache.create ~capacity:4 ~observe:Noc_obs.Obs.disabled () in
+  (match Cache.restore c ~path:"/nonexistent/nocsynth.snap" with
+  | Ok _ -> Alcotest.fail "missing snapshot cannot restore"
+  | Error (`Msg _) -> ());
+  Alcotest.(check int) "cold" 0 (Cache.stats c).Cache.size
+
+let test_response_json_roundtrip () =
+  let rng = Prng.create ~seed:27 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng in
+  let o = ok_exn (Daemon.solve (Daemon.create ()) (Proto.Request.make ~budget:short_budget a)) in
+  match Proto.Response.of_string o.Daemon.bytes with
+  | Error (`Msg m) -> Alcotest.fail ("response failed to parse back: " ^ m)
+  | Ok r ->
+      Alcotest.(check string) "wire round-trip is the identity" o.Daemon.bytes
+        (Proto.Response.to_string r)
+
+let test_run_loop_counts () =
+  let rng = Prng.create ~seed:29 in
+  let a = Noc_oracle.Fuzz.gen_acg ~rng in
+  let acg_path = Filename.temp_file "nocsynth-test" ".acg" in
+  let in_path = Filename.temp_file "nocsynth-test" ".in" in
+  let out_path = Filename.temp_file "nocsynth-test" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ acg_path; in_path; out_path ])
+    (fun () ->
+      Out_channel.with_open_bin acg_path (fun oc ->
+          Out_channel.output_string oc (Noc_core.Acg_io.to_string a));
+      Out_channel.with_open_bin in_path (fun oc ->
+          Out_channel.output_string oc
+            (String.concat "\n"
+               [ acg_path; "# comment"; ""; "/nonexistent/path.acg"; acg_path; "quit";
+                 acg_path ]));
+      let daemon = Daemon.create () in
+      let ls =
+        In_channel.with_open_bin in_path (fun ic ->
+            Out_channel.with_open_bin out_path (fun oc ->
+                Daemon.run_loop ~budget:short_budget daemon ic oc))
+      in
+      (* every request line counted, comments/blanks skipped, quit stops
+         the loop before the trailing request *)
+      Alcotest.(check int) "served" 3 ls.Daemon.served;
+      Alcotest.(check int) "ok" 2 ls.Daemon.ok;
+      Alcotest.(check int) "errors" 1 ls.Daemon.errors;
+      Alcotest.(check int) "shed" 0 ls.Daemon.shed;
+      let lines =
+        In_channel.with_open_bin out_path In_channel.input_all
+        |> String.trim |> String.split_on_char '\n'
+      in
+      Alcotest.(check int) "one wire reply per request" 3 (List.length lines);
+      List.iter
+        (fun l ->
+          match Noc_obs.Obs.Json.parse l with
+          | Ok _ -> ()
+          | Error (`Msg m) -> Alcotest.fail ("unparseable wire reply: " ^ m))
+        lines)
+
+let test_chaos_gate () =
+  let stats = Chaos.run ~seed:7 ~requests:80 ~wf_timeout_s:0.05 () in
+  (match Chaos.gate stats with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("chaos gate failed: " ^ m));
+  Alcotest.(check int) "zero deaths" 0 stats.Chaos.deaths;
+  Alcotest.(check int) "typed reply per request" stats.Chaos.requests
+    stats.Chaos.replies
 
 let test_replay_driver () =
   let s = Replay.run ~seed:5 ~cases:4 ~budget:short_budget () in
@@ -209,6 +452,20 @@ let suite =
       Alcotest.test_case "domains excluded from cache key" `Quick
         test_domains_not_in_key;
       Alcotest.test_case "unknown library rejected" `Quick test_bad_request;
+      Alcotest.test_case "dead deadline is over_budget" `Quick test_over_budget;
+      Alcotest.test_case "oversized ACG rejected" `Quick test_oversized_rejected;
+      Alcotest.test_case "injected fault isolated" `Quick test_injected_fault_isolated;
+      Alcotest.test_case "batch shedding" `Quick test_batch_shedding;
+      Alcotest.test_case "solve_text guards" `Quick test_solve_text_guards;
+      Alcotest.test_case "cache capacity 0" `Quick test_cache_capacity_zero;
+      Alcotest.test_case "cache capacity 1" `Quick test_cache_capacity_one;
+      Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_corrupt_snapshot_cold_start;
+      Alcotest.test_case "restore missing file" `Quick test_restore_missing_file;
+      Alcotest.test_case "response JSON round-trip" `Quick
+        test_response_json_roundtrip;
+      Alcotest.test_case "run_loop counts every reply" `Quick test_run_loop_counts;
+      Alcotest.test_case "chaos gate" `Quick test_chaos_gate;
       Alcotest.test_case "replay driver" `Quick test_replay_driver;
       Alcotest.test_case "replay deterministic" `Quick
         test_replay_deterministic_responses;
